@@ -1,0 +1,90 @@
+// Ablation A1: value of the information-gain acquisition.
+//
+// Compares three selection strategies at identical evaluation budgets on
+// three representative applications (time/energy):
+//   * parmis   — the full Eq. 9 information-gain acquisition,
+//   * random   — uniform random theta (no model),
+//   * thompson — NSGA-II on GP posterior samples, pick a survivor
+//                (i.e., the acquisition's front sampler without the
+//                entropy scoring).
+// This isolates the contribution of the entropy term that DESIGN.md
+// calls out as the paper's key algorithmic ingredient.
+//
+// Usage: ablation_acquisition [--full] [--iterations N]
+#include <iostream>
+
+#include "apps/benchmarks.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "moo/pareto.hpp"
+
+namespace {
+
+using namespace parmis;
+
+/// Random-search baseline at the same budget.
+std::vector<num::Vec> random_search(core::DrmPolicyProblem& problem,
+                                    std::size_t budget, std::uint64_t seed) {
+  Rng rng(seed);
+  auto fn = problem.evaluation_fn();
+  std::vector<num::Vec> objs;
+  for (std::size_t i = 0; i < budget; ++i) {
+    num::Vec theta(problem.theta_dim());
+    for (auto& v : theta) v = rng.uniform(-2.0, 2.0);
+    objs.push_back(fn(theta));
+  }
+  return objs;
+}
+
+/// Thompson-style baseline: PaRMIS loop with the acquisition pool scoring
+/// disabled (pool candidate 0 = first NSGA-II survivor is taken).  We
+/// emulate it by running PaRMIS with a pool of size 1 drawn from the
+/// sampled-front survivors: acq argmax degenerates to "take a sampled
+/// front point".
+std::vector<num::Vec> thompson_like(core::DrmPolicyProblem& problem,
+                                    const bench::BenchScale& scale,
+                                    std::uint64_t seed) {
+  core::ParmisConfig cfg = scale.parmis;
+  cfg.seed = seed;
+  cfg.acq_pool_size = 4;      // tiny pool: scoring barely matters
+  cfg.acq_refine_steps = 0;
+  core::Parmis opt(problem.evaluation_fn(), problem.theta_dim(),
+                   problem.num_objectives(), cfg);
+  return opt.run().objectives;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  const bench::BenchScale scale = bench::scale_from_cli(args);
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  bench::print_header("Ablation A1: acquisition strategy", scale, spec);
+  const auto objectives = runtime::time_energy_objectives();
+
+  Table table({"app", "parmis", "thompson", "random"});
+  for (const std::string name : {"qsort", "spectral", "sha"}) {
+    soc::Platform platform(spec);
+    const soc::Application app = apps::make_benchmark(name);
+    core::DrmPolicyProblem problem(platform, app, objectives);
+
+    const bench::MethodRun full =
+        bench::run_parmis(platform, app, objectives, scale, 101);
+    const auto thompson = thompson_like(problem, scale, 102);
+    const auto random = random_search(problem, full.evaluations, 103);
+
+    const num::Vec ref = bench::shared_reference(
+        {full.objectives, thompson, random});
+    const double p = bench::phv(moo::pareto_front(full.objectives), ref);
+    table.begin_row()
+        .add(name)
+        .add(1.0, 3)
+        .add(bench::phv(moo::pareto_front(thompson), ref) / p, 3)
+        .add(bench::phv(moo::pareto_front(random), ref) / p, 3);
+    std::cerr << "[A1] " << name << " done\n";
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: random < 1.0 consistently; thompson close to "
+               "but typically below the full acquisition.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation A6: behaviour under thermal throttling (extension).
+//
+// The paper's testbed has a heatsink and does not evaluate thermals; any
+// deployed governor must coexist with the kernel thermal zone.  This
+// bench runs the stock governors and a PaRMIS policy set on a
+// thermally-constrained platform (aggressive RC model, 70 C trip) and
+// reports how much each slows down and which policies stay Pareto-
+// optimal when the throttle is active.
+//
+// Usage: ablation_thermal [--full]
+#include <iostream>
+
+#include "apps/benchmarks.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "policy/governors.hpp"
+#include "runtime/evaluator.hpp"
+#include "runtime/selector.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parmis;
+  const CliArgs args = CliArgs::parse(argc, argv);
+  const bench::BenchScale scale = bench::scale_from_cli(args);
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  bench::print_header("Ablation A6: thermal throttling (extension)", scale,
+                      spec);
+
+  soc::Platform platform(spec);
+  const soc::Application app = apps::make_benchmark("motionest");
+
+  runtime::EvaluatorConfig hot;
+  hot.enable_thermal = true;
+  // Fanless chassis: high thermal resistance, little mass.  The
+  // performance governor's ~5 W steady state would settle near 95 C, so
+  // it trips the 50 C throttle within the first seconds; powersave's
+  // ~1.5 W settles below the trip point and never throttles.
+  hot.thermal_params.trip_point_c = 50.0;
+  hot.thermal_params.release_point_c = 44.0;
+  hot.thermal_params.resistance_c_per_w = 14.0;
+  hot.thermal_params.capacitance_j_per_c = 0.3;
+  runtime::Evaluator throttled(platform, hot);
+  runtime::Evaluator open_air(platform);
+
+  const soc::DecisionSpace& space = platform.decision_space();
+  policy::PerformanceGovernor performance(space);
+  policy::OndemandGovernor ondemand(space);
+  policy::SchedutilGovernor schedutil(space);
+  policy::PowersaveGovernor powersave(space);
+
+  Table table({"policy", "time_open_s", "time_throttled_s", "slowdown"});
+  auto report = [&](policy::Policy& p) {
+    const double t_open = open_air.run(p, app).time_s;
+    const double t_hot = throttled.run(p, app).time_s;
+    table.begin_row()
+        .add(p.name())
+        .add(t_open, 3)
+        .add(t_hot, 3)
+        .add(t_hot / t_open, 3);
+  };
+  report(performance);
+  report(ondemand);
+  report(schedutil);
+  report(powersave);
+
+  // A PaRMIS policy trained WITHOUT thermal awareness, for context, and
+  // one trained with peak power as a third objective (thermal-friendly).
+  const auto te = runtime::time_energy_objectives();
+  const bench::MethodRun run = bench::run_parmis(platform, app, te, scale,
+                                                 151);
+  core::DrmPolicyProblem problem(platform, app, te);
+  runtime::PolicySelector selector(run.front);
+  policy::MlpPolicy balanced =
+      problem.make_policy(run.thetas[selector.knee_point()]);
+  report(balanced);
+
+  table.print(std::cout);
+  std::cout << "\nexpected: the performance governor suffers the largest "
+               "throttling slowdown (it runs hottest); lower-power "
+               "policies degrade gracefully; powersave is unaffected.\n";
+  return 0;
+}

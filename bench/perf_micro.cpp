@@ -1,0 +1,213 @@
+// P1-P4 micro performance benches (google-benchmark): the hot paths of
+// the library.  These are regression guards, not paper figures:
+//   * simulator epoch evaluation (drives every EVALUATE),
+//   * GP fit / predict at growing training-set sizes,
+//   * RFF posterior function sampling and evaluation,
+//   * NSGA-II generations on the sampled functions,
+//   * exact hypervolume at growing front sizes,
+//   * full acquisition construction + evaluation.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "apps/benchmarks.hpp"
+#include "common/rng.hpp"
+#include "core/acquisition.hpp"
+#include "gp/gp.hpp"
+#include "gp/rff.hpp"
+#include "moo/hypervolume.hpp"
+#include "moo/nsga2.hpp"
+#include "moo/test_problems.hpp"
+#include "soc/perf_model.hpp"
+
+namespace {
+
+using namespace parmis;
+using num::Vec;
+
+// ------------------------------------------------------------- simulator
+
+void BM_SimulatorEpoch(benchmark::State& state) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  const soc::PerfModel model(spec);
+  const soc::DecisionSpace space(spec);
+  const soc::Application app = apps::make_benchmark("qsort");
+  const soc::DrmDecision d = space.default_decision();
+  std::size_t e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.run_epoch(app.epochs[e % app.epochs.size()], d));
+    ++e;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorEpoch);
+
+void BM_ExhaustiveDecisionSweep(benchmark::State& state) {
+  // One epoch x all 4940 decisions — the IL oracle's inner loop.
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  const soc::PerfModel model(spec);
+  const soc::DecisionSpace space(spec);
+  const soc::Application app = apps::make_benchmark("qsort");
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      acc += model.run_epoch(app.epochs[0], space.decision(i)).time_s;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) * 4940);
+}
+BENCHMARK(BM_ExhaustiveDecisionSweep);
+
+// -------------------------------------------------------------------- gp
+
+gp::GpRegressor fitted_gp(std::size_t n, std::size_t d) {
+  Rng rng(1);
+  num::Matrix X(n, d);
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      X(i, c) = rng.uniform(-2, 2);
+      s += X(i, c);
+    }
+    y[i] = std::sin(s) + 0.01 * rng.normal();
+  }
+  gp::GpRegressor gp(gp::make_kernel("rbf", std::sqrt(double(d))), 1e-4);
+  gp.set_data(std::move(X), std::move(y));
+  return gp;
+}
+
+void BM_GpFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 64;
+  Rng rng(2);
+  num::Matrix X(n, d);
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < d; ++c) X(i, c) = rng.uniform(-2, 2);
+    y[i] = rng.normal();
+  }
+  for (auto _ : state) {
+    gp::GpRegressor gp(gp::make_kernel("rbf", 8.0), 1e-4);
+    gp.set_data(X, y);
+    benchmark::DoNotOptimize(gp.predict(X.row(0)));
+  }
+}
+BENCHMARK(BM_GpFit)->Arg(50)->Arg(150)->Arg(400);
+
+void BM_GpPredict(benchmark::State& state) {
+  const auto gp = fitted_gp(static_cast<std::size_t>(state.range(0)), 64);
+  Rng rng(3);
+  Vec q(64);
+  for (auto& v : q) v = rng.uniform(-2, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.predict(q));
+  }
+}
+BENCHMARK(BM_GpPredict)->Arg(50)->Arg(150)->Arg(400);
+
+void BM_RffSample(benchmark::State& state) {
+  const auto gp = fitted_gp(120, 64);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp::sample_posterior_function(gp, rng, 96));
+  }
+}
+BENCHMARK(BM_RffSample);
+
+void BM_RffEvaluate(benchmark::State& state) {
+  const auto gp = fitted_gp(120, 64);
+  Rng rng(5);
+  const auto f = gp::sample_posterior_function(gp, rng, 96);
+  Vec q(64);
+  for (auto& v : q) v = rng.uniform(-2, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f(q));
+  }
+}
+BENCHMARK(BM_RffEvaluate);
+
+// ------------------------------------------------------------------- moo
+
+void BM_Nsga2Zdt1(benchmark::State& state) {
+  moo::Nsga2Config cfg;
+  cfg.population_size = 32;
+  cfg.generations = static_cast<std::size_t>(state.range(0));
+  const Vec lo(12, 0.0), hi(12, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moo::nsga2_minimize(
+        [](const Vec& x) { return moo::zdt1(x); }, lo, hi, cfg));
+  }
+}
+BENCHMARK(BM_Nsga2Zdt1)->Arg(10)->Arg(30);
+
+void BM_Hypervolume2d(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<Vec> pts;
+  for (int i = 0; i < state.range(0); ++i) {
+    pts.push_back({rng.uniform(0, 1), rng.uniform(0, 1)});
+  }
+  const Vec ref = {1.1, 1.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moo::hypervolume_2d(pts, ref));
+  }
+}
+BENCHMARK(BM_Hypervolume2d)->Arg(50)->Arg(500);
+
+void BM_HypervolumeWfg3d(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<Vec> pts;
+  for (int i = 0; i < state.range(0); ++i) {
+    pts.push_back({rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)});
+  }
+  const Vec ref = {1.1, 1.1, 1.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moo::hypervolume_wfg(pts, ref));
+  }
+}
+BENCHMARK(BM_HypervolumeWfg3d)->Arg(20)->Arg(60);
+
+// ------------------------------------------------------------ acquisition
+
+void BM_AcquisitionBuild(benchmark::State& state) {
+  std::vector<gp::GpRegressor> models;
+  models.push_back(fitted_gp(80, 64));
+  models.push_back(fitted_gp(80, 64));
+  const Vec lo(64, -2.0), hi(64, 2.0);
+  core::AcquisitionConfig cfg;
+  cfg.rff_features = 80;
+  cfg.front_sampler.population_size = 28;
+  cfg.front_sampler.generations = 20;
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::InformationGainAcquisition(models, lo, hi, cfg, rng));
+  }
+}
+BENCHMARK(BM_AcquisitionBuild);
+
+void BM_AcquisitionValue(benchmark::State& state) {
+  std::vector<gp::GpRegressor> models;
+  models.push_back(fitted_gp(80, 64));
+  models.push_back(fitted_gp(80, 64));
+  const Vec lo(64, -2.0), hi(64, 2.0);
+  core::AcquisitionConfig cfg;
+  cfg.rff_features = 64;
+  cfg.front_sampler.population_size = 16;
+  cfg.front_sampler.generations = 10;
+  Rng rng(9);
+  const core::InformationGainAcquisition acq(models, lo, hi, cfg, rng);
+  Vec q(64);
+  for (auto& v : q) v = rng.uniform(-2, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acq.value(q));
+  }
+}
+BENCHMARK(BM_AcquisitionValue);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Table II reproduction: implementation overhead of the DRM policies.
+//
+//   Paper (on the Odroid-XU3's A15 @ user-space governor):
+//     per-knob decision time   ~200 us
+//     per-decision (4 knobs)   ~800 us  (0.8 % of a 100 ms epoch)
+//     memory per policy        ~1 KB
+//     Pareto set (27 policies) ~27 KB   (0.001 % of 2 GB RAM)
+//
+// Here the MLP forward pass is timed on the host with google-benchmark
+// (absolute numbers differ from the A15; the point is that a decision
+// costs microseconds against a 100 ms epoch) and the storage figures are
+// measured from the real serialized policies.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "ml/softmax.hpp"
+#include "policy/mlp_policy.hpp"
+#include "soc/spec.hpp"
+
+namespace {
+
+using namespace parmis;
+
+const soc::SocSpec& exynos() {
+  static const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  return spec;
+}
+
+const soc::DecisionSpace& space() {
+  static const soc::DecisionSpace s(exynos());
+  return s;
+}
+
+soc::HwCounters typical_counters() {
+  soc::HwCounters c;
+  c.instructions_retired = 2.1e8;
+  c.cpu_cycles = 5.8e8;
+  c.branch_misses_per_core = 3.9e5;
+  c.l2_cache_misses = 2.2e6;
+  c.data_memory_accesses = 7.6e7;
+  c.noncache_external_requests = 1.4e6;
+  c.little_utilization_sum = 2.4;
+  c.big_utilization = 0.8;
+  c.total_power_w = 2.9;
+  c.max_core_utilization = 0.95;
+  return c;
+}
+
+policy::MlpPolicy make_policy() {
+  policy::MlpPolicy p(space());
+  Rng rng(5);
+  p.init_xavier(rng);
+  return p;
+}
+
+/// Full 4-knob decision: Table II "Exe. time / Total".
+void BM_FullDecision(benchmark::State& state) {
+  policy::MlpPolicy p = make_policy();
+  const soc::HwCounters c = typical_counters();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.decide(c));
+  }
+}
+BENCHMARK(BM_FullDecision);
+
+/// Single-knob forward pass: Table II "Exe. time / Per Policy(knob)".
+void BM_SingleKnobForward(benchmark::State& state) {
+  policy::MlpPolicy p = make_policy();
+  const num::Vec features = typical_counters().to_features();
+  const auto head = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::argmax(p.head(head).forward(features)));
+  }
+}
+BENCHMARK(BM_SingleKnobForward)->DenseRange(0, 3);
+
+/// Counter squashing (part of the decision path).
+void BM_FeatureExtraction(benchmark::State& state) {
+  const soc::HwCounters c = typical_counters();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.to_features());
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Storage half of Table II (exact, from real serialization).
+  using namespace parmis;
+  policy::MlpPolicy p = make_policy();
+  const std::size_t per_policy = p.serialized_bytes();
+  const std::size_t pareto_set = 27;  // paper: 27 global Pareto policies
+  Table table({"metric", "per_policy", "total_27_policies", "overhead"});
+  table.begin_row()
+      .add("memory")
+      .add(std::to_string(per_policy) + " B")
+      .add(std::to_string(per_policy * pareto_set / 1024) + " KB")
+      .add(format_double(100.0 * static_cast<double>(per_policy) *
+                             pareto_set / (2.0 * 1024 * 1024 * 1024),
+                         6) +
+           " % of 2 GB");
+  std::cout << "=== Table II: implementation overhead (storage) ===\n";
+  table.print(std::cout);
+  std::cout << "paper: ~1 KB/policy, 27 KB total (0.001 % of 2 GB); ours "
+               "uses float64 weights, same order of magnitude.\n\n"
+            << "=== Table II: decision latency (google-benchmark) ===\n"
+            << "paper: ~200 us/knob, ~800 us/decision on the A15 "
+               "(0.8 % of a 100 ms epoch); host-CPU numbers below are "
+               "faster in absolute terms but the epoch-relative overhead "
+               "conclusion is identical.\n";
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Plug-and-play objectives: the paper's headline usability claim.
+//
+// "A key feature of our framework is that designers can plug-and-play
+// with any set of target objectives" (paper Sec. I).  This example
+// optimizes the complex pair (execution time, performance-per-watt) that
+// RL and IL structurally cannot handle — no per-epoch reward function or
+// exhaustive oracle exists for PPW — and then goes one step further than
+// the paper with a three-objective search (time, energy, peak power).
+//
+// Run:  ./custom_objective [--app NAME] [--iterations N]
+#include <iostream>
+
+#include "apps/benchmarks.hpp"
+#include "baselines/rl.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/parmis.hpp"
+#include "core/policy_search.hpp"
+#include "runtime/evaluator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parmis;
+  const CliArgs args = CliArgs::parse(argc, argv);
+  const std::string app_name = args.get("app", "dijkstra");
+  const int iterations = args.get_int("iterations", 60);
+
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  const soc::Application app = apps::make_benchmark(app_name);
+
+  // --- part 1: (time, PPW), the paper's "complex objective" ---
+  std::cout << "=== optimizing (execution time, PPW) on " << app_name
+            << " ===\n";
+  {
+    core::DrmPolicyProblem problem(platform, app,
+                                   runtime::time_ppw_objectives());
+    core::ParmisConfig config;
+    config.max_iterations = static_cast<std::size_t>(iterations);
+    config.initial_thetas = problem.anchor_thetas();
+    config.seed = 11;
+    core::Parmis optimizer(problem.evaluation_fn(), problem.theta_dim(), 2,
+                           config);
+    const core::ParmisResult result = optimizer.run();
+
+    Table table({"policy", "time_s", "ppw_gips_per_w"});
+    std::size_t i = 0;
+    for (const auto& p : result.pareto_front()) {
+      table.begin_row()
+          .add("parmis-" + std::to_string(i++))
+          .add(p[0], 3)
+          .add(-p[1], 4);  // PPW is negated internally (maximized)
+    }
+    table.print(std::cout);
+  }
+
+  // RL cannot do this — show the structural failure, not a crash.
+  std::cout << "\nRL on the same objectives: ";
+  try {
+    baselines::RlTrainer trainer(platform, app,
+                                 runtime::time_ppw_objectives());
+    std::cout << "unexpectedly succeeded?!\n";
+  } catch (const Error& e) {
+    std::cout << "rejected as expected.\n  reason: " << e.what() << "\n";
+  }
+
+  // --- part 2: three objectives (time, energy, peak power) ---
+  std::cout << "\n=== optimizing (time, energy, peak power) — beyond the "
+               "paper's 2-objective experiments ===\n";
+  {
+    std::vector<runtime::Objective> objectives = {
+        runtime::Objective(runtime::ObjectiveKind::ExecutionTime),
+        runtime::Objective(runtime::ObjectiveKind::Energy),
+        runtime::Objective(runtime::ObjectiveKind::PeakPower)};
+    core::DrmPolicyProblem problem(platform, app, objectives);
+    core::ParmisConfig config;
+    config.max_iterations = static_cast<std::size_t>(iterations / 2);
+    config.initial_thetas = problem.anchor_thetas();
+    config.seed = 12;
+    core::Parmis optimizer(problem.evaluation_fn(), problem.theta_dim(), 3,
+                           config);
+    const core::ParmisResult result = optimizer.run();
+
+    Table table({"policy", "time_s", "energy_j", "peak_w"});
+    std::size_t i = 0;
+    for (const auto& p : result.pareto_front()) {
+      table.begin_row()
+          .add("parmis-" + std::to_string(i++))
+          .add(p[0], 3)
+          .add(p[1], 3)
+          .add(p[2], 3);
+    }
+    table.print(std::cout);
+    std::cout << "\nSwapping objectives required zero framework changes — "
+                 "the statistical models and the information-gain "
+                 "acquisition are objective-agnostic.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Scalarized imitation-learning baseline (paper Sec. V-B).
+//
+// Follows the IL-for-DRM line the paper compares against [Mandal et al.
+// TVLSI'19, Kim et al. TVLSI'17, Sartor et al. CAL'20]:
+//  1. Build an Oracle for a given scalarization by exhaustive search:
+//     for every epoch, sweep all decisions (4940 on the Exynos spec) and
+//     pick the one minimizing w . (time_norm, energy_norm) for that
+//     epoch.  (An OracleTable caches the per-epoch per-decision costs so
+//     a lambda sweep and DAgger rounds reuse one exhaustive pass.)
+//  2. Roll the oracle out, record (previous-epoch counters -> oracle
+//     knob choices), and train the 4-head MLP by cross-entropy.
+//  3. DAgger rounds: roll out the *learned* policy, query the oracle on
+//     the states it actually visits, aggregate, retrain.
+//
+// The oracle is per-epoch greedy, so it inherits the paper's criticism:
+// it is myopic (ignores DVFS transition coupling between epochs), it
+// only reaches convex-hull trade-offs, and the learned policy can only
+// approximate it through 9 counter features — which is why IL trails
+// both PaRMIS and RL over a full front despite a strong oracle.
+// As with RL, PPW is rejected: no optimal oracle exists for it
+// (paper Sec. V-E, citing Mandal et al. TODAES'20).
+#ifndef PARMIS_BASELINES_IL_HPP
+#define PARMIS_BASELINES_IL_HPP
+
+#include <vector>
+
+#include "baselines/scalarization.hpp"
+#include "policy/mlp_policy.hpp"
+#include "runtime/objectives.hpp"
+#include "soc/platform.hpp"
+#include "soc/workload.hpp"
+
+namespace parmis::baselines {
+
+/// Fidelity of the model the oracle is constructed from.
+///
+/// On real hardware an exhaustive per-epoch sweep of 4940 configurations
+/// is impossible (epochs cannot be replayed), so the IL literature
+/// builds oracles from offline characterization models [Mandal TVLSI'19,
+/// Kim TVLSI'17].  `FirstOrder` reproduces that: a linear-scaling
+/// analytical model that does not capture DRAM queueing contention or
+/// heterogeneous work-stealing imbalance — the two effects such models
+/// famously miss.  `Exact` queries the true platform model (an upper
+/// bound for IL that is only possible in simulation).
+enum class OracleFidelity { FirstOrder, Exact };
+
+/// Cached exhaustive per-epoch costs for every decision.
+class OracleTable {
+ public:
+  /// Sweeps the full decision space for every epoch of `app` and stores
+  /// per-epoch (time, energy) normalized by the default configuration,
+  /// computed under the requested model fidelity.
+  OracleTable(soc::Platform& platform, const soc::Application& app,
+              OracleFidelity fidelity = OracleFidelity::FirstOrder);
+
+  /// Decision index minimizing weights . (time_norm, energy_norm) for
+  /// `epoch` (weights aligned with `objectives`).
+  std::size_t best_decision_index(
+      std::size_t epoch, const num::Vec& weights,
+      const std::vector<runtime::Objective>& objectives) const;
+
+  /// Scalarized normalized cost of one (epoch, decision) pair.
+  double scalarized_cost(
+      std::size_t epoch, std::size_t decision, const num::Vec& weights,
+      const std::vector<runtime::Objective>& objectives) const;
+
+  std::size_t num_epochs() const { return costs_.size(); }
+  std::size_t num_decisions() const { return num_decisions_; }
+
+  /// Epoch-evaluation count spent building the table (for budgeting).
+  std::size_t build_evaluations() const {
+    return costs_.size() * num_decisions_;
+  }
+
+ private:
+  std::vector<std::vector<std::array<double, 2>>> costs_;  // [epoch][dec]
+  std::size_t num_decisions_ = 0;
+};
+
+/// IL training hyperparameters.
+struct IlConfig {
+  std::size_t dagger_rounds = 2;    ///< retraining rounds after round 0
+  std::size_t training_passes = 60; ///< SGD passes over the aggregate set
+  double learning_rate = 5e-3;
+  std::uint64_t seed = 13;
+  policy::MlpPolicyConfig policy;
+};
+
+/// Trains one imitation policy per scalarization.
+class IlTrainer {
+ public:
+  /// `objectives` must admit an oracle (ExecutionTime / Energy); PPW
+  /// throws.  The shared `table` lets a sweep reuse the exhaustive pass.
+  IlTrainer(soc::Platform& platform, soc::Application app,
+            std::vector<runtime::Objective> objectives,
+            const OracleTable& table, IlConfig config = {});
+
+  /// Oracle construction + behaviour cloning + DAgger for one weight
+  /// vector; returns the trained flattened policy parameters.
+  num::Vec train(const num::Vec& weights);
+
+  std::size_t evaluations_used() const { return evaluations_; }
+
+ private:
+  soc::Platform* platform_;  // non-owning
+  soc::Application app_;
+  std::vector<runtime::Objective> objectives_;
+  const OracleTable* table_;  // non-owning
+  IlConfig config_;
+  Rng rng_;
+  std::size_t evaluations_ = 0;
+};
+
+/// Full baseline: lambda sweep -> aggregate measured front.  The oracle
+/// is built at the given fidelity; the trained policies are always
+/// *measured* on the real platform.
+BaselineFrontResult il_pareto_front(
+    soc::Platform& platform, const soc::Application& app,
+    const std::vector<runtime::Objective>& objectives,
+    std::size_t grid_size, IlConfig config = {},
+    OracleFidelity fidelity = OracleFidelity::FirstOrder);
+
+}  // namespace parmis::baselines
+
+#endif  // PARMIS_BASELINES_IL_HPP

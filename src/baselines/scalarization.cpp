@@ -1,0 +1,50 @@
+#include "baselines/scalarization.hpp"
+
+#include "common/error.hpp"
+#include "moo/pareto.hpp"
+
+namespace parmis::baselines {
+
+namespace {
+
+/// Recursively enumerates lattice weights summing to `remaining` units.
+void lattice(std::size_t k, std::size_t remaining, std::size_t divisions,
+             num::Vec& current, std::vector<num::Vec>& out) {
+  if (k == 1) {
+    current.push_back(static_cast<double>(remaining) /
+                      static_cast<double>(divisions));
+    out.push_back(current);
+    current.pop_back();
+    return;
+  }
+  for (std::size_t units = 0; units <= remaining; ++units) {
+    current.push_back(static_cast<double>(units) /
+                      static_cast<double>(divisions));
+    lattice(k - 1, remaining - units, divisions, current, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<num::Vec> scalarization_grid(std::size_t k, std::size_t n) {
+  require(k >= 2, "scalarization grid: need at least 2 objectives");
+  require(n >= 2, "scalarization grid: need at least 2 weights");
+  std::vector<num::Vec> out;
+  num::Vec current;
+  lattice(k, n - 1, n - 1, current, out);
+  return out;
+}
+
+double scalarize(const num::Vec& weights, const num::Vec& objectives) {
+  return num::dot(weights, objectives);
+}
+
+std::vector<num::Vec> BaselineFrontResult::pareto_front() const {
+  std::vector<num::Vec> out;
+  out.reserve(pareto_indices.size());
+  for (std::size_t i : pareto_indices) out.push_back(objectives[i]);
+  return out;
+}
+
+}  // namespace parmis::baselines

@@ -1,0 +1,39 @@
+// Linear scalarization helpers shared by the RL and IL baselines.
+//
+// Both baselines optimize R = sum_i lambda_i * R(O_i) for one lambda at
+// a time and sweep a lambda grid to trace a Pareto front (paper
+// Sec. V-B).  The paper's Sec. III highlights the known weakness: linear
+// scalarization cannot reach non-convex regions of the front [Das &
+// Dennis 1997] — our ablation benches quantify exactly that.
+#ifndef PARMIS_BASELINES_SCALARIZATION_HPP
+#define PARMIS_BASELINES_SCALARIZATION_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "numerics/vec.hpp"
+
+namespace parmis::baselines {
+
+/// Evenly spaced weight vectors on the k-simplex.  For k = 2 this is
+/// {(0,1), (1/(n-1), (n-2)/(n-1)), ..., (1,0)}.  For k > 2, a
+/// deterministic lattice (simplex grid) is generated; `n` is the number
+/// of divisions per axis and the count grows combinatorially.
+std::vector<num::Vec> scalarization_grid(std::size_t k, std::size_t n);
+
+/// Weighted sum of a (normalized) objective vector.
+double scalarize(const num::Vec& weights, const num::Vec& objectives);
+
+/// Aggregate output of a baseline lambda sweep.
+struct BaselineFrontResult {
+  std::vector<num::Vec> thetas;      ///< trained policy parameters
+  std::vector<num::Vec> objectives;  ///< measured vectors (minimization)
+  std::vector<std::size_t> pareto_indices;
+  std::size_t total_evaluations = 0;  ///< platform runs consumed
+
+  std::vector<num::Vec> pareto_front() const;
+};
+
+}  // namespace parmis::baselines
+
+#endif  // PARMIS_BASELINES_SCALARIZATION_HPP

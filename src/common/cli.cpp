@@ -1,0 +1,95 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace parmis {
+
+CliArgs CliArgs::parse(int argc, const char* const* argv) {
+  CliArgs out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      out.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    require(!body.empty(), "empty flag name: '--'");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      out.flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` form: consume the next token iff it is not a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      out.flags_[body] = std::string(argv[i + 1]);
+      ++i;
+    } else {
+      out.flags_[body] = std::nullopt;
+    }
+  }
+  return out;
+}
+
+bool CliArgs::has(const std::string& key) const { return flags_.count(key); }
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end() || !it->second.has_value()) return fallback;
+  return *it->second;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end() || !it->second.has_value()) return fallback;
+  try {
+    return std::stod(*it->second);
+  } catch (const std::exception&) {
+    require(false, "flag --" + key + " expects a number, got '" +
+                       *it->second + "'");
+  }
+  return fallback;  // unreachable
+}
+
+int CliArgs::get_int(const std::string& key, int fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end() || !it->second.has_value()) return fallback;
+  try {
+    return std::stoi(*it->second);
+  } catch (const std::exception&) {
+    require(false, "flag --" + key + " expects an integer, got '" +
+                       *it->second + "'");
+  }
+  return fallback;  // unreachable
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  if (!it->second.has_value()) return true;  // bare --flag means true
+  const std::string& v = *it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  require(false, "flag --" + key + " expects a boolean, got '" + v + "'");
+  return fallback;  // unreachable
+}
+
+std::vector<std::string> CliArgs::keys() const {
+  std::vector<std::string> out;
+  out.reserve(flags_.size());
+  for (const auto& [k, _] : flags_) out.push_back(k);
+  return out;
+}
+
+bool full_scale_requested(const CliArgs& args) {
+  if (args.get_bool("full", false)) return true;
+  if (const char* env = std::getenv("PARMIS_FULL")) {
+    return std::string(env) == "1";
+  }
+  return false;
+}
+
+}  // namespace parmis

@@ -1,0 +1,51 @@
+// Tiny command-line flag parser shared by examples and bench harnesses.
+//
+// Supported syntax: `--key=value`, `--key value`, and boolean `--flag`.
+// Unknown flags are collected so a harness can reject typos explicitly.
+// The parser also honours the PARMIS_FULL environment variable, which
+// switches every bench from its scaled default budget to paper scale.
+#ifndef PARMIS_COMMON_CLI_HPP
+#define PARMIS_COMMON_CLI_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parmis {
+
+/// Parsed command line: flag map + positional arguments.
+class CliArgs {
+ public:
+  /// Parses argv (argv[0] is skipped).  Throws parmis::Error on malformed
+  /// input such as an empty flag name.
+  static CliArgs parse(int argc, const char* const* argv);
+
+  /// True if the flag was given (with or without a value).
+  bool has(const std::string& key) const;
+
+  /// Returns the string value of a flag, or `fallback` if absent.
+  std::string get(const std::string& key, const std::string& fallback) const;
+
+  /// Returns the flag parsed as double/int/bool, or `fallback` if absent.
+  /// Throws parmis::Error if the value is present but unparsable.
+  double get_double(const std::string& key, double fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys that were parsed, for unknown-flag validation by the caller.
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::optional<std::string>> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// True when paper-scale budgets were requested (--full or PARMIS_FULL=1).
+bool full_scale_requested(const CliArgs& args);
+
+}  // namespace parmis
+
+#endif  // PARMIS_COMMON_CLI_HPP

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace parmis::detail {
+
+void throw_error(std::string_view kind, std::string_view message,
+                 const std::source_location& loc) {
+  std::ostringstream os;
+  os << "parmis " << kind << " failure: " << message << " [" << loc.file_name()
+     << ':' << loc.line() << " in " << loc.function_name() << ']';
+  throw Error(os.str());
+}
+
+}  // namespace parmis::detail

@@ -1,0 +1,46 @@
+// Error-handling helpers shared by all PaRMIS modules.
+//
+// Invariant violations throw parmis::Error with the failing expression and
+// source location attached.  Library code uses require() for recoverable
+// precondition checks (bad user input, malformed configuration) and
+// ensure() for internal invariants whose failure indicates a bug.
+#ifndef PARMIS_COMMON_ERROR_HPP
+#define PARMIS_COMMON_ERROR_HPP
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace parmis {
+
+/// Exception type thrown by all PaRMIS precondition / invariant checks.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(std::string_view kind, std::string_view message,
+                              const std::source_location& loc);
+}  // namespace detail
+
+/// Checks a caller-facing precondition; throws parmis::Error on failure.
+///
+/// Example: `require(n > 0, "matrix dimension must be positive");`
+inline void require(
+    bool condition, std::string_view message,
+    const std::source_location& loc = std::source_location::current()) {
+  if (!condition) detail::throw_error("precondition", message, loc);
+}
+
+/// Checks an internal invariant; throws parmis::Error on failure.
+inline void ensure(
+    bool condition, std::string_view message,
+    const std::source_location& loc = std::source_location::current()) {
+  if (!condition) detail::throw_error("invariant", message, loc);
+}
+
+}  // namespace parmis
+
+#endif  // PARMIS_COMMON_ERROR_HPP

@@ -1,0 +1,60 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace parmis {
+
+namespace {
+
+std::atomic<LogLevel> g_level = [] {
+  if (const char* env = std::getenv("PARMIS_LOG")) {
+    return parse_log_level(env);
+  }
+  return LogLevel::Info;
+}();
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view text) {
+  if (text == "debug") return LogLevel::Debug;
+  if (text == "info") return LogLevel::Info;
+  if (text == "warn") return LogLevel::Warn;
+  if (text == "error") return LogLevel::Error;
+  if (text == "off") return LogLevel::Off;
+  return LogLevel::Info;
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, std::string_view message) {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::fprintf(stderr, "[%8.3fs] %s %.*s\n", elapsed, level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace detail
+
+}  // namespace parmis

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for overhead measurements (Table II) and logs.
+#ifndef PARMIS_COMMON_STOPWATCH_HPP
+#define PARMIS_COMMON_STOPWATCH_HPP
+
+#include <chrono>
+
+namespace parmis {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed since construction or the last reset().
+  double micros() const { return seconds() * 1e6; }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace parmis
+
+#endif  // PARMIS_COMMON_STOPWATCH_HPP

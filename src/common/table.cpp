@@ -1,0 +1,104 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace parmis {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  require(!headers_.empty(), "table requires at least one column");
+}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(std::string value) {
+  require(!rows_.empty(), "begin_row() before add()");
+  require(rows_.back().size() < headers_.size(), "row has too many cells");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  return add(format_double(value, precision));
+}
+
+Table& Table::add_int(long long value) { return add(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cell;
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "failed to open CSV output file: " + path);
+  write_csv(out);
+  require(out.good(), "failed while writing CSV output file: " + path);
+}
+
+}  // namespace parmis

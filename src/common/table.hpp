@@ -1,0 +1,55 @@
+// Aligned console tables and CSV emission for the bench harnesses.
+//
+// Every figure/table reproduction in bench/ prints two artifacts:
+//  1. a human-readable aligned table on stdout, and
+//  2. (optionally) a CSV file so the series can be re-plotted.
+#ifndef PARMIS_COMMON_TABLE_HPP
+#define PARMIS_COMMON_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace parmis {
+
+/// Column-aligned table builder with string/number cells.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_* calls fill it left to right.
+  Table& begin_row();
+
+  /// Appends a string cell to the current row.
+  Table& add(std::string value);
+
+  /// Appends a numeric cell formatted with `precision` significant decimals.
+  Table& add(double value, int precision = 4);
+
+  /// Appends an integer cell.
+  Table& add_int(long long value);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Renders the aligned table (with a header separator) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: writes CSV to `path`; throws parmis::Error on I/O failure.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with a fixed number of decimals (shared helper).
+std::string format_double(double value, int precision);
+
+}  // namespace parmis
+
+#endif  // PARMIS_COMMON_TABLE_HPP

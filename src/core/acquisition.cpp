@@ -1,0 +1,86 @@
+#include "core/acquisition.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gp/rff.hpp"
+#include "numerics/distributions.hpp"
+
+namespace parmis::core {
+
+InformationGainAcquisition::InformationGainAcquisition(
+    const std::vector<gp::GpRegressor>& models, const num::Vec& lower,
+    const num::Vec& upper, const AcquisitionConfig& config, Rng& rng)
+    : models_(&models) {
+  require(!models.empty(), "acquisition: need at least one GP model");
+  for (const auto& m : models) {
+    require(m.has_data(), "acquisition: all GP models need data");
+  }
+  require(config.num_mc_samples >= 1, "acquisition: S must be >= 1");
+
+  const std::size_t k = models.size();
+  for (std::size_t s = 0; s < config.num_mc_samples; ++s) {
+    // 1) Draw one posterior function per objective (Thompson-style).
+    std::vector<gp::SampledFunction> draws;
+    draws.reserve(k);
+    for (const auto& m : models) {
+      draws.push_back(
+          gp::sample_posterior_function(m, rng, config.rff_features));
+    }
+
+    // 2) Solve the k-objective minimization over the sampled functions
+    //    with NSGA-II to obtain the sampled Pareto front O*_s.
+    moo::MultiObjectiveFn fn = [&draws](const num::Vec& theta) {
+      num::Vec o(draws.size());
+      for (std::size_t j = 0; j < draws.size(); ++j) o[j] = draws[j](theta);
+      return o;
+    };
+    moo::Nsga2Config nsga = config.front_sampler;
+    nsga.seed = rng.next_u64();
+    const moo::Nsga2Result res = moo::nsga2_minimize(fn, lower, upper, nsga);
+    ensure(!res.pareto_set.empty(), "acquisition: empty sampled front");
+
+    std::vector<num::Vec> front;
+    front.reserve(res.pareto_set.size());
+    for (const auto& sol : res.pareto_set) {
+      front.push_back(sol.objectives);
+      frontier_thetas_.push_back(sol.x);
+    }
+
+    // 3) Per-dimension minima are the truncation points (inequality 6,
+    //    mirrored to the minimization convention — see header).
+    num::Vec minima(k, 0.0);
+    for (std::size_t j = 0; j < k; ++j) {
+      double mn = front.front()[j];
+      for (const auto& z : front) mn = std::min(mn, z[j]);
+      minima[j] = mn;
+    }
+    fronts_.push_back(std::move(front));
+    minima_.push_back(std::move(minima));
+  }
+}
+
+double InformationGainAcquisition::value(const num::Vec& theta) const {
+  const std::vector<gp::GpRegressor>& models = *models_;
+  const std::size_t k = models.size();
+
+  // Posterior moments are sample-independent; compute them once.
+  std::vector<double> mu(k), sigma(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const gp::Prediction p = models[j].predict(theta);
+    mu[j] = p.mean;
+    sigma[j] = std::max(p.stddev(), 1e-9);
+  }
+
+  double total = 0.0;
+  for (const num::Vec& minima : minima_) {
+    for (std::size_t j = 0; j < k; ++j) {
+      // Lower-truncated Gaussian on [y*, inf): mirrored gamma.
+      const double gamma = (mu[j] - minima[j]) / sigma[j];
+      total += num::entropy_reduction_term(gamma);
+    }
+  }
+  return total / static_cast<double>(minima_.size());
+}
+
+}  // namespace parmis::core

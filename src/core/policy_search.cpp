@@ -1,0 +1,173 @@
+#include "core/policy_search.hpp"
+
+#include "common/error.hpp"
+
+namespace parmis::core {
+
+DrmPolicyProblem::DrmPolicyProblem(soc::Platform& platform,
+                                   soc::Application app,
+                                   std::vector<runtime::Objective> objectives,
+                                   policy::MlpPolicyConfig policy_config)
+    : platform_(&platform),
+      objectives_(std::move(objectives)),
+      policy_(std::make_unique<policy::MlpPolicy>(platform.decision_space(),
+                                                  policy_config)),
+      evaluator_(platform),
+      app_(std::move(app)) {
+  require(objectives_.size() >= 2, "policy problem: need >= 2 objectives");
+  app_->validate();
+}
+
+DrmPolicyProblem::DrmPolicyProblem(soc::Platform& platform,
+                                   std::vector<soc::Application> apps,
+                                   std::vector<runtime::Objective> objectives,
+                                   policy::MlpPolicyConfig policy_config)
+    : platform_(&platform),
+      objectives_(std::move(objectives)),
+      policy_(std::make_unique<policy::MlpPolicy>(platform.decision_space(),
+                                                  policy_config)),
+      evaluator_(platform),
+      global_(std::in_place, platform, std::move(apps), objectives_) {
+  require(objectives_.size() >= 2, "policy problem: need >= 2 objectives");
+}
+
+EvaluationFn DrmPolicyProblem::evaluation_fn() {
+  return [this](const num::Vec& theta) -> num::Vec {
+    policy_->set_parameters(theta);
+    if (global_.has_value()) {
+      return global_->evaluate(*policy_);
+    }
+    return evaluator_.evaluate(*policy_, *app_, objectives_);
+  };
+}
+
+std::vector<num::Vec> DrmPolicyProblem::anchor_thetas() const {
+  const soc::DecisionSpace& space = platform_->decision_space();
+  const soc::SocSpec& spec = space.spec();
+  std::vector<soc::DrmDecision> anchors;
+  anchors.push_back(space.max_performance_decision());
+  anchors.push_back(space.default_decision());
+  anchors.push_back(space.min_power_decision());
+  // Big-cluster-only at max (little parked at its floor) and a mid-point.
+  {
+    soc::DrmDecision d = space.max_performance_decision();
+    for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+      if (spec.clusters[c].name.rfind("little", 0) == 0) {
+        d.active_cores[c] = spec.clusters[c].min_active;
+        d.freq_level[c] = 0;
+      }
+    }
+    anchors.push_back(d);
+    for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+      d.freq_level[c] = spec.clusters[c].dvfs.levels() / 2;
+    }
+    anchors.push_back(d);
+  }
+  // Little-cluster-only at max (race-to-dark-silicon corner).
+  {
+    soc::DrmDecision d = space.min_power_decision();
+    for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+      if (spec.clusters[c].name.rfind("little", 0) == 0) {
+        d.active_cores[c] = spec.clusters[c].num_cores;
+        d.freq_level[c] = spec.clusters[c].dvfs.levels() - 1;
+      }
+    }
+    anchors.push_back(d);
+  }
+  // All cores at mid frequency.
+  {
+    soc::DrmDecision d = space.max_performance_decision();
+    for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+      d.freq_level[c] = spec.clusters[c].dvfs.levels() / 2;
+    }
+    anchors.push_back(d);
+  }
+  // Energy-corner operating points: one/two big cores at nominal and at
+  // max frequency (the classic race-to-idle candidates), and a
+  // little-pair mid-frequency point.  These are the DVFS configurations
+  // every characterization study measures first.
+  {
+    soc::DrmDecision base = space.min_power_decision();
+    for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+      if (spec.clusters[c].name.rfind("little", 0) == 0) {
+        base.active_cores[c] = spec.clusters[c].min_active;
+        base.freq_level[c] = 0;
+      }
+    }
+    const std::size_t big = 0;  // first cluster is big-class in our specs
+    soc::DrmDecision d = base;
+    d.active_cores[big] = 1;
+    d.freq_level[big] = spec.clusters[big].dvfs.levels() / 2;
+    anchors.push_back(d);
+    d.active_cores[big] = 2;
+    anchors.push_back(d);
+    d.active_cores[big] = 1;
+    d.freq_level[big] = spec.clusters[big].dvfs.levels() - 1;
+    anchors.push_back(d);
+    d.freq_level[big] = 2 * (spec.clusters[big].dvfs.levels() - 1) / 3;
+    d.active_cores[big] = 2;
+    anchors.push_back(d);
+  }
+  // Two little cores at mid frequency (background/efficiency corner).
+  {
+    soc::DrmDecision d = space.min_power_decision();
+    for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+      if (spec.clusters[c].name.rfind("little", 0) == 0 &&
+          spec.clusters[c].num_cores >= 2) {
+        d.active_cores[c] = 2;
+        d.freq_level[c] = spec.clusters[c].dvfs.levels() / 2;
+        break;
+      }
+    }
+    anchors.push_back(d);
+  }
+  // Big-cluster core/frequency ladder (little parked): the sweep every
+  // characterization study runs, filling the convex mid-range of the
+  // trade-off curve.
+  {
+    soc::DrmDecision base = space.min_power_decision();
+    for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+      if (spec.clusters[c].name.rfind("little", 0) == 0) {
+        base.active_cores[c] = spec.clusters[c].min_active;
+        base.freq_level[c] = 0;
+      }
+    }
+    const std::size_t big = 0;
+    const int top = spec.clusters[big].dvfs.levels() - 1;
+    for (const int cores : {2, 3, 4}) {
+      for (const int level : {top, 3 * top / 4}) {
+        soc::DrmDecision d = base;
+        d.active_cores[big] = cores;
+        d.freq_level[big] = level;
+        anchors.push_back(d);
+      }
+    }
+  }
+
+  std::vector<num::Vec> thetas;
+  thetas.reserve(anchors.size());
+  policy::MlpPolicyConfig cfg;
+  cfg.hidden = policy_->head(0).config().hidden;
+  for (const auto& d : anchors) {
+    thetas.push_back(
+        policy::MlpPolicy::constant_decision_theta(space, cfg, d));
+  }
+  return thetas;
+}
+
+policy::MlpPolicy DrmPolicyProblem::make_policy(const num::Vec& theta) const {
+  policy::MlpPolicy p(platform_->decision_space(),
+                      policy::MlpPolicyConfig{});
+  // Architecture must match the search policy; copy its config instead.
+  p = *policy_;
+  p.set_parameters(theta);
+  return p;
+}
+
+runtime::RunMetrics DrmPolicyProblem::metrics_for(
+    const num::Vec& theta, const soc::Application& app) {
+  policy_->set_parameters(theta);
+  return evaluator_.run(*policy_, app);
+}
+
+}  // namespace parmis::core

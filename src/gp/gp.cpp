@@ -1,0 +1,161 @@
+#include "gp/gp.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace parmis::gp {
+
+double Prediction::stddev() const { return std::sqrt(variance); }
+
+GpRegressor::GpRegressor(std::unique_ptr<Kernel> kernel, double noise_variance)
+    : kernel_(std::move(kernel)), noise_variance_(noise_variance) {
+  require(kernel_ != nullptr, "GpRegressor requires a kernel");
+  require(noise_variance_ > 0.0, "noise variance must be positive");
+}
+
+GpRegressor::GpRegressor(const GpRegressor& other)
+    : kernel_(other.kernel_->clone()),
+      noise_variance_(other.noise_variance_),
+      X_(other.X_),
+      y_(other.y_),
+      yn_(other.yn_),
+      y_mean_(other.y_mean_),
+      y_scale_(other.y_scale_),
+      chol_(other.chol_),
+      alpha_(other.alpha_) {}
+
+GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
+  if (this == &other) return *this;
+  kernel_ = other.kernel_->clone();
+  noise_variance_ = other.noise_variance_;
+  X_ = other.X_;
+  y_ = other.y_;
+  yn_ = other.yn_;
+  y_mean_ = other.y_mean_;
+  y_scale_ = other.y_scale_;
+  chol_ = other.chol_;
+  alpha_ = other.alpha_;
+  return *this;
+}
+
+void GpRegressor::set_data(num::Matrix X, num::Vec y) {
+  require(X.rows() == y.size(), "GP set_data: X rows must match y size");
+  X_ = std::move(X);
+  y_ = std::move(y);
+  refit();
+}
+
+void GpRegressor::add_observation(const num::Vec& x, double y) {
+  if (X_.rows() == 0) {
+    X_ = num::Matrix(1, x.size());
+    for (std::size_t c = 0; c < x.size(); ++c) X_(0, c) = x[c];
+    y_ = {y};
+  } else {
+    require(x.size() == X_.cols(), "GP add_observation: dim mismatch");
+    num::Matrix grown(X_.rows() + 1, X_.cols());
+    for (std::size_t r = 0; r < X_.rows(); ++r) {
+      for (std::size_t c = 0; c < X_.cols(); ++c) grown(r, c) = X_(r, c);
+    }
+    for (std::size_t c = 0; c < X_.cols(); ++c) grown(X_.rows(), c) = x[c];
+    X_ = std::move(grown);
+    y_.push_back(y);
+  }
+  refit();
+}
+
+num::Matrix GpRegressor::build_gram() const {
+  const std::size_t n = X_.rows();
+  num::Matrix K(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const num::Vec xi = X_.row(i);
+    K(i, i) = kernel_->prior_variance() + noise_variance_;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = kernel_->value(xi, X_.row(j));
+      K(i, j) = v;
+      K(j, i) = v;
+    }
+  }
+  return K;
+}
+
+void GpRegressor::refit() {
+  const std::size_t n = X_.rows();
+  if (n == 0) {
+    chol_.reset();
+    alpha_.clear();
+    return;
+  }
+  // z-score targets; degenerate (constant) targets keep scale 1.
+  y_mean_ = num::mean(y_);
+  const double sd = num::stddev(y_);
+  y_scale_ = sd > 1e-12 ? sd : 1.0;
+  yn_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) yn_[i] = (y_[i] - y_mean_) / y_scale_;
+
+  chol_.emplace(build_gram());
+  alpha_ = chol_->solve(yn_);
+}
+
+Prediction GpRegressor::predict(const num::Vec& x) const {
+  Prediction out;
+  if (!has_data()) {
+    out.mean = 0.0;
+    out.variance = kernel_->prior_variance();
+    return out;
+  }
+  require(x.size() == X_.cols(), "GP predict: dimension mismatch");
+  const std::size_t n = X_.rows();
+  num::Vec kstar(n);
+  for (std::size_t i = 0; i < n; ++i) kstar[i] = kernel_->value(x, X_.row(i));
+
+  const double mean_n = num::dot(kstar, alpha_);
+  // var = k(x,x) - k*^T (K + noise I)^{-1} k*, via v = L^{-1} k*.
+  const num::Vec v = chol_->solve_lower(kstar);
+  double var_n = kernel_->prior_variance() - num::dot(v, v);
+  if (var_n < 1e-12) var_n = 1e-12;  // clamp tiny negative rounding
+
+  out.mean = y_mean_ + y_scale_ * mean_n;
+  out.variance = y_scale_ * y_scale_ * var_n;
+  return out;
+}
+
+double GpRegressor::log_marginal_likelihood() const {
+  require(has_data(), "log_marginal_likelihood requires data");
+  const auto n = static_cast<double>(X_.rows());
+  return -0.5 * num::dot(yn_, alpha_) - 0.5 * chol_->log_det() -
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+void GpRegressor::optimize_hyperparameters(Rng& rng, int n_candidates) {
+  require(has_data(), "optimize_hyperparameters requires data");
+  double best_ll = log_marginal_likelihood();
+  double best_l = kernel_->lengthscale();
+  double best_sv = kernel_->signal_variance();
+  double best_noise = noise_variance_;
+
+  // Lengthscale search is centred on the sqrt(d) heuristic because theta
+  // vectors live in a d-dimensional box and pairwise distances
+  // concentrate around sqrt(d).
+  const double l_center =
+      std::sqrt(static_cast<double>(std::max<std::size_t>(X_.cols(), 1)));
+  for (int i = 0; i < n_candidates; ++i) {
+    const double l = l_center * std::exp(rng.uniform(-2.0, 2.0));
+    const double sv = std::exp(rng.uniform(-2.0, 2.0));
+    const double noise = std::exp(rng.uniform(std::log(1e-6), std::log(1e-1)));
+    kernel_->set_hyperparameters(l, sv);
+    noise_variance_ = noise;
+    refit();
+    const double ll = log_marginal_likelihood();
+    if (ll > best_ll) {
+      best_ll = ll;
+      best_l = l;
+      best_sv = sv;
+      best_noise = noise;
+    }
+  }
+  kernel_->set_hyperparameters(best_l, best_sv);
+  noise_variance_ = best_noise;
+  refit();
+}
+
+}  // namespace parmis::gp

@@ -1,0 +1,121 @@
+#include "gp/kernel.hpp"
+
+#include <cmath>
+
+namespace parmis::gp {
+
+Kernel::Kernel(double lengthscale, double signal_variance)
+    : lengthscale_(lengthscale), signal_variance_(signal_variance) {
+  require(lengthscale > 0.0, "kernel lengthscale must be positive");
+  require(signal_variance > 0.0, "kernel signal variance must be positive");
+}
+
+void Kernel::set_hyperparameters(double lengthscale, double signal_variance) {
+  require(lengthscale > 0.0, "kernel lengthscale must be positive");
+  require(signal_variance > 0.0, "kernel signal variance must be positive");
+  lengthscale_ = lengthscale;
+  signal_variance_ = signal_variance;
+}
+
+RbfKernel::RbfKernel(double lengthscale, double signal_variance)
+    : Kernel(lengthscale, signal_variance) {}
+
+double RbfKernel::value(const num::Vec& a, const num::Vec& b) const {
+  const double r2 = num::squared_distance(a, b);
+  return signal_variance_ * std::exp(-0.5 * r2 / (lengthscale_ * lengthscale_));
+}
+
+num::Vec RbfKernel::sample_spectral_frequency(Rng& rng,
+                                              std::size_t dim) const {
+  // RBF spectral density is Gaussian: omega ~ N(0, 1/l^2 I).
+  num::Vec omega(dim);
+  for (auto& w : omega) w = rng.normal() / lengthscale_;
+  return omega;
+}
+
+std::unique_ptr<Kernel> RbfKernel::clone() const {
+  return std::make_unique<RbfKernel>(lengthscale_, signal_variance_);
+}
+
+Matern52Kernel::Matern52Kernel(double lengthscale, double signal_variance)
+    : Kernel(lengthscale, signal_variance) {}
+
+double Matern52Kernel::value(const num::Vec& a, const num::Vec& b) const {
+  const double r = std::sqrt(num::squared_distance(a, b));
+  const double z = std::sqrt(5.0) * r / lengthscale_;
+  return signal_variance_ * (1.0 + z + z * z / 3.0) * std::exp(-z);
+}
+
+num::Vec Matern52Kernel::sample_spectral_frequency(Rng& rng,
+                                                   std::size_t dim) const {
+  // Matern-nu spectral density is a multivariate Student-t with 2*nu = 5
+  // degrees of freedom: omega = z * sqrt(2 nu / chi2_{2 nu}) / l.
+  constexpr double two_nu = 5.0;
+  // chi^2 with 5 dof as the sum of 5 squared standard normals.
+  double chi2 = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const double z = rng.normal();
+    chi2 += z * z;
+  }
+  if (chi2 < 1e-12) chi2 = 1e-12;  // avoid a divide-by-zero tail event
+  const double mix = std::sqrt(two_nu / chi2);
+  num::Vec omega(dim);
+  for (auto& w : omega) w = rng.normal() * mix / lengthscale_;
+  return omega;
+}
+
+std::unique_ptr<Kernel> Matern52Kernel::clone() const {
+  return std::make_unique<Matern52Kernel>(lengthscale_, signal_variance_);
+}
+
+ArdRbfKernel::ArdRbfKernel(num::Vec lengthscales, double signal_variance)
+    : Kernel(1.0, signal_variance), lengthscales_(std::move(lengthscales)) {
+  require(!lengthscales_.empty(), "ard kernel: need lengthscales");
+  for (double l : lengthscales_) {
+    require(l > 0.0, "ard kernel: lengthscales must be positive");
+  }
+}
+
+double ArdRbfKernel::value(const num::Vec& a, const num::Vec& b) const {
+  require(a.size() == lengthscales_.size() && b.size() == a.size(),
+          "ard kernel: dimension mismatch");
+  double r2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // The base-class scalar lengthscale acts as a global multiplier so
+    // hyperparameter optimization can rescale all dimensions at once.
+    const double d = (a[i] - b[i]) / (lengthscales_[i] * lengthscale_);
+    r2 += d * d;
+  }
+  return signal_variance_ * std::exp(-0.5 * r2);
+}
+
+num::Vec ArdRbfKernel::sample_spectral_frequency(Rng& rng,
+                                                 std::size_t dim) const {
+  require(dim == lengthscales_.size(), "ard kernel: dimension mismatch");
+  num::Vec omega(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    omega[i] = rng.normal() / (lengthscales_[i] * lengthscale_);
+  }
+  return omega;
+}
+
+std::unique_ptr<Kernel> ArdRbfKernel::clone() const {
+  auto copy = std::make_unique<ArdRbfKernel>(lengthscales_, signal_variance_);
+  copy->set_hyperparameters(lengthscale_, signal_variance_);
+  return copy;
+}
+
+std::unique_ptr<Kernel> make_kernel(const std::string& name,
+                                    double lengthscale,
+                                    double signal_variance) {
+  if (name == "rbf") {
+    return std::make_unique<RbfKernel>(lengthscale, signal_variance);
+  }
+  if (name == "matern52") {
+    return std::make_unique<Matern52Kernel>(lengthscale, signal_variance);
+  }
+  require(false, "unknown kernel name: " + name);
+  return nullptr;  // unreachable
+}
+
+}  // namespace parmis::gp

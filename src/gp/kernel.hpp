@@ -1,0 +1,113 @@
+// Covariance kernels for Gaussian process regression.
+//
+// PaRMIS models each design objective as an independent GP over the DRM
+// policy parameter vector theta (paper Sec. IV-A).  The kernels here are
+// stationary; each also exposes its spectral density sampler so that
+// posterior *functions* can be drawn via random Fourier features
+// (Rahimi & Recht), which the acquisition needs to sample Pareto fronts.
+#ifndef PARMIS_GP_KERNEL_HPP
+#define PARMIS_GP_KERNEL_HPP
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "numerics/vec.hpp"
+
+namespace parmis::gp {
+
+/// Stationary covariance kernel k(a, b) = signal_variance * rho(|a-b|/l).
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Covariance between two input points of equal dimension.
+  virtual double value(const num::Vec& a, const num::Vec& b) const = 0;
+
+  /// k(x, x) — the prior variance at any point (stationary kernels).
+  double prior_variance() const { return signal_variance_; }
+
+  double lengthscale() const { return lengthscale_; }
+  double signal_variance() const { return signal_variance_; }
+
+  /// Updates hyperparameters; both must be positive.
+  void set_hyperparameters(double lengthscale, double signal_variance);
+
+  /// Draws one spectral frequency vector omega (dimension `dim`) from the
+  /// kernel's normalized spectral density, already scaled by 1/lengthscale.
+  /// cos(omega . x + b) features built from these draws approximate the
+  /// kernel by Bochner's theorem.
+  virtual num::Vec sample_spectral_frequency(Rng& rng,
+                                             std::size_t dim) const = 0;
+
+  /// Deep copy (kernels are value-like but used polymorphically).
+  virtual std::unique_ptr<Kernel> clone() const = 0;
+
+  /// Human-readable name ("rbf", "matern52") for logs and ablation tables.
+  virtual std::string name() const = 0;
+
+ protected:
+  Kernel(double lengthscale, double signal_variance);
+
+  double lengthscale_;
+  double signal_variance_;
+};
+
+/// Squared-exponential (RBF) kernel:
+///   k(a,b) = sv * exp(-0.5 * |a-b|^2 / l^2)
+class RbfKernel final : public Kernel {
+ public:
+  explicit RbfKernel(double lengthscale = 1.0, double signal_variance = 1.0);
+
+  double value(const num::Vec& a, const num::Vec& b) const override;
+  num::Vec sample_spectral_frequency(Rng& rng,
+                                     std::size_t dim) const override;
+  std::unique_ptr<Kernel> clone() const override;
+  std::string name() const override { return "rbf"; }
+};
+
+/// Matern-5/2 kernel:
+///   k(a,b) = sv * (1 + z + z^2/3) * exp(-z),  z = sqrt(5) |a-b| / l
+class Matern52Kernel final : public Kernel {
+ public:
+  explicit Matern52Kernel(double lengthscale = 1.0,
+                          double signal_variance = 1.0);
+
+  double value(const num::Vec& a, const num::Vec& b) const override;
+  num::Vec sample_spectral_frequency(Rng& rng,
+                                     std::size_t dim) const override;
+  std::unique_ptr<Kernel> clone() const override;
+  std::string name() const override { return "matern52"; }
+};
+
+/// Automatic-relevance-determination RBF kernel with per-dimension
+/// lengthscales:
+///   k(a,b) = sv * exp(-0.5 * sum_i ((a_i-b_i)/l_i)^2)
+/// Useful when some policy weights matter far more than others (e.g.
+/// output biases vs deep hidden weights).  The scalar lengthscale of the
+/// base class acts as a global multiplier on the per-dimension scales.
+class ArdRbfKernel final : public Kernel {
+ public:
+  /// `lengthscales` must be positive and sized to the input dimension.
+  explicit ArdRbfKernel(num::Vec lengthscales, double signal_variance = 1.0);
+
+  double value(const num::Vec& a, const num::Vec& b) const override;
+  num::Vec sample_spectral_frequency(Rng& rng,
+                                     std::size_t dim) const override;
+  std::unique_ptr<Kernel> clone() const override;
+  std::string name() const override { return "ard_rbf"; }
+
+  const num::Vec& lengthscales() const { return lengthscales_; }
+
+ private:
+  num::Vec lengthscales_;
+};
+
+/// Factory by name; throws parmis::Error for unknown names.
+std::unique_ptr<Kernel> make_kernel(const std::string& name,
+                                    double lengthscale = 1.0,
+                                    double signal_variance = 1.0);
+
+}  // namespace parmis::gp
+
+#endif  // PARMIS_GP_KERNEL_HPP

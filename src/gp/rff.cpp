@@ -1,0 +1,84 @@
+#include "gp/rff.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "numerics/cholesky.hpp"
+
+namespace parmis::gp {
+
+double SampledFunction::operator()(const num::Vec& x) const {
+  require(x.size() == omega_.cols(), "sampled function: dimension mismatch");
+  double f = 0.0;
+  for (std::size_t m = 0; m < omega_.rows(); ++m) {
+    double dotp = phase_[m];
+    const double* wrow = omega_.data().data() + m * omega_.cols();
+    for (std::size_t c = 0; c < x.size(); ++c) dotp += wrow[c] * x[c];
+    f += weights_[m] * feat_scale_ * std::cos(dotp);
+  }
+  return y_mean_ + y_scale_ * f;
+}
+
+SampledFunction sample_posterior_function(const GpRegressor& gp, Rng& rng,
+                                          std::size_t num_features) {
+  require(num_features > 0, "need at least one Fourier feature");
+  const Kernel& kernel = gp.kernel();
+  const std::size_t d =
+      gp.has_data() ? gp.input_dim() : 0;  // resolved below for no-data GPs
+  require(d > 0, "RFF sampling requires a fitted GP with data");
+
+  SampledFunction out;
+  out.feat_scale_ =
+      std::sqrt(2.0 * kernel.signal_variance() /
+                static_cast<double>(num_features));
+  out.y_mean_ = gp.target_mean();
+  out.y_scale_ = gp.target_scale();
+
+  // Draw the feature map.
+  out.omega_ = num::Matrix(num_features, d);
+  out.phase_.resize(num_features);
+  for (std::size_t m = 0; m < num_features; ++m) {
+    const num::Vec omega = kernel.sample_spectral_frequency(rng, d);
+    for (std::size_t c = 0; c < d; ++c) out.omega_(m, c) = omega[c];
+    out.phase_[m] = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+
+  // Feature matrix Phi (n x M) over the training inputs.
+  const num::Matrix& X = gp.train_inputs();
+  const std::size_t n = X.rows();
+  num::Matrix Phi(n, num_features);
+  for (std::size_t i = 0; i < n; ++i) {
+    const num::Vec xi = X.row(i);
+    for (std::size_t m = 0; m < num_features; ++m) {
+      double dotp = out.phase_[m];
+      const double* wrow = out.omega_.data().data() + m * d;
+      for (std::size_t c = 0; c < d; ++c) dotp += wrow[c] * xi[c];
+      Phi(i, m) = out.feat_scale_ * std::cos(dotp);
+    }
+  }
+
+  // Bayesian linear regression posterior over w (normalized target units):
+  //   A = Phi^T Phi / sn2 + I,   mean = A^{-1} Phi^T y / sn2,
+  //   cov = A^{-1}  =>  w = mean + L_A^{-T} z,  z ~ N(0, I)
+  const double sn2 = gp.noise_variance();
+  num::Matrix A = Phi.transposed().matmul(Phi);
+  for (auto& v : A.data()) v /= sn2;
+  A.add_diagonal(1.0);
+  const num::Cholesky chol(std::move(A));
+
+  num::Vec phi_t_y = Phi.matvec_transposed(gp.normalized_targets());
+  for (auto& v : phi_t_y) v /= sn2;
+  const num::Vec mean_w = chol.solve(phi_t_y);
+
+  num::Vec z(num_features);
+  for (auto& v : z) v = rng.normal();
+  const num::Vec noise_w = chol.solve_lower_transposed(z);
+
+  out.weights_.resize(num_features);
+  for (std::size_t m = 0; m < num_features; ++m) {
+    out.weights_[m] = mean_w[m] + noise_w[m];
+  }
+  return out;
+}
+
+}  // namespace parmis::gp

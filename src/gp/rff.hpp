@@ -1,0 +1,55 @@
+// Posterior function sampling via random Fourier features (Rahimi-Recht).
+//
+// The PaRMIS acquisition (paper Sec. IV-B step 1) needs *functions*
+// sampled from each objective's GP posterior so that NSGA-II can optimize
+// them jointly and produce a sampled Pareto front O*_s.  Thompson-style
+// function draws are obtained by:
+//   1. approximating the kernel with M cosine features
+//        phi_m(x) = sqrt(2 sv / M) cos(omega_m . x + b_m),
+//      omega_m from the kernel's spectral density, b_m ~ U[0, 2 pi);
+//   2. conditioning the Bayesian linear model f(x) = phi(x)^T w,
+//      w ~ N(0, I) on the GP's training data (noise sigma_n^2), giving a
+//      Gaussian posterior over w;
+//   3. drawing one w from that posterior.  The resulting f is a cheap,
+//      deterministic function that can be evaluated millions of times.
+#ifndef PARMIS_GP_RFF_HPP
+#define PARMIS_GP_RFF_HPP
+
+#include "common/rng.hpp"
+#include "gp/gp.hpp"
+#include "numerics/matrix.hpp"
+#include "numerics/vec.hpp"
+
+namespace parmis::gp {
+
+/// One sampled posterior function f: R^d -> R (original target units).
+class SampledFunction {
+ public:
+  /// Evaluates the sampled function at x (dimension must match the GP).
+  double operator()(const num::Vec& x) const;
+
+  std::size_t input_dim() const { return omega_.cols(); }
+  std::size_t num_features() const { return omega_.rows(); }
+
+ private:
+  friend SampledFunction sample_posterior_function(const GpRegressor& gp,
+                                                   Rng& rng,
+                                                   std::size_t num_features);
+
+  num::Matrix omega_;   // M x d spectral frequencies
+  num::Vec phase_;      // M phases
+  num::Vec weights_;    // M posterior weights
+  double feat_scale_ = 1.0;  // sqrt(2 sv / M)
+  double y_mean_ = 0.0;
+  double y_scale_ = 1.0;
+};
+
+/// Draws one function from the GP posterior (prior if the GP has no data).
+/// `num_features` trades approximation quality for speed; 128-256 is
+/// plenty for acquisition purposes.
+SampledFunction sample_posterior_function(const GpRegressor& gp, Rng& rng,
+                                          std::size_t num_features = 128);
+
+}  // namespace parmis::gp
+
+#endif  // PARMIS_GP_RFF_HPP

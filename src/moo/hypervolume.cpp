@@ -1,0 +1,140 @@
+#include "moo/hypervolume.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "moo/pareto.hpp"
+
+namespace parmis::moo {
+
+namespace {
+
+/// Keeps only points strictly better than ref in every dimension.
+std::vector<Vec> clip_to_reference(const std::vector<Vec>& points,
+                                   const Vec& ref) {
+  std::vector<Vec> out;
+  for (const Vec& p : points) {
+    require(p.size() == ref.size(), "hypervolume: dimension mismatch");
+    bool inside = true;
+    for (std::size_t i = 0; i < p.size() && inside; ++i) {
+      if (p[i] >= ref[i]) inside = false;
+    }
+    if (inside) out.push_back(p);
+  }
+  return out;
+}
+
+/// Volume of the axis-aligned box [p, ref].
+double box_volume(const Vec& p, const Vec& ref) {
+  double v = 1.0;
+  for (std::size_t i = 0; i < p.size(); ++i) v *= ref[i] - p[i];
+  return v;
+}
+
+/// WFG "limit": worsen each q to the component-wise max with p, then keep
+/// the non-dominated subset.
+std::vector<Vec> limit_set(const std::vector<Vec>& rest, const Vec& p) {
+  std::vector<Vec> limited;
+  limited.reserve(rest.size());
+  for (const Vec& q : rest) {
+    Vec r(q.size());
+    for (std::size_t i = 0; i < q.size(); ++i) r[i] = std::max(q[i], p[i]);
+    limited.push_back(std::move(r));
+  }
+  return pareto_front(limited);
+}
+
+double wfg_recurse(std::vector<Vec> points, const Vec& ref) {
+  if (points.empty()) return 0.0;
+  if (ref.size() == 2) return hypervolume_2d(points, ref);
+  // Sorting by the last objective keeps the limited sets small.
+  std::sort(points.begin(), points.end(), [](const Vec& a, const Vec& b) {
+    return a.back() > b.back();
+  });
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Vec& p = points[i];
+    std::vector<Vec> rest(points.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                          points.end());
+    const double exclusive =
+        box_volume(p, ref) - wfg_recurse(limit_set(rest, p), ref);
+    total += exclusive;
+  }
+  return total;
+}
+
+}  // namespace
+
+double hypervolume_2d(const std::vector<Vec>& points, const Vec& ref) {
+  require(ref.size() == 2, "hypervolume_2d: reference must be 2-D");
+  std::vector<Vec> front = pareto_front(clip_to_reference(points, ref));
+  if (front.empty()) return 0.0;
+  std::sort(front.begin(), front.end(),
+            [](const Vec& a, const Vec& b) { return a[0] < b[0]; });
+  double hv = 0.0;
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    const double next_x = (i + 1 < front.size()) ? front[i + 1][0] : ref[0];
+    hv += (next_x - front[i][0]) * (ref[1] - front[i][1]);
+  }
+  return hv;
+}
+
+double hypervolume_wfg(const std::vector<Vec>& points, const Vec& ref) {
+  require(ref.size() >= 2, "hypervolume_wfg: need at least 2 objectives");
+  const std::vector<Vec> front = pareto_front(clip_to_reference(points, ref));
+  return wfg_recurse(front, ref);
+}
+
+double hypervolume_monte_carlo(const std::vector<Vec>& points, const Vec& ref,
+                               Rng& rng, std::size_t samples) {
+  require(samples > 0, "hypervolume_monte_carlo: need samples > 0");
+  const std::vector<Vec> front = pareto_front(clip_to_reference(points, ref));
+  if (front.empty()) return 0.0;
+  const Vec ideal = componentwise_min(front);
+  double box = 1.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) box *= ref[i] - ideal[i];
+  if (box <= 0.0) return 0.0;
+
+  std::size_t hits = 0;
+  Vec sample(ref.size());
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      sample[i] = rng.uniform(ideal[i], ref[i]);
+    }
+    for (const Vec& p : front) {
+      bool dominated = true;
+      for (std::size_t i = 0; i < ref.size() && dominated; ++i) {
+        if (p[i] > sample[i]) dominated = false;
+      }
+      if (dominated) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return box * static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+double hypervolume(const std::vector<Vec>& points, const Vec& ref) {
+  require(!ref.empty(), "hypervolume: empty reference point");
+  if (ref.size() == 2) return hypervolume_2d(points, ref);
+  if (ref.size() <= 5 && points.size() <= 300) {
+    return hypervolume_wfg(points, ref);
+  }
+  Rng rng(0x9E3779B97F4A7C15ULL);  // fixed seed: deterministic estimate
+  return hypervolume_monte_carlo(points, ref, rng, 200000);
+}
+
+Vec default_reference_point(const std::vector<Vec>& points, double margin) {
+  require(!points.empty(), "default_reference_point: empty set");
+  require(margin >= 0.0, "default_reference_point: negative margin");
+  Vec ref = componentwise_max(points);
+  for (double& v : ref) {
+    const double pad = std::abs(v) > 1e-12 ? std::abs(v) * margin : margin;
+    v += pad;
+  }
+  return ref;
+}
+
+}  // namespace parmis::moo

@@ -1,0 +1,136 @@
+#include "moo/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace parmis::moo {
+
+bool dominates(const Vec& a, const Vec& b) {
+  require(a.size() == b.size(), "dominates: dimension mismatch");
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+bool incomparable(const Vec& a, const Vec& b) {
+  return !dominates(a, b) && !dominates(b, a) && a != b;
+}
+
+std::vector<std::size_t> non_dominated_indices(
+    const std::vector<Vec>& points) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool keep = true;
+    for (std::size_t j = 0; j < points.size() && keep; ++j) {
+      if (j == i) continue;
+      if (dominates(points[j], points[i])) keep = false;
+      // Exact duplicates: keep only the first occurrence.
+      if (points[j] == points[i] && j < i) keep = false;
+    }
+    if (keep) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<Vec> pareto_front(const std::vector<Vec>& points) {
+  std::vector<Vec> out;
+  for (std::size_t idx : non_dominated_indices(points)) {
+    out.push_back(points[idx]);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> fast_non_dominated_sort(
+    const std::vector<Vec>& points) {
+  const std::size_t n = points.size();
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<int> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> fronts;
+
+  std::vector<std::size_t> current;
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      if (dominates(points[p], points[q])) {
+        dominated_by[p].push_back(q);
+      } else if (dominates(points[q], points[p])) {
+        ++domination_count[p];
+      }
+    }
+    if (domination_count[p] == 0) current.push_back(p);
+  }
+  while (!current.empty()) {
+    fronts.push_back(current);
+    std::vector<std::size_t> next;
+    for (std::size_t p : current) {
+      for (std::size_t q : dominated_by[p]) {
+        if (--domination_count[q] == 0) next.push_back(q);
+      }
+    }
+    current = std::move(next);
+  }
+  return fronts;
+}
+
+std::vector<double> crowding_distance(
+    const std::vector<Vec>& points, const std::vector<std::size_t>& members) {
+  const std::size_t m = members.size();
+  std::vector<double> dist(m, 0.0);
+  if (m == 0) return dist;
+  const std::size_t k = points[members[0]].size();
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  if (m <= 2) {
+    std::fill(dist.begin(), dist.end(), inf);
+    return dist;
+  }
+  std::vector<std::size_t> order(m);
+  for (std::size_t i = 0; i < m; ++i) order[i] = i;
+  for (std::size_t obj = 0; obj < k; ++obj) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return points[members[a]][obj] < points[members[b]][obj];
+    });
+    const double lo = points[members[order.front()]][obj];
+    const double hi = points[members[order.back()]][obj];
+    dist[order.front()] = inf;
+    dist[order.back()] = inf;
+    const double span = hi - lo;
+    if (span <= 0.0) continue;  // degenerate objective: no interior credit
+    for (std::size_t i = 1; i + 1 < m; ++i) {
+      const double below = points[members[order[i - 1]]][obj];
+      const double above = points[members[order[i + 1]]][obj];
+      dist[order[i]] += (above - below) / span;
+    }
+  }
+  return dist;
+}
+
+Vec componentwise_max(const std::vector<Vec>& points) {
+  require(!points.empty(), "componentwise_max: empty set");
+  Vec out = points.front();
+  for (const Vec& p : points) {
+    require(p.size() == out.size(), "componentwise_max: ragged points");
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = std::max(out[i], p[i]);
+    }
+  }
+  return out;
+}
+
+Vec componentwise_min(const std::vector<Vec>& points) {
+  require(!points.empty(), "componentwise_min: empty set");
+  Vec out = points.front();
+  for (const Vec& p : points) {
+    require(p.size() == out.size(), "componentwise_min: ragged points");
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = std::min(out[i], p[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace parmis::moo

@@ -1,0 +1,51 @@
+// Pareto-dominance primitives (minimization convention, paper Sec. II).
+//
+// A point a dominates b iff a_i <= b_i for all objectives and a_j < b_j
+// for at least one j.  All PaRMIS objectives are minimized internally;
+// maximized objectives (PPW) are negated at the Objective boundary.
+#ifndef PARMIS_MOO_PARETO_HPP
+#define PARMIS_MOO_PARETO_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "numerics/vec.hpp"
+
+namespace parmis::moo {
+
+using num::Vec;
+
+/// True iff `a` Pareto-dominates `b` (minimization).  Sizes must match.
+bool dominates(const Vec& a, const Vec& b);
+
+/// True iff neither point dominates the other and they differ.
+bool incomparable(const Vec& a, const Vec& b);
+
+/// Indices of the non-dominated subset of `points` (first occurrence wins
+/// among exact duplicates), preserving input order.
+std::vector<std::size_t> non_dominated_indices(const std::vector<Vec>& points);
+
+/// The non-dominated subset itself.
+std::vector<Vec> pareto_front(const std::vector<Vec>& points);
+
+/// Fast non-dominated sort (Deb et al., NSGA-II): returns fronts of
+/// indices; fronts[0] is the Pareto front, fronts[1] the next layer, etc.
+std::vector<std::vector<std::size_t>> fast_non_dominated_sort(
+    const std::vector<Vec>& points);
+
+/// Crowding distance for the subset `members` of `points` (NSGA-II
+/// diversity measure).  Boundary members get +infinity.  Returned in the
+/// same order as `members`.
+std::vector<double> crowding_distance(const std::vector<Vec>& points,
+                                      const std::vector<std::size_t>& members);
+
+/// Component-wise maxima over a set of points (the per-dimension upper
+/// bounds used by the acquisition's truncation, paper inequality 6).
+Vec componentwise_max(const std::vector<Vec>& points);
+
+/// Component-wise minima (the ideal point of a set).
+Vec componentwise_min(const std::vector<Vec>& points);
+
+}  // namespace parmis::moo
+
+#endif  // PARMIS_MOO_PARETO_HPP

@@ -1,0 +1,65 @@
+#include "moo/test_problems.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace parmis::moo {
+
+namespace {
+
+double zdt_g(const Vec& x) {
+  double s = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) s += x[i];
+  return 1.0 + 9.0 * s / static_cast<double>(x.size() - 1);
+}
+
+}  // namespace
+
+Vec zdt1(const Vec& x) {
+  require(x.size() >= 2, "zdt1: need at least 2 variables");
+  const double f1 = x[0];
+  const double g = zdt_g(x);
+  return {f1, g * (1.0 - std::sqrt(f1 / g))};
+}
+
+Vec zdt2(const Vec& x) {
+  require(x.size() >= 2, "zdt2: need at least 2 variables");
+  const double f1 = x[0];
+  const double g = zdt_g(x);
+  return {f1, g * (1.0 - (f1 / g) * (f1 / g))};
+}
+
+Vec zdt3(const Vec& x) {
+  require(x.size() >= 2, "zdt3: need at least 2 variables");
+  const double f1 = x[0];
+  const double g = zdt_g(x);
+  const double ratio = f1 / g;
+  return {f1, g * (1.0 - std::sqrt(ratio) -
+                   ratio * std::sin(10.0 * std::numbers::pi * f1))};
+}
+
+Vec dtlz2(const Vec& x, std::size_t k) {
+  require(k >= 2, "dtlz2: need at least 2 objectives");
+  require(x.size() >= k, "dtlz2: need at least k variables");
+  double g = 0.0;
+  for (std::size_t i = k - 1; i < x.size(); ++i) {
+    g += (x[i] - 0.5) * (x[i] - 0.5);
+  }
+  Vec f(k, 1.0 + g);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j + i < k - 1; ++j) {
+      f[i] *= std::cos(0.5 * std::numbers::pi * x[j]);
+    }
+    if (i > 0) {
+      f[i] *= std::sin(0.5 * std::numbers::pi * x[k - 1 - i]);
+    }
+  }
+  return f;
+}
+
+double zdt1_front(double f1) { return 1.0 - std::sqrt(f1); }
+double zdt2_front(double f1) { return 1.0 - f1 * f1; }
+
+}  // namespace parmis::moo

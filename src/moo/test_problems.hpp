@@ -1,0 +1,32 @@
+// Standard multi-objective test problems (ZDT, DTLZ) for validating the
+// NSGA-II and hypervolume implementations in tests and ablation benches.
+#ifndef PARMIS_MOO_TEST_PROBLEMS_HPP
+#define PARMIS_MOO_TEST_PROBLEMS_HPP
+
+#include <cstddef>
+
+#include "moo/nsga2.hpp"
+
+namespace parmis::moo {
+
+/// ZDT1: convex Pareto front f2 = 1 - sqrt(f1), x in [0,1]^n.
+Vec zdt1(const Vec& x);
+
+/// ZDT2: concave Pareto front f2 = 1 - f1^2 — the canonical example of a
+/// front that linear scalarization cannot cover (paper Sec. III cites
+/// this weakness of the RL/IL baselines).
+Vec zdt2(const Vec& x);
+
+/// ZDT3: disconnected Pareto front.
+Vec zdt3(const Vec& x);
+
+/// DTLZ2 with k objectives: spherical front sum(f_i^2) = 1.
+Vec dtlz2(const Vec& x, std::size_t k);
+
+/// True-front value f2(f1) for ZDT1 / ZDT2 (for test assertions).
+double zdt1_front(double f1);
+double zdt2_front(double f1);
+
+}  // namespace parmis::moo
+
+#endif  // PARMIS_MOO_TEST_PROBLEMS_HPP

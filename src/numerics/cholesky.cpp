@@ -1,0 +1,75 @@
+#include "numerics/cholesky.hpp"
+
+#include <cmath>
+
+namespace parmis::num {
+
+Cholesky::Cholesky(Matrix K, double initial_jitter, int max_retries) {
+  require(K.rows() == K.cols(), "cholesky: matrix must be square");
+  require(K.rows() > 0, "cholesky: matrix must be non-empty");
+  if (try_factor(K, 0.0)) return;
+  double jitter = initial_jitter;
+  for (int attempt = 0; attempt < max_retries; ++attempt) {
+    if (try_factor(K, jitter)) {
+      jitter_used_ = jitter;
+      return;
+    }
+    jitter *= 10.0;
+  }
+  require(false, "cholesky: matrix is not positive definite even with jitter");
+}
+
+bool Cholesky::try_factor(const Matrix& K, double jitter) {
+  const std::size_t n = K.rows();
+  Matrix L(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = K(j, j) + jitter;
+    for (std::size_t k = 0; k < j; ++k) diag -= L(j, k) * L(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    L(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = K(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= L(i, k) * L(j, k);
+      L(i, j) = s / ljj;
+    }
+  }
+  L_ = std::move(L);
+  return true;
+}
+
+Vec Cholesky::solve_lower(const Vec& b) const {
+  const std::size_t n = size();
+  require(b.size() == n, "cholesky solve: dimension mismatch");
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= L_(i, k) * y[k];
+    y[i] = s / L_(i, i);
+  }
+  return y;
+}
+
+Vec Cholesky::solve_lower_transposed(const Vec& y) const {
+  const std::size_t n = size();
+  require(y.size() == n, "cholesky solve: dimension mismatch");
+  Vec x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= L_(k, ii) * x[k];
+    x[ii] = s / L_(ii, ii);
+  }
+  return x;
+}
+
+Vec Cholesky::solve(const Vec& b) const {
+  return solve_lower_transposed(solve_lower(b));
+}
+
+double Cholesky::log_det() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) s += std::log(L_(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace parmis::num

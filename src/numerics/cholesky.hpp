@@ -1,0 +1,51 @@
+// Cholesky factorization with adaptive jitter, for GP posterior algebra.
+//
+// GP regression repeatedly solves K x = b with K symmetric positive
+// (semi-)definite.  Near-duplicate training inputs make K numerically
+// singular, so the factorization retries with exponentially growing
+// diagonal jitter (a standard GP implementation trick) before giving up.
+#ifndef PARMIS_NUMERICS_CHOLESKY_HPP
+#define PARMIS_NUMERICS_CHOLESKY_HPP
+
+#include "numerics/matrix.hpp"
+#include "numerics/vec.hpp"
+
+namespace parmis::num {
+
+/// Lower-triangular Cholesky factor L with K = L L^T.
+class Cholesky {
+ public:
+  /// Factorizes `K` (symmetric positive definite).  If the factorization
+  /// fails, retries with jitter starting at `initial_jitter` and growing
+  /// 10x up to `max_retries` times; throws parmis::Error if all fail.
+  explicit Cholesky(Matrix K, double initial_jitter = 1e-10,
+                    int max_retries = 8);
+
+  /// Solves K x = b via forward then backward substitution.
+  Vec solve(const Vec& b) const;
+
+  /// Solves L y = b (forward substitution only).
+  Vec solve_lower(const Vec& b) const;
+
+  /// Solves L^T x = y (backward substitution only).
+  Vec solve_lower_transposed(const Vec& y) const;
+
+  /// log det(K) = 2 * sum(log(L_ii)); needed for GP marginal likelihood.
+  double log_det() const;
+
+  /// Amount of jitter that had to be added to the diagonal (0 if none).
+  double jitter_used() const { return jitter_used_; }
+
+  const Matrix& lower() const { return L_; }
+  std::size_t size() const { return L_.rows(); }
+
+ private:
+  bool try_factor(const Matrix& K, double jitter);
+
+  Matrix L_;
+  double jitter_used_ = 0.0;
+};
+
+}  // namespace parmis::num
+
+#endif  // PARMIS_NUMERICS_CHOLESKY_HPP

@@ -1,0 +1,97 @@
+#include "numerics/distributions.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace parmis::num {
+
+namespace {
+
+constexpr double kLogSqrt2Pi = 0.91893853320467274178;  // ln(sqrt(2*pi))
+constexpr double kInvSqrt2 = 0.70710678118654752440;    // 1/sqrt(2)
+
+// Asymptotic correction series for Phi(x) with x << 0:
+//   Phi(x) = phi(x)/(-x) * S(x),
+//   S(x) = 1 - 1/x^2 + 3/x^4 - 15/x^6 + 105/x^8 - 945/x^10 + 10395/x^12
+// Six correction terms give <1e-12 relative accuracy for x <= -12
+// (the branch switch point below); erfc covers everything shallower.
+double tail_series(double x) {
+  const double inv2 = 1.0 / (x * x);
+  return 1.0 +
+         inv2 * (-1.0 +
+                 inv2 * (3.0 +
+                         inv2 * (-15.0 +
+                                 inv2 * (105.0 +
+                                         inv2 * (-945.0 +
+                                                 inv2 * 10395.0)))));
+}
+
+// erfc underflows around x ~ -37; switching well before that keeps both
+// branches in their fully accurate regimes.
+constexpr double kTailSwitch = -12.0;
+
+}  // namespace
+
+double norm_pdf(double x) {
+  return std::exp(-0.5 * x * x - kLogSqrt2Pi);
+}
+
+double norm_cdf(double x) { return 0.5 * std::erfc(-x * kInvSqrt2); }
+
+double log_norm_cdf(double x) {
+  if (x > kTailSwitch) {
+    // erfc stays well above the underflow threshold here.
+    return std::log(norm_cdf(x));
+  }
+  // ln Phi(x) = -x^2/2 - ln(-x) - ln(sqrt(2 pi)) + ln S(x)
+  return -0.5 * x * x - std::log(-x) - kLogSqrt2Pi + std::log(tail_series(x));
+}
+
+double inverse_mills_ratio(double x) {
+  if (x > kTailSwitch) {
+    return std::exp(-0.5 * x * x - kLogSqrt2Pi - log_norm_cdf(x));
+  }
+  // phi/Phi = -x / S(x) in the lower tail.
+  return -x / tail_series(x);
+}
+
+double gaussian_entropy(double sigma) {
+  require(sigma > 0.0, "gaussian_entropy: sigma must be positive");
+  return 0.5 * (1.0 + std::log(2.0 * std::numbers::pi)) + std::log(sigma);
+}
+
+double entropy_reduction_term(double gamma) {
+  require(std::isfinite(gamma), "entropy_reduction_term: gamma not finite");
+  if (gamma > kTailSwitch) {
+    const double r = inverse_mills_ratio(gamma);
+    const double term = 0.5 * gamma * r - log_norm_cdf(gamma);
+    // Guard tiny negative values caused by rounding near gamma >> 0.
+    return term > 0.0 ? term : 0.0;
+  }
+  // Stable deep-tail evaluation.  With S = tail_series(gamma):
+  //   gamma*phi/(2 Phi) = -gamma^2/(2 S)
+  //   -ln Phi           = gamma^2/2 + ln(-gamma) + ln(sqrt(2 pi)) - ln S
+  // and the gamma^2/2 terms combine to (S-1)*gamma^2/(2S) where, in the
+  // truncated series, (S-1)*gamma^2
+  //   = -1 + 3/g^2 - 15/g^4 + 105/g^6 - 945/g^8 + 10395/g^10 exactly.
+  const double inv2 = 1.0 / (gamma * gamma);
+  const double s = tail_series(gamma);
+  const double sm1_g2 =
+      -1.0 +
+      inv2 * (3.0 +
+              inv2 * (-15.0 +
+                      inv2 * (105.0 +
+                              inv2 * (-945.0 + inv2 * 10395.0))));
+  return sm1_g2 / (2.0 * s) + std::log(-gamma) + kLogSqrt2Pi - std::log(s);
+}
+
+double upper_truncated_gaussian_entropy(double mu, double sigma,
+                                        double upper) {
+  require(sigma > 0.0, "truncated entropy: sigma must be positive");
+  const double gamma = (upper - mu) / sigma;
+  return gaussian_entropy(sigma) - entropy_reduction_term(gamma);
+}
+
+}  // namespace parmis::num

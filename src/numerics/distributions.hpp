@@ -1,0 +1,46 @@
+// Gaussian distribution functions used by the PaRMIS acquisition (Eq. 8/9).
+//
+// The acquisition function evaluates ln Phi(gamma) and the hazard-like
+// ratio gamma * phi(gamma) / Phi(gamma) for gamma that can be strongly
+// negative when a candidate's predicted objective lies far above the
+// sampled Pareto front's per-dimension maximum.  Naive Phi underflows
+// around gamma < -37, so log_norm_cdf switches to an asymptotic expansion
+// and the entropy helpers are written against the log forms throughout.
+#ifndef PARMIS_NUMERICS_DISTRIBUTIONS_HPP
+#define PARMIS_NUMERICS_DISTRIBUTIONS_HPP
+
+namespace parmis::num {
+
+/// Standard normal probability density phi(x).
+double norm_pdf(double x);
+
+/// Standard normal cumulative distribution Phi(x).
+double norm_cdf(double x);
+
+/// ln Phi(x), numerically stable for x << 0 (asymptotic series) and
+/// exact (log1p form) for x >> 0.
+double log_norm_cdf(double x);
+
+/// phi(x) / Phi(x) — the inverse Mills ratio, stable for x << 0 where it
+/// approaches -x.
+double inverse_mills_ratio(double x);
+
+/// Differential entropy of N(mu, sigma^2); requires sigma > 0.
+double gaussian_entropy(double sigma);
+
+/// Differential entropy of a Gaussian N(mu, sigma^2) truncated from above
+/// at `upper` (support (-inf, upper]).  Closed form (paper Eq. 8 term):
+///   H = 0.5*(1 + ln(2 pi)) + ln(sigma) + ln Phi(g) - g*phi(g)/(2 Phi(g))
+/// with g = (upper - mu) / sigma.  Requires sigma > 0.
+double upper_truncated_gaussian_entropy(double mu, double sigma, double upper);
+
+/// The per-objective acquisition contribution of paper Eq. 9:
+///   g*phi(g)/(2 Phi(g)) - ln Phi(g)
+/// evaluated stably for any finite g.  This equals the *reduction* in
+/// entropy of the objective when conditioning on the sampled Pareto front,
+/// and is always >= 0.
+double entropy_reduction_term(double gamma);
+
+}  // namespace parmis::num
+
+#endif  // PARMIS_NUMERICS_DISTRIBUTIONS_HPP

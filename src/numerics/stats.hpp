@@ -1,0 +1,43 @@
+// Streaming statistics helpers (Welford) and quantiles.
+#ifndef PARMIS_NUMERICS_STATS_HPP
+#define PARMIS_NUMERICS_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace parmis::num {
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merges another accumulator (parallel reduction identity).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolation quantile of a copy of `values`; q in [0, 1].
+/// Requires a non-empty input.
+double quantile(std::vector<double> values, double q);
+
+}  // namespace parmis::num
+
+#endif  // PARMIS_NUMERICS_STATS_HPP

@@ -1,0 +1,90 @@
+#include "numerics/vec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parmis::num {
+
+double dot(const Vec& a, const Vec& b) {
+  require(a.size() == b.size(), "dot: dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
+
+double squared_distance(const Vec& a, const Vec& b) {
+  require(a.size() == b.size(), "squared_distance: dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+Vec add(const Vec& a, const Vec& b) {
+  require(a.size() == b.size(), "add: dimension mismatch");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec sub(const Vec& a, const Vec& b) {
+  require(a.size() == b.size(), "sub: dimension mismatch");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec scale(const Vec& a, double s) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void axpy(double alpha, const Vec& x, Vec& y) {
+  require(x.size() == y.size(), "axpy: dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double mean(const Vec& a) {
+  require(!a.empty(), "mean: empty vector");
+  double s = 0.0;
+  for (double v : a) s += v;
+  return s / static_cast<double>(a.size());
+}
+
+double variance(const Vec& a) {
+  if (a.size() < 2) return 0.0;
+  const double m = mean(a);
+  double s = 0.0;
+  for (double v : a) s += (v - m) * (v - m);
+  return s / static_cast<double>(a.size() - 1);
+}
+
+double stddev(const Vec& a) { return std::sqrt(variance(a)); }
+
+double min_element(const Vec& a) {
+  require(!a.empty(), "min_element: empty vector");
+  return *std::min_element(a.begin(), a.end());
+}
+
+double max_element(const Vec& a) {
+  require(!a.empty(), "max_element: empty vector");
+  return *std::max_element(a.begin(), a.end());
+}
+
+Vec linspace(double lo, double hi, std::size_t n) {
+  require(n >= 2, "linspace: need at least two points");
+  Vec out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;  // avoid accumulated rounding at the endpoint
+  return out;
+}
+
+}  // namespace parmis::num

@@ -1,0 +1,58 @@
+// Small dense-vector helpers used throughout the GP / MOO / ML code.
+//
+// PaRMIS's numerical core is intentionally dependency-free: vectors are
+// std::vector<double> and these free functions provide the handful of
+// BLAS-1 style operations the library needs.  All functions check
+// dimension agreement with parmis::require.
+#ifndef PARMIS_NUMERICS_VEC_HPP
+#define PARMIS_NUMERICS_VEC_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace parmis::num {
+
+using Vec = std::vector<double>;
+
+/// Dot product.  Requires a.size() == b.size().
+double dot(const Vec& a, const Vec& b);
+
+/// Euclidean norm.
+double norm2(const Vec& a);
+
+/// Squared Euclidean distance between two equally sized vectors.
+double squared_distance(const Vec& a, const Vec& b);
+
+/// Element-wise a + b.
+Vec add(const Vec& a, const Vec& b);
+
+/// Element-wise a - b.
+Vec sub(const Vec& a, const Vec& b);
+
+/// Scalar multiple s * a.
+Vec scale(const Vec& a, double s);
+
+/// In-place y += alpha * x.  Requires x.size() == y.size().
+void axpy(double alpha, const Vec& x, Vec& y);
+
+/// Arithmetic mean; requires a non-empty vector.
+double mean(const Vec& a);
+
+/// Unbiased sample variance (n-1 denominator); 0 for size < 2.
+double variance(const Vec& a);
+
+/// Sample standard deviation.
+double stddev(const Vec& a);
+
+/// Minimum / maximum element; require non-empty input.
+double min_element(const Vec& a);
+double max_element(const Vec& a);
+
+/// Linearly spaced grid of `n >= 2` points covering [lo, hi] inclusive.
+Vec linspace(double lo, double hi, std::size_t n);
+
+}  // namespace parmis::num
+
+#endif  // PARMIS_NUMERICS_VEC_HPP

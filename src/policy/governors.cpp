@@ -1,0 +1,174 @@
+#include "policy/governors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace parmis::policy {
+
+namespace {
+
+/// Load signal the kernel governors act on.  Linux ondemand/interactive
+/// take the MAXIMUM load across the policy's CPUs (a single busy core
+/// keeps its whole cluster clocked up), so both governor models consume
+/// the busiest-core utilization rather than the cluster average.
+double governor_load(const soc::HwCounters& counters) {
+  return counters.max_core_utilization;
+}
+
+/// All-cores-online decision with the given per-cluster levels.
+soc::DrmDecision all_cores_decision(const soc::DecisionSpace& space,
+                                    const std::vector<int>& levels) {
+  soc::DrmDecision d;
+  for (std::size_t c = 0; c < space.spec().clusters.size(); ++c) {
+    d.active_cores.push_back(space.spec().clusters[c].num_cores);
+    d.freq_level.push_back(levels[c]);
+  }
+  return d;
+}
+
+/// Governors start from an idle system: dynamic governors have parked
+/// every cluster at its lowest frequency before the application launches,
+/// so their ramp-up transient is part of the measured run (this is what
+/// separates ondemand/interactive from the performance governor on short
+/// applications).
+std::vector<int> idle_levels(const soc::DecisionSpace& space) {
+  return std::vector<int>(space.spec().clusters.size(), 0);
+}
+
+}  // namespace
+
+PerformanceGovernor::PerformanceGovernor(const soc::DecisionSpace& space)
+    : space_(&space) {}
+
+soc::DrmDecision PerformanceGovernor::decide(const soc::HwCounters&) {
+  return space_->max_performance_decision();
+}
+
+PowersaveGovernor::PowersaveGovernor(const soc::DecisionSpace& space)
+    : space_(&space) {}
+
+soc::DrmDecision PowersaveGovernor::decide(const soc::HwCounters&) {
+  soc::DrmDecision d;
+  for (const auto& c : space_->spec().clusters) {
+    d.active_cores.push_back(c.num_cores);  // governors do not hot-plug
+    d.freq_level.push_back(0);
+  }
+  return d;
+}
+
+OndemandGovernor::OndemandGovernor(const soc::DecisionSpace& space,
+                                   double up_threshold)
+    : space_(&space),
+      up_threshold_(up_threshold),
+      level_(idle_levels(space)) {
+  require(up_threshold > 0.0 && up_threshold <= 1.0,
+          "ondemand: up threshold must lie in (0, 1]");
+}
+
+soc::DrmDecision OndemandGovernor::decide(const soc::HwCounters& counters) {
+  const soc::SocSpec& spec = space_->spec();
+  for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+    const double util = governor_load(counters);
+    const auto& dvfs = spec.clusters[c].dvfs;
+    if (util > up_threshold_) {
+      level_[c] = dvfs.levels() - 1;  // jump straight to max
+    } else {
+      // Kernel ondemand below the threshold: frequency proportional to
+      // load against the cluster's MAXIMUM frequency
+      // (freq_next = load * policy->max, kernel 3.9+).
+      const double f_target = util * static_cast<double>(dvfs.max_mhz());
+      level_[c] = dvfs.level_for_mhz(f_target);
+    }
+  }
+  return all_cores_decision(*space_, level_);
+}
+
+void OndemandGovernor::reset() { level_ = idle_levels(*space_); }
+
+ConservativeGovernor::ConservativeGovernor(const soc::DecisionSpace& space,
+                                           double up_threshold,
+                                           double down_threshold)
+    : space_(&space),
+      up_threshold_(up_threshold),
+      down_threshold_(down_threshold),
+      level_(idle_levels(space)) {
+  require(up_threshold > down_threshold,
+          "conservative: thresholds inverted");
+  require(up_threshold <= 1.0 && down_threshold >= 0.0,
+          "conservative: thresholds out of range");
+}
+
+soc::DrmDecision ConservativeGovernor::decide(
+    const soc::HwCounters& counters) {
+  const soc::SocSpec& spec = space_->spec();
+  const double util = governor_load(counters);
+  for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+    const int top = spec.clusters[c].dvfs.levels() - 1;
+    if (util > up_threshold_) {
+      level_[c] = std::min(top, level_[c] + 1);   // one step up
+    } else if (util < down_threshold_) {
+      level_[c] = std::max(0, level_[c] - 1);     // one step down
+    }
+  }
+  return all_cores_decision(*space_, level_);
+}
+
+void ConservativeGovernor::reset() { level_ = idle_levels(*space_); }
+
+SchedutilGovernor::SchedutilGovernor(const soc::DecisionSpace& space,
+                                     double headroom)
+    : space_(&space), headroom_(headroom) {
+  require(headroom >= 1.0 && headroom <= 2.0,
+          "schedutil: headroom must lie in [1, 2]");
+}
+
+soc::DrmDecision SchedutilGovernor::decide(const soc::HwCounters& counters) {
+  const soc::SocSpec& spec = space_->spec();
+  std::vector<int> levels;
+  for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+    const auto& dvfs = spec.clusters[c].dvfs;
+    const double f_target = headroom_ * governor_load(counters) *
+                            static_cast<double>(dvfs.max_mhz());
+    levels.push_back(dvfs.level_for_mhz(f_target));
+  }
+  return all_cores_decision(*space_, levels);
+}
+
+InteractiveGovernor::InteractiveGovernor(const soc::DecisionSpace& space,
+                                         double go_hispeed_load,
+                                         double hispeed_fraction,
+                                         double low_load)
+    : space_(&space),
+      go_hispeed_load_(go_hispeed_load),
+      hispeed_fraction_(hispeed_fraction),
+      low_load_(low_load),
+      level_(idle_levels(space)) {
+  require(go_hispeed_load > low_load, "interactive: thresholds inverted");
+  require(hispeed_fraction > 0.0 && hispeed_fraction <= 1.0,
+          "interactive: hispeed fraction must lie in (0, 1]");
+}
+
+soc::DrmDecision InteractiveGovernor::decide(
+    const soc::HwCounters& counters) {
+  const soc::SocSpec& spec = space_->spec();
+  for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+    const double util = governor_load(counters);
+    const auto& dvfs = spec.clusters[c].dvfs;
+    const int hispeed = static_cast<int>(
+        std::lround(hispeed_fraction_ * (dvfs.levels() - 1)));
+    if (util >= go_hispeed_load_) {
+      // Ramp: at least hispeed, escalate to max if already there.
+      level_[c] = level_[c] >= hispeed ? dvfs.levels() - 1 : hispeed;
+    } else if (util < low_load_) {
+      level_[c] = std::max(0, level_[c] - 1);  // slow decay
+    }
+    // Between thresholds: hold frequency (the "min_sample_time" hold).
+  }
+  return all_cores_decision(*space_, level_);
+}
+
+void InteractiveGovernor::reset() { level_ = idle_levels(*space_); }
+
+}  // namespace parmis::policy

@@ -1,0 +1,22 @@
+#include "policy/policy.hpp"
+
+namespace parmis::policy {
+
+StaticPolicy::StaticPolicy(soc::DrmDecision decision, std::string label)
+    : decision_(std::move(decision)), label_(std::move(label)) {}
+
+soc::DrmDecision StaticPolicy::decide(const soc::HwCounters&) {
+  return decision_;
+}
+
+RandomPolicy::RandomPolicy(const soc::DecisionSpace& space,
+                           std::uint64_t seed)
+    : space_(&space), seed_(seed), rng_(seed) {}
+
+soc::DrmDecision RandomPolicy::decide(const soc::HwCounters&) {
+  return space_->decision(rng_.uniform_index(space_->size()));
+}
+
+void RandomPolicy::reset() { rng_ = Rng(seed_); }
+
+}  // namespace parmis::policy

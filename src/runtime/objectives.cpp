@@ -1,0 +1,72 @@
+#include "runtime/objectives.hpp"
+
+#include "common/error.hpp"
+
+namespace parmis::runtime {
+
+Objective::Objective(ObjectiveKind kind) : kind_(kind) {
+  switch (kind) {
+    case ObjectiveKind::ExecutionTime:
+      maximize_ = false;
+      name_ = "time_s";
+      break;
+    case ObjectiveKind::Energy:
+      maximize_ = false;
+      name_ = "energy_j";
+      break;
+    case ObjectiveKind::PPW:
+      maximize_ = true;
+      name_ = "ppw_gips_per_w";
+      break;
+    case ObjectiveKind::EDP:
+      maximize_ = false;
+      name_ = "edp_js";
+      break;
+    case ObjectiveKind::PeakPower:
+      maximize_ = false;
+      name_ = "peak_power_w";
+      break;
+  }
+}
+
+double Objective::raw_value(const RunMetrics& m) const {
+  switch (kind_) {
+    case ObjectiveKind::ExecutionTime: return m.time_s;
+    case ObjectiveKind::Energy: return m.energy_j;
+    case ObjectiveKind::PPW: return m.ppw_mean;
+    case ObjectiveKind::EDP: return m.edp;
+    case ObjectiveKind::PeakPower: return m.peak_power_w;
+  }
+  require(false, "objective: unknown kind");
+  return 0.0;  // unreachable
+}
+
+double Objective::min_value(const RunMetrics& m) const {
+  const double raw = raw_value(m);
+  return maximize_ ? -raw : raw;
+}
+
+double Objective::to_raw(double min_value) const {
+  return maximize_ ? -min_value : min_value;
+}
+
+std::vector<Objective> time_energy_objectives() {
+  return {Objective(ObjectiveKind::ExecutionTime),
+          Objective(ObjectiveKind::Energy)};
+}
+
+std::vector<Objective> time_ppw_objectives() {
+  return {Objective(ObjectiveKind::ExecutionTime),
+          Objective(ObjectiveKind::PPW)};
+}
+
+num::Vec objective_vector(const std::vector<Objective>& objectives,
+                          const RunMetrics& metrics) {
+  require(!objectives.empty(), "objective_vector: no objectives");
+  num::Vec out;
+  out.reserve(objectives.size());
+  for (const auto& o : objectives) out.push_back(o.min_value(metrics));
+  return out;
+}
+
+}  // namespace parmis::runtime

@@ -1,0 +1,81 @@
+// Design objectives over full application runs.
+//
+// The paper evaluates three objectives — execution time, energy, and
+// performance-per-watt (PPW) — and stresses that PaRMIS is plug-and-play
+// for arbitrary objective sets (Sec. V-E), unlike RL/IL which need
+// hand-designed rewards/oracles per objective.  Everything downstream
+// (GPs, dominance, hypervolume) uses a minimization convention, so each
+// Objective exposes both the raw measured value and its minimization
+// image (negated when the objective is maximized).
+//
+// PPW here is the mean over epochs of per-epoch (giga-instructions per
+// second per watt).  This ratio-of-averages-per-epoch is deliberately
+// NOT 1/energy: it matches how PPW is measured on the board (per
+// decision epoch) and makes PPW a genuinely distinct, nonlinear
+// objective — the reason the paper calls it "complex".
+#ifndef PARMIS_RUNTIME_OBJECTIVES_HPP
+#define PARMIS_RUNTIME_OBJECTIVES_HPP
+
+#include <string>
+#include <vector>
+
+#include "numerics/vec.hpp"
+
+namespace parmis::runtime {
+
+/// Aggregate metrics of one full application run under one policy.
+struct RunMetrics {
+  double time_s = 0.0;          ///< total execution time
+  double energy_j = 0.0;        ///< total energy
+  double avg_power_w = 0.0;     ///< energy / time
+  double ppw_mean = 0.0;        ///< mean per-epoch GIPS/W (maximize)
+  double peak_power_w = 0.0;    ///< max per-epoch average power
+  double edp = 0.0;             ///< energy * delay product
+  std::size_t epochs = 0;
+  double decision_overhead_us = 0.0;  ///< mean wall-clock per decide()
+};
+
+/// Supported design objectives.
+enum class ObjectiveKind {
+  ExecutionTime,   ///< minimize seconds
+  Energy,          ///< minimize joules
+  PPW,             ///< maximize GIPS/W
+  EDP,             ///< minimize J*s
+  PeakPower,       ///< minimize W (thermal headroom proxy)
+};
+
+/// One design objective with its optimization direction.
+class Objective {
+ public:
+  explicit Objective(ObjectiveKind kind);
+
+  ObjectiveKind kind() const { return kind_; }
+  bool maximize() const { return maximize_; }
+  const std::string& name() const { return name_; }
+
+  /// Raw measured value in natural units.
+  double raw_value(const RunMetrics& metrics) const;
+
+  /// Minimization-convention value (negated iff maximize()).
+  double min_value(const RunMetrics& metrics) const;
+
+  /// Converts a minimization-convention value back to natural units.
+  double to_raw(double min_value) const;
+
+ private:
+  ObjectiveKind kind_;
+  bool maximize_;
+  std::string name_;
+};
+
+/// The paper's two standard objective pairs.
+std::vector<Objective> time_energy_objectives();
+std::vector<Objective> time_ppw_objectives();
+
+/// Converts metrics to a minimization-convention objective vector.
+num::Vec objective_vector(const std::vector<Objective>& objectives,
+                          const RunMetrics& metrics);
+
+}  // namespace parmis::runtime
+
+#endif  // PARMIS_RUNTIME_OBJECTIVES_HPP

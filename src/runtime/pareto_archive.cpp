@@ -1,0 +1,167 @@
+#include "runtime/pareto_archive.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "moo/pareto.hpp"
+
+namespace parmis::runtime {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5041524D49535041ULL;  // "PARMISPA"
+constexpr std::uint64_t kVersion = 1;
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void write_vec(std::ostream& os, const num::Vec& v) {
+  write_u64(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+num::Vec read_vec(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  require(is.good() && n < (1ULL << 24), "archive: corrupt vector header");
+  num::Vec v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  require(is.good(), "archive: truncated vector payload");
+  return v;
+}
+
+}  // namespace
+
+ParetoArchive ParetoArchive::build(std::vector<ArchiveEntry> candidates,
+                                   std::size_t max_size) {
+  ParetoArchive archive;
+  archive.max_size_ = max_size;
+  std::vector<num::Vec> objs;
+  objs.reserve(candidates.size());
+  for (const auto& e : candidates) {
+    require(!e.objectives.empty(), "archive: entry without objectives");
+    objs.push_back(e.objectives);
+  }
+  for (std::size_t idx : moo::non_dominated_indices(objs)) {
+    archive.entries_.push_back(std::move(candidates[idx]));
+  }
+  archive.prune();
+  return archive;
+}
+
+bool ParetoArchive::insert(ArchiveEntry entry) {
+  require(!entry.objectives.empty(), "archive: entry without objectives");
+  for (const auto& member : entries_) {
+    if (moo::dominates(member.objectives, entry.objectives) ||
+        member.objectives == entry.objectives) {
+      return false;  // dominated or duplicate: rejected
+    }
+  }
+  // Remove members the newcomer dominates.
+  entries_.erase(
+      std::remove_if(entries_.begin(), entries_.end(),
+                     [&](const ArchiveEntry& member) {
+                       return moo::dominates(entry.objectives,
+                                             member.objectives);
+                     }),
+      entries_.end());
+  entries_.push_back(std::move(entry));
+  prune();
+  return true;
+}
+
+void ParetoArchive::prune() {
+  if (max_size_ == 0 || entries_.size() <= max_size_) return;
+  std::vector<num::Vec> objs = objectives();
+  std::vector<std::size_t> members(entries_.size());
+  for (std::size_t i = 0; i < members.size(); ++i) members[i] = i;
+
+  // Drop the most crowded member until the size bound holds.  Crowding
+  // is recomputed after every removal; extremes have infinite crowding
+  // and therefore survive.
+  while (members.size() > max_size_) {
+    const std::vector<double> crowding = moo::crowding_distance(objs, members);
+    std::size_t worst = 0;
+    double worst_value = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (crowding[i] < worst_value) {
+        worst_value = crowding[i];
+        worst = i;
+      }
+    }
+    members.erase(members.begin() + static_cast<std::ptrdiff_t>(worst));
+  }
+  std::vector<ArchiveEntry> kept;
+  kept.reserve(members.size());
+  for (std::size_t idx : members) kept.push_back(std::move(entries_[idx]));
+  entries_ = std::move(kept);
+}
+
+std::vector<num::Vec> ParetoArchive::objectives() const {
+  std::vector<num::Vec> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.objectives);
+  return out;
+}
+
+std::size_t ParetoArchive::serialized_bytes() const {
+  std::size_t bytes = 3 * sizeof(std::uint64_t);
+  for (const auto& e : entries_) {
+    bytes += 2 * sizeof(std::uint64_t) +
+             (e.theta.size() + e.objectives.size()) * sizeof(double);
+  }
+  return bytes;
+}
+
+void ParetoArchive::save(std::ostream& os) const {
+  write_u64(os, kMagic);
+  write_u64(os, kVersion);
+  write_u64(os, entries_.size());
+  for (const auto& e : entries_) {
+    write_vec(os, e.theta);
+    write_vec(os, e.objectives);
+  }
+  require(os.good(), "archive: serialization failed");
+}
+
+ParetoArchive ParetoArchive::load(std::istream& is) {
+  require(read_u64(is) == kMagic, "archive: bad magic (not an archive?)");
+  require(read_u64(is) == kVersion, "archive: unsupported version");
+  const std::uint64_t n = read_u64(is);
+  require(is.good() && n < (1ULL << 20), "archive: corrupt entry count");
+  ParetoArchive archive;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ArchiveEntry e;
+    e.theta = read_vec(is);
+    e.objectives = read_vec(is);
+    archive.entries_.push_back(std::move(e));
+  }
+  return archive;
+}
+
+void ParetoArchive::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  require(out.good(), "archive: cannot open for writing: " + path);
+  save(out);
+}
+
+ParetoArchive ParetoArchive::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "archive: cannot open for reading: " + path);
+  return load(in);
+}
+
+}  // namespace parmis::runtime

@@ -1,0 +1,71 @@
+// Pareto-set management: pruning to a deployable size and persistence.
+//
+// PaRMIS's search returns every non-dominated (theta, objectives) pair it
+// found; the paper deploys a fixed-size set ("PaRMIS creates 27 policies
+// that form the Pareto front", Sec. V-F, 27 KB of storage).  The archive
+// prunes a front to K representatives with the NSGA-II crowding heuristic
+// (always keeping the per-objective extremes so the trade-off range is
+// preserved) and serializes the result so a userspace governor can load
+// it at boot.
+#ifndef PARMIS_RUNTIME_PARETO_ARCHIVE_HPP
+#define PARMIS_RUNTIME_PARETO_ARCHIVE_HPP
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "numerics/vec.hpp"
+
+namespace parmis::runtime {
+
+/// One deployable entry: policy parameters + measured objectives.
+struct ArchiveEntry {
+  num::Vec theta;
+  num::Vec objectives;  ///< minimization convention
+};
+
+/// A pruned, persistent Pareto set of DRM policies.
+class ParetoArchive {
+ public:
+  ParetoArchive() = default;
+
+  /// Builds an archive from candidate entries: keeps the non-dominated
+  /// subset, then prunes to at most `max_size` members by crowding
+  /// distance (per-objective extremes are always retained).
+  static ParetoArchive build(std::vector<ArchiveEntry> candidates,
+                             std::size_t max_size);
+
+  /// Inserts one entry, dropping any now-dominated members (and the new
+  /// entry itself if dominated).  Re-prunes to the build-time max size.
+  /// Returns true iff the entry joined the archive.
+  bool insert(ArchiveEntry entry);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<ArchiveEntry>& entries() const { return entries_; }
+
+  /// Objective vectors of all members (for PolicySelector).
+  std::vector<num::Vec> objectives() const;
+
+  /// Total serialized size in bytes (Table II deployment figure).
+  std::size_t serialized_bytes() const;
+
+  /// Binary (de)serialization with a versioned header.
+  void save(std::ostream& os) const;
+  static ParetoArchive load(std::istream& is);
+
+  /// Convenience file round-trip; throws parmis::Error on I/O failure.
+  void save_file(const std::string& path) const;
+  static ParetoArchive load_file(const std::string& path);
+
+ private:
+  void prune();
+
+  std::vector<ArchiveEntry> entries_;
+  std::size_t max_size_ = 0;  ///< 0 = unbounded
+};
+
+}  // namespace parmis::runtime
+
+#endif  // PARMIS_RUNTIME_PARETO_ARCHIVE_HPP

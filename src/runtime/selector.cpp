@@ -1,0 +1,83 @@
+#include "runtime/selector.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "moo/pareto.hpp"
+
+namespace parmis::runtime {
+
+PolicySelector::PolicySelector(std::vector<num::Vec> front)
+    : front_(std::move(front)) {
+  require(!front_.empty(), "selector: empty Pareto set");
+  const std::size_t k = front_.front().size();
+  require(k >= 1, "selector: empty objective vectors");
+  for (const auto& p : front_) {
+    require(p.size() == k, "selector: ragged objective vectors");
+  }
+  // Min-max normalize each objective over the set.
+  const num::Vec lo = moo::componentwise_min(front_);
+  const num::Vec hi = moo::componentwise_max(front_);
+  normalized_.reserve(front_.size());
+  for (const auto& p : front_) {
+    num::Vec n(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      const double span = hi[j] - lo[j];
+      n[j] = span > 1e-15 ? (p[j] - lo[j]) / span : 0.0;
+    }
+    normalized_.push_back(std::move(n));
+  }
+  ideal_.assign(k, 0.0);
+}
+
+std::size_t PolicySelector::select(const num::Vec& weights) const {
+  const std::size_t k = front_.front().size();
+  require(weights.size() == k, "selector: weight dimension mismatch");
+  double total = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "selector: weights must be non-negative");
+    total += w;
+  }
+  require(total > 0.0, "selector: weights must not all be zero");
+
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < normalized_.size(); ++i) {
+    double score = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      score += weights[j] / total * normalized_[i][j];
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t PolicySelector::knee_point() const {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < normalized_.size(); ++i) {
+    double d = 0.0;
+    for (double v : normalized_[i]) d += v * v;
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t PolicySelector::best_for_objective(std::size_t j) const {
+  const std::size_t k = front_.front().size();
+  require(j < k, "selector: objective index out of range");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < front_.size(); ++i) {
+    if (front_[i][j] < front_[best][j]) best = i;
+  }
+  return best;
+}
+
+}  // namespace parmis::runtime

@@ -1,0 +1,48 @@
+// Online phase: choosing a DRM policy from the Pareto set at runtime.
+//
+// "Once we have a set of Pareto-frontier DRM policies, we select an
+// appropriate policy at runtime based on the desired trade-off among the
+// design objectives."  (paper Sec. II / Fig. 1, online path)
+// The selector works on minimization-convention objective vectors that
+// are min-max normalized over the Pareto set, so preference weights are
+// unit-free.  A knee-point selector is provided for "no preference".
+#ifndef PARMIS_RUNTIME_SELECTOR_HPP
+#define PARMIS_RUNTIME_SELECTOR_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "numerics/vec.hpp"
+
+namespace parmis::runtime {
+
+/// Selects from a set of objective vectors (minimization convention).
+class PolicySelector {
+ public:
+  /// `front` must be non-empty and rectangular.  Throws otherwise.
+  explicit PolicySelector(std::vector<num::Vec> front);
+
+  /// Index minimizing the weighted sum of normalized objectives.
+  /// `weights` must be non-negative with a positive sum; higher weight =
+  /// that objective matters more (e.g. battery low -> weight energy).
+  std::size_t select(const num::Vec& weights) const;
+
+  /// Index of the knee point: the member closest (L2, normalized) to the
+  /// ideal point of the front — a balanced no-preference default.
+  std::size_t knee_point() const;
+
+  /// Index best for a single objective j (ties by the other objectives).
+  std::size_t best_for_objective(std::size_t j) const;
+
+  std::size_t size() const { return front_.size(); }
+  const std::vector<num::Vec>& front() const { return front_; }
+
+ private:
+  std::vector<num::Vec> front_;
+  std::vector<num::Vec> normalized_;
+  num::Vec ideal_;  ///< normalized per-dimension minima (all zeros)
+};
+
+}  // namespace parmis::runtime
+
+#endif  // PARMIS_RUNTIME_SELECTOR_HPP

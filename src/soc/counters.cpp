@@ -1,0 +1,47 @@
+#include "soc/counters.hpp"
+
+namespace parmis::soc {
+
+namespace {
+
+/// x / (x + scale): monotone squash of [0, inf) onto [0, 1).
+double squash(double x, double scale) {
+  if (x <= 0.0) return 0.0;
+  return x / (x + scale);
+}
+
+}  // namespace
+
+num::Vec HwCounters::to_features() const {
+  // Scale constants are the approximate per-epoch medians observed on the
+  // Exynos model with the default decision, so features center near 0.5.
+  return {
+      squash(instructions_retired, 2.0e8),
+      squash(cpu_cycles, 6.0e8),
+      squash(branch_misses_per_core, 4.0e5),
+      squash(l2_cache_misses, 2.0e6),
+      squash(data_memory_accesses, 8.0e7),
+      squash(noncache_external_requests, 1.5e6),
+      little_utilization_sum / 4.0,
+      big_utilization,
+      squash(total_power_w, 3.0),
+  };
+}
+
+const std::array<std::string, kNumCounterFeatures>&
+HwCounters::feature_names() {
+  static const std::array<std::string, kNumCounterFeatures> names = {
+      "instructions_retired",
+      "cpu_cycles",
+      "branch_misses_per_core",
+      "l2_cache_misses",
+      "data_memory_accesses",
+      "noncache_external_requests",
+      "little_utilization_sum",
+      "big_utilization",
+      "total_power_w",
+  };
+  return names;
+}
+
+}  // namespace parmis::soc

@@ -1,0 +1,53 @@
+// Hardware performance counters — the DRM policy's observable state.
+//
+// Mirrors paper Table I exactly (nine features):
+//   Instructions Retired, CPU Cycles, Branch Miss Predictions Per Core,
+//   Level 2 Cache Misses, Data Memory Accesses, Non-cache External
+//   Memory Requests, Sum of Little Cluster Utilization, Big Cluster
+//   Utilization, Total Chip Power Consumption.
+// to_features() squashes each raw counter into [0, 1) with fixed scale
+// constants so policies see a stable input distribution across apps.
+#ifndef PARMIS_SOC_COUNTERS_HPP
+#define PARMIS_SOC_COUNTERS_HPP
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "numerics/vec.hpp"
+
+namespace parmis::soc {
+
+/// Number of state features fed to a DRM policy (paper Table I).
+inline constexpr std::size_t kNumCounterFeatures = 9;
+
+/// Raw per-epoch hardware counter readings.
+struct HwCounters {
+  double instructions_retired = 0.0;     ///< count (absolute)
+  double cpu_cycles = 0.0;               ///< count, summed over cores
+  double branch_misses_per_core = 0.0;   ///< count / active core
+  double l2_cache_misses = 0.0;          ///< count
+  double data_memory_accesses = 0.0;     ///< count
+  double noncache_external_requests = 0.0; ///< count
+  double little_utilization_sum = 0.0;   ///< sum over little cores in [0,4]
+  double big_utilization = 0.0;          ///< cluster average in [0,1]
+  double total_power_w = 0.0;            ///< measured chip power (W)
+
+  /// Busiest single core's busy fraction.  NOT one of the nine Table I
+  /// policy features — the kernel governors read per-core idle stats
+  /// directly, and Linux ondemand/interactive act on the *maximum* load
+  /// across a policy's CPUs, so the governor models consume this field.
+  double max_core_utilization = 0.0;
+
+  /// Squashed feature vector of size kNumCounterFeatures, each in [0, 1).
+  /// Uses x/(x+s) with per-feature scales — monotone, bounded, and robust
+  /// to the heavy-tailed raw counter distributions.
+  num::Vec to_features() const;
+
+  /// Names matching Table I, aligned with to_features() order.
+  static const std::array<std::string, kNumCounterFeatures>& feature_names();
+};
+
+}  // namespace parmis::soc
+
+#endif  // PARMIS_SOC_COUNTERS_HPP

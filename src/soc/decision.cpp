@@ -1,0 +1,141 @@
+#include "soc/decision.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace parmis::soc {
+
+std::string DrmDecision::to_string(const SocSpec& spec) const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+    if (c) os << ' ';
+    os << spec.clusters[c].name << ':' << active_cores[c] << '@'
+       << spec.clusters[c].dvfs.frequency_mhz(freq_level[c]) << "MHz";
+  }
+  return os.str();
+}
+
+DecisionSpace::DecisionSpace(const SocSpec& spec) : spec_(&spec) {
+  require(!spec.clusters.empty(), "decision space: spec has no clusters");
+  size_ = 1;
+  for (const auto& c : spec.clusters) {
+    active_options_.push_back(c.num_cores - c.min_active + 1);
+    level_options_.push_back(c.dvfs.levels());
+    size_ *= static_cast<std::size_t>(active_options_.back()) *
+             static_cast<std::size_t>(level_options_.back());
+  }
+}
+
+DrmDecision DecisionSpace::decision(std::size_t i) const {
+  require(i < size_, "decision space: index out of range");
+  DrmDecision d;
+  const std::size_t n = spec_->clusters.size();
+  d.active_cores.resize(n);
+  d.freq_level.resize(n);
+  // Mixed-radix decode, cluster-major with (active, level) sub-digits.
+  for (std::size_t c = n; c-- > 0;) {
+    const auto levels = static_cast<std::size_t>(level_options_[c]);
+    const auto actives = static_cast<std::size_t>(active_options_[c]);
+    d.freq_level[c] = static_cast<int>(i % levels);
+    i /= levels;
+    d.active_cores[c] =
+        spec_->clusters[c].min_active + static_cast<int>(i % actives);
+    i /= actives;
+  }
+  return d;
+}
+
+std::size_t DecisionSpace::index(const DrmDecision& d) const {
+  require(is_valid(d), "decision space: invalid decision");
+  std::size_t i = 0;
+  for (std::size_t c = 0; c < spec_->clusters.size(); ++c) {
+    i = i * static_cast<std::size_t>(active_options_[c]) +
+        static_cast<std::size_t>(d.active_cores[c] -
+                                 spec_->clusters[c].min_active);
+    i = i * static_cast<std::size_t>(level_options_[c]) +
+        static_cast<std::size_t>(d.freq_level[c]);
+  }
+  return i;
+}
+
+bool DecisionSpace::is_valid(const DrmDecision& d) const {
+  if (d.active_cores.size() != spec_->clusters.size()) return false;
+  if (d.freq_level.size() != spec_->clusters.size()) return false;
+  for (std::size_t c = 0; c < spec_->clusters.size(); ++c) {
+    const auto& cluster = spec_->clusters[c];
+    if (d.active_cores[c] < cluster.min_active ||
+        d.active_cores[c] > cluster.num_cores) {
+      return false;
+    }
+    if (d.freq_level[c] < 0 || d.freq_level[c] >= cluster.dvfs.levels()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> DecisionSpace::knob_cardinalities() const {
+  std::vector<int> out;
+  for (std::size_t c = 0; c < spec_->clusters.size(); ++c) {
+    out.push_back(active_options_[c]);
+    out.push_back(level_options_[c]);
+  }
+  return out;
+}
+
+DrmDecision DecisionSpace::from_knobs(const std::vector<int>& knobs) const {
+  require(knobs.size() == 2 * spec_->clusters.size(),
+          "from_knobs: expected two knobs per cluster");
+  DrmDecision d;
+  for (std::size_t c = 0; c < spec_->clusters.size(); ++c) {
+    const auto& cluster = spec_->clusters[c];
+    const int active = std::clamp(knobs[2 * c], 0, active_options_[c] - 1) +
+                       cluster.min_active;
+    const int level = std::clamp(knobs[2 * c + 1], 0, level_options_[c] - 1);
+    d.active_cores.push_back(active);
+    d.freq_level.push_back(level);
+  }
+  return d;
+}
+
+std::vector<int> DecisionSpace::to_knobs(const DrmDecision& d) const {
+  require(is_valid(d), "to_knobs: invalid decision");
+  std::vector<int> knobs;
+  knobs.reserve(2 * spec_->clusters.size());
+  for (std::size_t c = 0; c < spec_->clusters.size(); ++c) {
+    knobs.push_back(d.active_cores[c] - spec_->clusters[c].min_active);
+    knobs.push_back(d.freq_level[c]);
+  }
+  return knobs;
+}
+
+DrmDecision DecisionSpace::default_decision() const {
+  DrmDecision d;
+  for (const auto& cluster : spec_->clusters) {
+    d.active_cores.push_back(cluster.num_cores);
+    d.freq_level.push_back(cluster.dvfs.levels() / 2);
+  }
+  return d;
+}
+
+DrmDecision DecisionSpace::max_performance_decision() const {
+  DrmDecision d;
+  for (const auto& cluster : spec_->clusters) {
+    d.active_cores.push_back(cluster.num_cores);
+    d.freq_level.push_back(cluster.dvfs.levels() - 1);
+  }
+  return d;
+}
+
+DrmDecision DecisionSpace::min_power_decision() const {
+  DrmDecision d;
+  for (const auto& cluster : spec_->clusters) {
+    d.active_cores.push_back(cluster.min_active);
+    d.freq_level.push_back(0);
+  }
+  return d;
+}
+
+}  // namespace parmis::soc

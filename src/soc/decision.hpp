@@ -1,0 +1,78 @@
+// DRM decisions and the enumerable per-epoch decision space.
+//
+// A decision fixes, for every cluster, how many cores are active and
+// which DVFS level the cluster runs at — the four-tuple
+// (a_big, a_little, f_big, f_little) of paper Sec. II.  DecisionSpace
+// provides a dense bijection between decisions and indices so baselines
+// (IL's exhaustive oracle, DyPO) can sweep all 4940 candidates.
+#ifndef PARMIS_SOC_DECISION_HPP
+#define PARMIS_SOC_DECISION_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "soc/spec.hpp"
+
+namespace parmis::soc {
+
+/// One resource-management decision: per-cluster (active cores, level).
+struct DrmDecision {
+  std::vector<int> active_cores;  ///< one entry per cluster
+  std::vector<int> freq_level;    ///< DVFS ladder position per cluster
+
+  bool operator==(const DrmDecision&) const = default;
+
+  /// "big:4@2000MHz little:1@600MHz" style debug string.
+  std::string to_string(const SocSpec& spec) const;
+};
+
+/// Dense enumeration of all admissible decisions for a SocSpec.
+class DecisionSpace {
+ public:
+  explicit DecisionSpace(const SocSpec& spec);
+
+  /// Total number of decisions (4940 for the Exynos 5422 spec).
+  std::size_t size() const { return size_; }
+
+  /// Decision at dense index `i` in [0, size()).
+  DrmDecision decision(std::size_t i) const;
+
+  /// Dense index of `d`; throws if `d` is not admissible for the spec.
+  std::size_t index(const DrmDecision& d) const;
+
+  /// True iff `d` respects core-count and frequency-level bounds.
+  bool is_valid(const DrmDecision& d) const;
+
+  /// Per-knob cardinalities, flattened cluster-major as
+  /// [active_0, level_0, active_1, level_1, ...].  These are the output
+  /// head sizes of the policy MLPs (e.g. 5, 19, 4, 13 for Exynos).
+  std::vector<int> knob_cardinalities() const;
+
+  /// Builds a decision from per-knob choices in the same order as
+  /// knob_cardinalities(); values are clamped into range.
+  DrmDecision from_knobs(const std::vector<int>& knob_values) const;
+
+  /// Inverse of from_knobs: per-knob indices for a valid decision.
+  std::vector<int> to_knobs(const DrmDecision& decision) const;
+
+  /// A mid-range default decision (used for the first epoch before any
+  /// counters exist): all cores on, middle frequencies.
+  DrmDecision default_decision() const;
+
+  /// Max-everything and min-everything decisions (governor endpoints).
+  DrmDecision max_performance_decision() const;
+  DrmDecision min_power_decision() const;
+
+  const SocSpec& spec() const { return *spec_; }
+
+ private:
+  const SocSpec* spec_;  // non-owning; SocSpec outlives the space
+  std::size_t size_ = 0;
+  std::vector<int> active_options_;  // per cluster
+  std::vector<int> level_options_;   // per cluster
+};
+
+}  // namespace parmis::soc
+
+#endif  // PARMIS_SOC_DECISION_HPP

@@ -1,0 +1,49 @@
+#include "soc/dvfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parmis::soc {
+
+DvfsTable::DvfsTable(int min_mhz, int max_mhz, int step_mhz)
+    : min_mhz_(min_mhz), max_mhz_(max_mhz), step_mhz_(step_mhz) {
+  require(min_mhz > 0, "dvfs: min frequency must be positive");
+  require(step_mhz > 0, "dvfs: step must be positive");
+  require(max_mhz >= min_mhz, "dvfs: max must be >= min");
+  require((max_mhz - min_mhz) % step_mhz == 0,
+          "dvfs: range must be a multiple of the step");
+  levels_ = (max_mhz - min_mhz) / step_mhz + 1;
+}
+
+int DvfsTable::frequency_mhz(int level) const {
+  require(level >= 0 && level < levels_, "dvfs: level out of range");
+  return min_mhz_ + level * step_mhz_;
+}
+
+double DvfsTable::frequency_ghz(int level) const {
+  return static_cast<double>(frequency_mhz(level)) / 1000.0;
+}
+
+int DvfsTable::level_for_mhz(double mhz) const {
+  const double raw = (mhz - static_cast<double>(min_mhz_)) /
+                     static_cast<double>(step_mhz_);
+  const int level = static_cast<int>(std::lround(raw));
+  return std::clamp(level, 0, levels_ - 1);
+}
+
+OppCurve::OppCurve(double v_at_fmin, double v_at_fmax, double fmin_ghz,
+                   double fmax_ghz)
+    : v_min_(v_at_fmin), v_max_(v_at_fmax), f_min_(fmin_ghz),
+      f_max_(fmax_ghz) {
+  require(v_at_fmin > 0.0 && v_at_fmax >= v_at_fmin,
+          "opp: voltages must be positive and non-decreasing");
+  require(fmax_ghz > fmin_ghz, "opp: fmax must exceed fmin");
+}
+
+double OppCurve::voltage(double f_ghz) const {
+  const double f = std::clamp(f_ghz, f_min_, f_max_);
+  const double t = (f - f_min_) / (f_max_ - f_min_);
+  return v_min_ + t * (v_max_ - v_min_);
+}
+
+}  // namespace parmis::soc

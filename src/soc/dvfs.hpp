@@ -1,0 +1,65 @@
+// DVFS frequency tables and operating-performance-point voltage curves.
+//
+// Each cluster of the Exynos 5422 exposes a discrete frequency ladder
+// (paper Sec. V-A: big 200 MHz..2 GHz, little 200 MHz..1.4 GHz, both in
+// 100 MHz steps).  Voltage scales with frequency along the cluster's OPP
+// curve, which is what makes energy superlinear in frequency and creates
+// the energy/performance trade-off the whole paper is about.
+#ifndef PARMIS_SOC_DVFS_HPP
+#define PARMIS_SOC_DVFS_HPP
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace parmis::soc {
+
+/// Discrete DVFS ladder: min..max in fixed MHz steps, inclusive.
+class DvfsTable {
+ public:
+  DvfsTable(int min_mhz, int max_mhz, int step_mhz);
+
+  int levels() const { return levels_; }
+  int min_mhz() const { return min_mhz_; }
+  int max_mhz() const { return max_mhz_; }
+  int step_mhz() const { return step_mhz_; }
+
+  /// Frequency in MHz at ladder position `level` in [0, levels).
+  int frequency_mhz(int level) const;
+
+  /// Frequency in GHz at ladder position `level`.
+  double frequency_ghz(int level) const;
+
+  /// Ladder position of the closest admissible frequency to `mhz`.
+  int level_for_mhz(double mhz) const;
+
+ private:
+  int min_mhz_;
+  int max_mhz_;
+  int step_mhz_;
+  int levels_;
+};
+
+/// Linear voltage/frequency operating curve: V(f) interpolates
+/// [v_at_fmin, v_at_fmax] over the cluster's frequency range.
+class OppCurve {
+ public:
+  OppCurve(double v_at_fmin, double v_at_fmax, double fmin_ghz,
+           double fmax_ghz);
+
+  /// Supply voltage (V) at frequency `f_ghz`, clamped to the curve range.
+  double voltage(double f_ghz) const;
+
+  double v_min() const { return v_min_; }
+  double v_max() const { return v_max_; }
+
+ private:
+  double v_min_;
+  double v_max_;
+  double f_min_;
+  double f_max_;
+};
+
+}  // namespace parmis::soc
+
+#endif  // PARMIS_SOC_DVFS_HPP

@@ -1,0 +1,227 @@
+#include "soc/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace parmis::soc {
+
+PerfModel::PerfModel(const SocSpec& spec, PerfModelParams params)
+    : spec_(&spec), params_(params) {
+  require(!spec.clusters.empty(), "perf model: spec has no clusters");
+}
+
+double PerfModel::core_throughput_gips(std::size_t cluster_index, double f_ghz,
+                                       const EpochWorkload& w) const {
+  require(cluster_index < spec_->clusters.size(),
+          "perf model: cluster index out of range");
+  const ClusterSpec& c = spec_->clusters[cluster_index];
+  const double affinity = 1.0 - c.little_penalty * w.big_affinity;
+  const double base_ipc = c.ipc_peak * w.ilp * affinity;
+  ensure(base_ipc > 0.0, "perf model: non-positive base IPC");
+  double cpi = 1.0 / base_ipc;
+  cpi += w.branch_miss_rate * c.branch_sensitivity;
+  cpi += w.mem_bytes_per_instr * c.mem_kappa * f_ghz;
+  return f_ghz / cpi;
+}
+
+EpochResult PerfModel::run_epoch(const EpochWorkload& w,
+                                 const DrmDecision& d) const {
+  w.validate();
+  // Inline validity check (run_epoch is the innermost hot loop; building a
+  // DecisionSpace here would dominate the IL oracle's exhaustive sweeps).
+  require(d.active_cores.size() == spec_->clusters.size() &&
+              d.freq_level.size() == spec_->clusters.size(),
+          "perf model: decision shape does not match spec");
+  for (std::size_t c = 0; c < spec_->clusters.size(); ++c) {
+    const ClusterSpec& cl = spec_->clusters[c];
+    require(d.active_cores[c] >= cl.min_active &&
+                d.active_cores[c] <= cl.num_cores,
+            "perf model: active-core count out of range");
+    require(d.freq_level[c] >= 0 && d.freq_level[c] < cl.dvfs.levels(),
+            "perf model: frequency level out of range");
+  }
+
+  const std::size_t n_clusters = spec_->clusters.size();
+  EpochResult out;
+  out.cluster_power_w.assign(n_clusters, 0.0);
+
+  // Per-cluster busy-core throughput at the decided frequency.
+  std::vector<double> tput(n_clusters, 0.0);   // GIPS per busy core
+  std::vector<double> f_ghz(n_clusters, 0.0);
+  int total_active = 0;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    f_ghz[c] = spec_->clusters[c].dvfs.frequency_ghz(d.freq_level[c]);
+    tput[c] = core_throughput_gips(c, f_ghz[c], w);
+    total_active += d.active_cores[c];
+  }
+  require(total_active >= 1, "perf model: at least one core must be active");
+
+  // OS-reserved cores (each cluster's min_active, i.e. the little core
+  // that "has to be ON at all times to manage the operating system",
+  // paper Sec. V-A) do not run application threads: userspace DRM
+  // governors pin the app to the remaining cores.  If that leaves no
+  // cores at all, the app shares the reserved core (degraded fallback).
+  std::vector<int> app_cores(n_clusters, 0);
+  int total_app_cores = 0;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    app_cores[c] =
+        std::max(0, d.active_cores[c] - spec_->clusters[c].min_active);
+    total_app_cores += app_cores[c];
+  }
+  if (total_app_cores == 0) {
+    app_cores.assign(d.active_cores.begin(), d.active_cores.end());
+    for (int a : app_cores) total_app_cores += a;
+  }
+
+  // --- serial phase: fastest single application core ---
+  std::size_t serial_cluster = 0;
+  double serial_tput = 0.0;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    if (app_cores[c] > 0 && tput[c] > serial_tput) {
+      serial_tput = tput[c];
+      serial_cluster = c;
+    }
+  }
+  ensure(serial_tput > 0.0, "perf model: no application core available");
+
+  const double work_serial = w.instructions_g * (1.0 - w.parallel_fraction);
+  const double work_parallel = w.instructions_g * w.parallel_fraction;
+  const double t_serial = work_serial > 0.0 ? work_serial / serial_tput : 0.0;
+
+  // --- parallel phase: application cores, three de-rates ---
+  double raw_parallel_tput = 0.0;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    raw_parallel_tput += app_cores[c] * tput[c];
+  }
+  // (1) scheduling/synchronization overhead per extra thread;
+  const double sched_eta = std::max(
+      0.2, 1.0 - params_.sched_overhead_per_core * (total_app_cores - 1));
+  double parallel_tput = raw_parallel_tput * sched_eta;
+  // (2) heterogeneous straggler imbalance: when big and little cores
+  // share irregular (branchy) parallel work, chunk-cost variance defeats
+  // work stealing and the slow cores gate the barrier.
+  {
+    double t_min = 0.0, t_max = 0.0;
+    int participating = 0;
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+      if (app_cores[c] == 0) continue;
+      ++participating;
+      t_min = participating == 1 ? tput[c] : std::min(t_min, tput[c]);
+      t_max = participating == 1 ? tput[c] : std::max(t_max, tput[c]);
+    }
+    if (participating >= 2 && t_max > 0.0) {
+      const double irregularity = std::min(1.0, w.branch_miss_rate / 0.01);
+      const double penalty =
+          params_.straggler_coeff * (1.0 - t_min / t_max) * irregularity;
+      parallel_tput *= std::max(0.2, 1.0 - penalty);
+    }
+  }
+  // (3) shared-DRAM bandwidth saturation (below).
+  const double traffic_gbs = parallel_tput * w.mem_bytes_per_instr;
+  if (traffic_gbs > spec_->mem_bandwidth_gbs && traffic_gbs > 0.0) {
+    // Saturated DRAM: queueing makes over-subscription actively harmful
+    // (exponent > 1), so piling more cores onto a memory-bound phase
+    // reduces throughput — the effect that lets learned policies beat
+    // the performance governor on *both* time and energy (paper Fig. 3).
+    const double ratio = spec_->mem_bandwidth_gbs / traffic_gbs;
+    parallel_tput *= std::pow(ratio, params_.contention_exponent);
+  }
+  const double t_parallel =
+      work_parallel > 0.0 ? work_parallel / parallel_tput : 0.0;
+
+  const double time = t_serial + t_parallel;
+  ensure(time > 0.0, "perf model: non-positive epoch time");
+  out.time_s = time;
+
+  // --- per-cluster energy over the two phases ---
+  double energy = 0.0;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    const ClusterSpec& cl = spec_->clusters[c];
+    const int a = d.active_cores[c];
+    if (a == 0) continue;  // hot-plugged off: no power
+    const double p_dyn = cl.core_dynamic_power(f_ghz[c]);
+    const double p_leak = cl.core_leakage_power(f_ghz[c]);
+    const double p_idle = cl.idle_dynamic_fraction * p_dyn + p_leak;
+    const double p_busy = p_dyn + p_leak;
+
+    // Parallel phase: the application cores are busy; online-but-
+    // reserved/unused cores draw idle power.
+    const int busy_par = app_cores[c];
+    double cluster_energy =
+        (busy_par * p_busy + (a - busy_par) * p_idle) * t_parallel;
+    // Serial phase: one busy core in the serial cluster, rest idle.
+    if (c == serial_cluster) {
+      cluster_energy += (p_busy + (a - 1) * p_idle) * t_serial;
+    } else {
+      cluster_energy += a * p_idle * t_serial;
+    }
+    out.cluster_power_w[c] = cluster_energy / time;
+    energy += cluster_energy;
+  }
+
+  // --- memory + uncore energy ---
+  const double bytes_g = w.instructions_g * w.mem_bytes_per_instr;
+  const double mem_energy = spec_->mem_power_per_gbs * bytes_g;
+  const double uncore_energy = spec_->uncore_power_w * time;
+  out.mem_power_w = mem_energy / time;
+  out.uncore_power_w = spec_->uncore_power_w;
+  energy += mem_energy + uncore_energy;
+
+  out.energy_j = energy;
+  out.avg_power_w = energy / time;
+
+  // --- hardware counters (paper Table I) ---
+  HwCounters& hc = out.counters;
+  const double instr = w.instructions_g * 1e9;
+  hc.instructions_retired = instr;
+
+  double cycles = 0.0;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    double busy_core_seconds = app_cores[c] * t_parallel;
+    if (c == serial_cluster && app_cores[c] > 0) {
+      busy_core_seconds += t_serial;
+    }
+    cycles += f_ghz[c] * 1e9 * busy_core_seconds;
+  }
+  hc.cpu_cycles = cycles;
+  hc.branch_misses_per_core =
+      instr * w.branch_miss_rate / static_cast<double>(total_active);
+  hc.l2_cache_misses = bytes_g * 1e9 * params_.l2_miss_per_byte;
+  hc.data_memory_accesses =
+      instr * params_.mem_access_rate * (1.0 + w.mem_bytes_per_instr);
+  hc.noncache_external_requests =
+      hc.l2_cache_misses * params_.external_request_fraction;
+
+  // Utilizations: during the parallel phase the application cores are
+  // busy; during the serial phase only the serial core is.
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    const int a = d.active_cores[c];
+    if (a == 0) continue;
+    double busy = app_cores[c] * t_parallel;
+    if (c == serial_cluster) busy += t_serial;
+    // The scheduler counts I/O / sync slack as idle, so every
+    // kernel-visible utilization is scaled by the epoch's duty cycle.
+    const double util = w.duty * busy / (a * time);
+    if (spec_->clusters[c].name.rfind("little", 0) == 0) {
+      hc.little_utilization_sum += util * a;
+    } else {
+      hc.big_utilization = std::max(hc.big_utilization, util);
+    }
+    // Busiest core of this cluster: the serial core stays busy through
+    // both phases; other application cores are busy in the parallel
+    // phase; clusters with only OS-reserved cores see background load.
+    const double busiest =
+        app_cores[c] > 0
+            ? w.duty * (t_parallel +
+                        (c == serial_cluster ? t_serial : 0.0)) /
+                  time
+            : 0.05;
+    hc.max_core_utilization = std::max(hc.max_core_utilization, busiest);
+  }
+  hc.total_power_w = out.avg_power_w;
+  return out;
+}
+
+}  // namespace parmis::soc

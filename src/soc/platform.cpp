@@ -1,0 +1,71 @@
+#include "soc/platform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace parmis::soc {
+
+Platform::Platform(const SocSpec& spec, PlatformConfig config,
+                   PerfModelParams model_params)
+    : spec_(&spec),
+      model_(spec, model_params),
+      space_(spec),
+      config_(config),
+      sensor_rng_(config.noise_seed) {
+  require(config.sensor_noise_sd >= 0.0 && config.sensor_noise_sd < 0.5,
+          "platform: sensor noise sd must lie in [0, 0.5)");
+}
+
+EpochResult Platform::run_epoch(const EpochWorkload& workload,
+                                const DrmDecision& decision,
+                                const std::optional<DrmDecision>& previous) {
+  EpochResult r = model_.run_epoch(workload, decision);
+
+  // Reconfiguration costs relative to the previous epoch:
+  //  * DVFS switch per cluster whose frequency level changed (PLL relock
+  //    + voltage ramp), and
+  //  * core hotplug per core brought online/offline (cache flush, thread
+  //    migration, kernel hotplug latency) — an order of magnitude more
+  //    expensive, which is what makes config-thrashing policies (and
+  //    myopic per-epoch oracles that ignore this coupling) pay a real
+  //    closed-loop penalty.
+  if (config_.charge_dvfs_transitions && previous.has_value()) {
+    double stall = 0.0;
+    for (std::size_t c = 0; c < decision.freq_level.size() &&
+                            c < previous->freq_level.size();
+         ++c) {
+      if (decision.freq_level[c] != previous->freq_level[c]) {
+        stall += spec_->dvfs_transition_s;
+      }
+      const int toggled =
+          std::abs(decision.active_cores[c] - previous->active_cores[c]);
+      stall += toggled * spec_->hotplug_transition_s;
+    }
+    if (stall > 0.0) {
+      r.time_s += stall;
+      r.energy_j += stall * r.avg_power_w;
+      r.avg_power_w = r.energy_j / r.time_s;
+    }
+  }
+
+  // Sensor noise on power-derived observables only (time comes from the
+  // cycle counter, which is precise).
+  if (config_.sensor_noise_sd > 0.0) {
+    const double factor = std::max(
+        0.5, 1.0 + sensor_rng_.normal(0.0, config_.sensor_noise_sd));
+    r.energy_j *= factor;
+    r.avg_power_w *= factor;
+    r.counters.total_power_w *= factor;
+    for (double& p : r.cluster_power_w) p *= factor;
+    r.mem_power_w *= factor;
+  }
+  return r;
+}
+
+void Platform::reseed_sensors(std::uint64_t seed) {
+  sensor_rng_ = Rng(seed);
+}
+
+}  // namespace parmis::soc

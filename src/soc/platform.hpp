@@ -1,0 +1,59 @@
+// Platform: the simulated board — model + sensors + DVFS switch costs.
+//
+// Wraps PerfModel with the two effects a userspace governor sees on the
+// real Odroid-XU3 but a pure analytical model misses:
+//  * per-cluster DVFS transition latency when consecutive epochs change
+//    frequency (time and energy are charged to the epoch), and
+//  * current-sensor measurement noise on power/energy readings (the
+//    INA231 sensors on the board are noisy; the GP's i.i.d. observation
+//    noise assumption in the paper exists precisely because of this).
+// Determinism: noise is drawn from an owned seeded Rng; a Platform with
+// noise_sd = 0 is bit-exact reproducible.
+#ifndef PARMIS_SOC_PLATFORM_HPP
+#define PARMIS_SOC_PLATFORM_HPP
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "soc/perf_model.hpp"
+
+namespace parmis::soc {
+
+/// Platform construction options.
+struct PlatformConfig {
+  double sensor_noise_sd = 0.0;  ///< relative sd of power/energy readings
+  std::uint64_t noise_seed = 42;
+  bool charge_dvfs_transitions = true;
+};
+
+/// The simulated board a DRM policy executes against.
+class Platform {
+ public:
+  Platform(const SocSpec& spec, PlatformConfig config = {},
+           PerfModelParams model_params = {});
+
+  /// Runs one epoch.  If `previous` is given and differs in any cluster
+  /// frequency, the configured DVFS transition cost is charged.
+  EpochResult run_epoch(const EpochWorkload& workload,
+                        const DrmDecision& decision,
+                        const std::optional<DrmDecision>& previous =
+                            std::nullopt);
+
+  const SocSpec& spec() const { return *spec_; }
+  const PerfModel& model() const { return model_; }
+  const DecisionSpace& decision_space() const { return space_; }
+
+  /// Resets the sensor-noise stream (e.g. between repeated evaluations).
+  void reseed_sensors(std::uint64_t seed);
+
+ private:
+  const SocSpec* spec_;  // non-owning; spec outlives the platform
+  PerfModel model_;
+  DecisionSpace space_;
+  PlatformConfig config_;
+  Rng sensor_rng_;
+};
+
+}  // namespace parmis::soc
+
+#endif  // PARMIS_SOC_PLATFORM_HPP

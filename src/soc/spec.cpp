@@ -1,0 +1,99 @@
+#include "soc/spec.hpp"
+
+#include "common/error.hpp"
+
+namespace parmis::soc {
+
+double ClusterSpec::core_dynamic_power(double f_ghz) const {
+  const double v = opp.voltage(f_ghz);
+  // P = C_eff * V^2 * f ; ceff in nF and f in GHz cancel the 1e-9/1e9.
+  return ceff_nf * v * v * f_ghz;
+}
+
+double ClusterSpec::core_leakage_power(double f_ghz) const {
+  const double v = opp.voltage(f_ghz);
+  return leak_w * v * v;  // leakage grows ~quadratically with V here
+}
+
+std::size_t SocSpec::decision_space_size() const {
+  std::size_t n = 1;
+  for (const auto& c : clusters) {
+    const std::size_t active_options =
+        static_cast<std::size_t>(c.num_cores - c.min_active) + 1;
+    n *= active_options * static_cast<std::size_t>(c.dvfs.levels());
+  }
+  return n;
+}
+
+std::size_t SocSpec::cluster_index(const std::string& cluster_name) const {
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    if (clusters[i].name == cluster_name) return i;
+  }
+  require(false, "unknown cluster name: " + cluster_name);
+  return 0;  // unreachable
+}
+
+SocSpec SocSpec::exynos5422() {
+  SocSpec spec;
+  spec.name = "exynos5422";
+
+  ClusterSpec big{
+      .name = "big",
+      .num_cores = 4,
+      .min_active = 0,
+      .dvfs = DvfsTable(200, 2000, 100),            // 19 levels
+      .opp = OppCurve(0.90, 1.25, 0.2, 2.0),
+      .ipc_peak = 2.2,        // Cortex-A15: 3-wide out-of-order
+      .branch_sensitivity = 8.0,
+      .mem_kappa = 0.60,
+      .little_penalty = 0.0,
+      .ceff_nf = 0.38,
+      .leak_w = 0.11,
+      .idle_dynamic_fraction = 0.05,
+  };
+
+  ClusterSpec little{
+      .name = "little",
+      .num_cores = 4,
+      .min_active = 1,  // one little core must stay on for the OS
+      .dvfs = DvfsTable(200, 1400, 100),            // 13 levels
+      .opp = OppCurve(0.90, 1.20, 0.2, 1.4),
+      .ipc_peak = 1.0,        // Cortex-A7: 2-wide in-order
+      .branch_sensitivity = 3.0,
+      .mem_kappa = 0.45,
+      .little_penalty = 0.40,  // ILP-heavy code loses more on the A7
+      .ceff_nf = 0.10,
+      .leak_w = 0.02,
+      .idle_dynamic_fraction = 0.05,
+  };
+
+  spec.clusters = {big, little};
+  // Effective (not theoretical) LPDDR3-933 bandwidth under mixed
+  // read/write with bank conflicts; the 14.9 GB/s peak never sustains.
+  spec.mem_bandwidth_gbs = 4.0;
+  spec.uncore_power_w = 0.25;
+  spec.mem_power_per_gbs = 0.05;
+  spec.dvfs_transition_s = 300e-6;
+  spec.hotplug_transition_s = 8e-3;
+  return spec;
+}
+
+SocSpec SocSpec::manycore16() {
+  SocSpec spec = exynos5422();
+  spec.name = "manycore16";
+  // Two big-class and two little-class clusters of four cores each.
+  ClusterSpec big2 = spec.clusters[0];
+  big2.name = "big1";
+  spec.clusters[0].name = "big0";
+  ClusterSpec little2 = spec.clusters[1];
+  little2.name = "little1";
+  little2.min_active = 0;  // only the primary little cluster hosts the OS
+  spec.clusters[1].name = "little0";
+  spec.clusters.push_back(big2);
+  spec.clusters.push_back(little2);
+  spec.mem_bandwidth_gbs = 9.0;   // wider memory system
+  spec.uncore_power_w = 0.45;
+  return spec;
+}
+
+}  // namespace parmis::soc

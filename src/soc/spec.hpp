@@ -1,0 +1,79 @@
+// Hardware specification of a heterogeneous SoC (clusters + shared fabric).
+//
+// The default spec models the Samsung Exynos 5422 used by the paper
+// (Odroid-XU3): four Cortex-A15 "big" out-of-order cores and four
+// Cortex-A7 "little" in-order cores, per-cluster DVFS, shared LPDDR3
+// memory.  Parameter values are calibrated so that simulated execution
+// times, powers and energies land in the ranges visible in the paper's
+// figures (Fig. 3: Qsort 1-4 s / 1.5-3.5 J; Fig. 6: Basicmath 5-20 s).
+// A 16-core 4-cluster "manycore" spec supports the paper's future-work
+// scaling study (ablation bench A4).
+#ifndef PARMIS_SOC_SPEC_HPP
+#define PARMIS_SOC_SPEC_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "soc/dvfs.hpp"
+
+namespace parmis::soc {
+
+/// Static description and model parameters of one core cluster.
+struct ClusterSpec {
+  std::string name;       ///< "big", "little", ...
+  int num_cores = 4;
+  int min_active = 0;     ///< little cluster keeps >= 1 core for the OS
+  DvfsTable dvfs;
+  OppCurve opp;
+
+  // --- performance model parameters ---
+  double ipc_peak = 2.0;       ///< best-case instructions/cycle per core
+  double branch_sensitivity = 8.0;  ///< IPC penalty per misprediction rate
+  double mem_kappa = 0.6;     ///< memory-latency stall factor (per byte/instr per GHz)
+  double little_penalty = 0.0; ///< extra IPC derate for big-affine code (0 for big)
+
+  // --- power model parameters ---
+  double ceff_nf = 0.45;      ///< effective switched capacitance per core (nF)
+  double leak_w = 0.10;       ///< leakage per active core at 1.0 V (W)
+  double idle_dynamic_fraction = 0.05;  ///< clock-gated dynamic residue
+
+  /// Dynamic power (W) of one fully busy core at frequency f (GHz).
+  double core_dynamic_power(double f_ghz) const;
+
+  /// Leakage power (W) of one powered-on core at frequency f's voltage.
+  double core_leakage_power(double f_ghz) const;
+};
+
+/// Whole-SoC specification.
+struct SocSpec {
+  std::string name;
+  std::vector<ClusterSpec> clusters;
+
+  double mem_bandwidth_gbs = 8.0;   ///< shared memory bandwidth (GB/s)
+  double uncore_power_w = 0.25;     ///< interconnect + always-on blocks (W)
+  double mem_power_per_gbs = 0.05;  ///< DRAM power per GB/s of traffic (W)
+  double dvfs_transition_s = 300e-6; ///< per-cluster frequency-switch cost
+                                     ///< (PLL relock + voltage ramp)
+  double hotplug_transition_s = 8e-3; ///< per-core on/off cost (cache flush,
+                                      ///< thread migration, kernel hotplug)
+
+  /// Number of candidate DRM decisions per epoch:
+  ///   prod over clusters of (active-core options * frequency levels).
+  /// 4940 for the Exynos 5422 spec (paper Sec. V-A).
+  std::size_t decision_space_size() const;
+
+  /// Index of the cluster named `name`; throws if absent.
+  std::size_t cluster_index(const std::string& name) const;
+
+  /// The paper's platform: Odroid-XU3 / Exynos 5422.
+  static SocSpec exynos5422();
+
+  /// Future-work platform: four clusters (2 big-class, 2 little-class),
+  /// 16 cores total, wider memory system.
+  static SocSpec manycore16();
+};
+
+}  // namespace parmis::soc
+
+#endif  // PARMIS_SOC_SPEC_HPP

@@ -1,0 +1,53 @@
+#include "soc/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace parmis::soc {
+
+ThermalModel::ThermalModel(ThermalParams params)
+    : params_(params), temperature_(params.ambient_c) {
+  require(params.resistance_c_per_w > 0.0, "thermal: R must be positive");
+  require(params.capacitance_j_per_c > 0.0, "thermal: C must be positive");
+  require(params.trip_point_c > params.release_point_c,
+          "thermal: trip point must exceed release point");
+}
+
+double ThermalModel::step(double power_w, double dt_s) {
+  require(power_w >= 0.0, "thermal: negative power");
+  require(dt_s >= 0.0, "thermal: negative time step");
+  const double target = steady_state_c(power_w);
+  const double tau = params_.resistance_c_per_w * params_.capacitance_j_per_c;
+  temperature_ = target + (temperature_ - target) * std::exp(-dt_s / tau);
+  if (temperature_ >= params_.trip_point_c) throttled_ = true;
+  if (temperature_ <= params_.release_point_c) throttled_ = false;
+  return temperature_;
+}
+
+double ThermalModel::steady_state_c(double power_w) const {
+  return params_.ambient_c + power_w * params_.resistance_c_per_w;
+}
+
+DrmDecision ThermalModel::apply_throttle(const SocSpec& spec,
+                                         DrmDecision decision,
+                                         double throttle_cap_fraction) const {
+  require(throttle_cap_fraction > 0.0 && throttle_cap_fraction <= 1.0,
+          "thermal: cap fraction must lie in (0, 1]");
+  if (!throttled_) return decision;
+  for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+    const int cap = std::max(
+        0, static_cast<int>(throttle_cap_fraction *
+                            (spec.clusters[c].dvfs.levels() - 1)));
+    decision.freq_level[c] = std::min(decision.freq_level[c], cap);
+  }
+  return decision;
+}
+
+void ThermalModel::reset() {
+  temperature_ = params_.ambient_c;
+  throttled_ = false;
+}
+
+}  // namespace parmis::soc

@@ -1,0 +1,62 @@
+// Lumped RC thermal model with optional DVFS throttling (extension).
+//
+// The paper does not evaluate thermals, but any deployed DRM governor
+// must coexist with the SoC's thermal limits, so the simulator provides
+// a first-order RC model:  dT/dt = (P * R - (T - T_amb)) / (R * C).
+// Integrated exactly over an epoch of constant power:
+//   T(t+dt) = T_amb + P*R + (T - T_amb - P*R) * exp(-dt / (R*C))
+// A ThermalGovernor wrapper can clamp frequency levels when the
+// temperature exceeds a trip point, mimicking the kernel's thermal zone.
+#ifndef PARMIS_SOC_THERMAL_HPP
+#define PARMIS_SOC_THERMAL_HPP
+
+#include "soc/decision.hpp"
+#include "soc/spec.hpp"
+
+namespace parmis::soc {
+
+/// RC parameters for the lumped SoC thermal node.
+struct ThermalParams {
+  double ambient_c = 25.0;
+  double resistance_c_per_w = 8.0;  ///< steady-state rise per watt
+  double capacitance_j_per_c = 6.0; ///< thermal mass
+  double trip_point_c = 85.0;       ///< throttle threshold
+  double release_point_c = 75.0;    ///< hysteresis release
+};
+
+/// Stateful thermal integrator.
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalParams params = {});
+
+  /// Advances the model by `dt_s` seconds at constant power `power_w`;
+  /// returns the temperature at the end of the interval.
+  double step(double power_w, double dt_s);
+
+  double temperature_c() const { return temperature_; }
+
+  /// Steady-state temperature at constant power.
+  double steady_state_c(double power_w) const;
+
+  /// True while the throttle latch is engaged (trip/release hysteresis).
+  bool throttled() const { return throttled_; }
+
+  /// Applies the throttle policy to a decision: when throttled, caps
+  /// every cluster's frequency level to at most `throttle_cap_fraction`
+  /// of its ladder.  Returns the (possibly modified) decision.
+  DrmDecision apply_throttle(const SocSpec& spec, DrmDecision decision,
+                             double throttle_cap_fraction = 0.5) const;
+
+  void reset();
+
+  const ThermalParams& params() const { return params_; }
+
+ private:
+  ThermalParams params_;
+  double temperature_;
+  bool throttled_ = false;
+};
+
+}  // namespace parmis::soc
+
+#endif  // PARMIS_SOC_THERMAL_HPP

@@ -1,0 +1,99 @@
+#include "soc/trace_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace parmis::soc {
+
+namespace {
+
+constexpr const char* kHeader =
+    "instructions_g,parallel_fraction,mem_bytes_per_instr,"
+    "branch_miss_rate,ilp,big_affinity,duty";
+
+std::vector<double> parse_row(const std::string& line, std::size_t line_no) {
+  std::vector<double> fields;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) {
+    try {
+      fields.push_back(std::stod(cell));
+    } catch (const std::exception&) {
+      require(false, "trace: unparsable number '" + cell + "' on line " +
+                         std::to_string(line_no));
+    }
+  }
+  require(fields.size() == 7, "trace: expected 7 fields on line " +
+                                  std::to_string(line_no) + ", got " +
+                                  std::to_string(fields.size()));
+  return fields;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const Application& app) {
+  app.validate();
+  os << kHeader << '\n';
+  os.precision(12);
+  for (const auto& e : app.epochs) {
+    os << e.instructions_g << ',' << e.parallel_fraction << ','
+       << e.mem_bytes_per_instr << ',' << e.branch_miss_rate << ',' << e.ilp
+       << ',' << e.big_affinity << ',' << e.duty << '\n';
+  }
+  require(os.good(), "trace: write failed");
+}
+
+void save_trace(const std::string& path, const Application& app) {
+  std::ofstream out(path);
+  require(out.good(), "trace: cannot open for writing: " + path);
+  write_trace(out, app);
+}
+
+Application read_trace(std::istream& is, const std::string& name) {
+  std::string line;
+  require(static_cast<bool>(std::getline(is, line)), "trace: empty input");
+  // Tolerate trailing \r from CRLF files.
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  require(line == kHeader,
+          "trace: unexpected header (expected '" + std::string(kHeader) +
+              "')");
+
+  Application app;
+  app.name = name;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<double> f = parse_row(line, line_no);
+    EpochWorkload e;
+    e.instructions_g = f[0];
+    e.parallel_fraction = f[1];
+    e.mem_bytes_per_instr = f[2];
+    e.branch_miss_rate = f[3];
+    e.ilp = f[4];
+    e.big_affinity = f[5];
+    e.duty = f[6];
+    try {
+      e.validate();
+    } catch (const Error& err) {
+      require(false, "trace: invalid epoch on line " +
+                         std::to_string(line_no) + ": " + err.what());
+    }
+    app.epochs.push_back(e);
+  }
+  app.validate();
+  return app;
+}
+
+Application load_trace(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  require(in.good(), "trace: cannot open for reading: " + path);
+  return read_trace(in, name);
+}
+
+}  // namespace parmis::soc

@@ -1,0 +1,36 @@
+// Workload trace import/export (CSV).
+//
+// Lets users bring their own applications to the simulator: an epoch
+// trace is a CSV with one row per decision epoch and the six workload
+// columns plus duty.  The format doubles as the documentation artifact
+// for the 12 built-in benchmarks (export them, inspect, tweak, re-run).
+//
+//   instructions_g,parallel_fraction,mem_bytes_per_instr,
+//   branch_miss_rate,ilp,big_affinity,duty
+#ifndef PARMIS_SOC_TRACE_IO_HPP
+#define PARMIS_SOC_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "soc/workload.hpp"
+
+namespace parmis::soc {
+
+/// Writes `app` as a CSV trace (header row + one row per epoch).
+void write_trace(std::ostream& os, const Application& app);
+
+/// Writes a trace file; throws parmis::Error on I/O failure.
+void save_trace(const std::string& path, const Application& app);
+
+/// Parses a CSV trace.  The header row is validated, every field is
+/// range-checked through EpochWorkload::validate(), and malformed rows
+/// throw parmis::Error with the line number.
+Application read_trace(std::istream& is, const std::string& name);
+
+/// Reads a trace file; throws parmis::Error on I/O failure.
+Application load_trace(const std::string& path, const std::string& name);
+
+}  // namespace parmis::soc
+
+#endif  // PARMIS_SOC_TRACE_IO_HPP

@@ -1,0 +1,32 @@
+#include "soc/workload.hpp"
+
+#include "common/error.hpp"
+
+namespace parmis::soc {
+
+void EpochWorkload::validate() const {
+  require(instructions_g > 0.0, "epoch: instructions must be positive");
+  require(parallel_fraction >= 0.0 && parallel_fraction <= 1.0,
+          "epoch: parallel fraction must lie in [0, 1]");
+  require(mem_bytes_per_instr >= 0.0, "epoch: memory intensity negative");
+  require(branch_miss_rate >= 0.0 && branch_miss_rate <= 0.2,
+          "epoch: branch miss rate must lie in [0, 0.2]");
+  require(ilp > 0.0 && ilp <= 1.0, "epoch: ilp must lie in (0, 1]");
+  require(big_affinity >= 0.0 && big_affinity <= 1.0,
+          "epoch: big affinity must lie in [0, 1]");
+  require(duty >= 0.5 && duty <= 1.0, "epoch: duty must lie in [0.5, 1]");
+}
+
+double Application::total_instructions_g() const {
+  double total = 0.0;
+  for (const auto& e : epochs) total += e.instructions_g;
+  return total;
+}
+
+void Application::validate() const {
+  require(!name.empty(), "application: empty name");
+  require(!epochs.empty(), "application: no epochs");
+  for (const auto& e : epochs) e.validate();
+}
+
+}  // namespace parmis::soc

@@ -1,0 +1,51 @@
+// Workload characterization: applications as sequences of decision epochs.
+//
+// The paper's runtime divides each application into "repeatable decision
+// epochs" — clusters of macro-blocks found by profiling basic blocks
+// [DyPO, Mandal et al.].  The policy observes the hardware counters of
+// epoch i and picks the configuration for epoch i+1.  Here an epoch is
+// characterized by the workload parameters that drive the performance
+// model; the 12 benchmark definitions live in src/apps.
+#ifndef PARMIS_SOC_WORKLOAD_HPP
+#define PARMIS_SOC_WORKLOAD_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace parmis::soc {
+
+/// Intrinsic (configuration-independent) properties of one epoch.
+struct EpochWorkload {
+  double instructions_g = 1.0;   ///< work, in giga-instructions
+  double parallel_fraction = 0.5;///< Amdahl parallel share in [0, 1]
+  double mem_bytes_per_instr = 0.3; ///< memory traffic intensity
+  double branch_miss_rate = 0.005;  ///< mispredictions per instruction
+  double ilp = 0.8;              ///< fraction of peak IPC achievable (0,1]
+  double big_affinity = 0.5;     ///< how much the code prefers OoO cores
+
+  /// Kernel-visible duty cycle of the busiest core in [0.5, 1]: the
+  /// fraction of wall time the core is runnable (I/O waits, page faults
+  /// and sync sleeps count as idle to the scheduler).  Governors see
+  /// load scaled by this; wall time is unaffected (slack overlaps DMA).
+  double duty = 0.97;
+
+  /// Throws parmis::Error if any field is outside its meaningful range.
+  void validate() const;
+};
+
+/// An application: a named, ordered sequence of epochs.
+struct Application {
+  std::string name;
+  std::vector<EpochWorkload> epochs;
+
+  double total_instructions_g() const;
+  std::size_t num_epochs() const { return epochs.size(); }
+
+  /// Validates every epoch.
+  void validate() const;
+};
+
+}  // namespace parmis::soc
+
+#endif  // PARMIS_SOC_WORKLOAD_HPP

@@ -1,0 +1,420 @@
+// Tests for src/baselines: scalarization grids, the RL (REINFORCE) and
+// IL (oracle + DAgger) baselines, and the DyPO-style clustered baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/benchmarks.hpp"
+#include "baselines/dypo.hpp"
+#include "baselines/il.hpp"
+#include "baselines/rl.hpp"
+#include "baselines/rl_tabular.hpp"
+#include "baselines/scalarization.hpp"
+#include "common/error.hpp"
+#include "moo/pareto.hpp"
+#include "policy/mlp_policy.hpp"
+#include "runtime/evaluator.hpp"
+
+namespace parmis::baselines {
+namespace {
+
+soc::Application small_app() {
+  // Trimmed qsort keeps baseline training fast in tests.
+  soc::Application app = apps::make_benchmark("qsort");
+  app.epochs.resize(12);
+  return app;
+}
+
+// ----------------------------------------------------------- scalarization
+
+TEST(Scalarization, TwoObjectiveGridCoversEndpoints) {
+  const auto grid = scalarization_grid(2, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  for (const auto& w : grid) {
+    EXPECT_NEAR(w[0] + w[1], 1.0, 1e-12);
+    EXPECT_GE(w[0], 0.0);
+  }
+  EXPECT_DOUBLE_EQ(grid.front()[0], 0.0);
+  EXPECT_DOUBLE_EQ(grid.back()[0], 1.0);
+}
+
+TEST(Scalarization, ThreeObjectiveLatticeSumsToOne) {
+  const auto grid = scalarization_grid(3, 4);
+  EXPECT_GT(grid.size(), 5u);
+  for (const auto& w : grid) {
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_NEAR(w[0] + w[1] + w[2], 1.0, 1e-12);
+  }
+}
+
+TEST(Scalarization, ScalarizeIsDotProduct) {
+  EXPECT_DOUBLE_EQ(scalarize({0.3, 0.7}, {2.0, 4.0}), 3.4);
+}
+
+TEST(Scalarization, Validation) {
+  EXPECT_THROW(scalarization_grid(1, 5), Error);
+  EXPECT_THROW(scalarization_grid(2, 1), Error);
+}
+
+TEST(Scalarization, FrontResultExtractsPareto) {
+  BaselineFrontResult r;
+  r.objectives = {{1.0, 3.0}, {2.0, 2.0}, {3.0, 1.0}, {3.0, 3.0}};
+  r.pareto_indices = moo::non_dominated_indices(r.objectives);
+  const auto front = r.pareto_front();
+  EXPECT_EQ(front.size(), 3u);
+}
+
+// --------------------------------------------------------------------- rl
+
+TEST(Rl, RejectsPpwObjective) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  // The paper's structural point: no reward function exists for PPW.
+  EXPECT_THROW(
+      RlTrainer(platform, small_app(), runtime::time_ppw_objectives()),
+      Error);
+}
+
+TEST(Rl, TrainingImprovesScalarizedObjective) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  const soc::Application app = small_app();
+  const auto objectives = runtime::time_energy_objectives();
+
+  RlConfig cfg;
+  cfg.episodes = 80;
+  cfg.seed = 5;
+  RlTrainer trainer(platform, app, objectives, cfg);
+  const num::Vec theta = trainer.train({0.5, 0.5});
+  EXPECT_EQ(trainer.evaluations_used(), 80u);
+
+  runtime::Evaluator eval(platform);
+  policy::MlpPolicy trained(platform.decision_space());
+  trained.set_parameters(theta);
+  const num::Vec trained_obj = eval.evaluate(trained, app, objectives);
+
+  // Reference: untrained random-initialized policies (mean of a few).
+  Rng rng(6);
+  double untrained_cost = 0.0;
+  const int k = 5;
+  for (int i = 0; i < k; ++i) {
+    policy::MlpPolicy fresh(platform.decision_space());
+    fresh.init_xavier(rng);
+    const num::Vec o = eval.evaluate(fresh, app, objectives);
+    untrained_cost += 0.5 * o[0] + 0.5 * o[1];
+  }
+  untrained_cost /= k;
+  EXPECT_LT(0.5 * trained_obj[0] + 0.5 * trained_obj[1],
+            untrained_cost * 1.05);
+}
+
+TEST(Rl, WeightsSteerTheTradeoff) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  const soc::Application app = small_app();
+  const auto objectives = runtime::time_energy_objectives();
+  RlConfig cfg;
+  cfg.episodes = 100;
+  cfg.seed = 7;
+
+  RlTrainer t1(platform, app, objectives, cfg);
+  const num::Vec theta_time = t1.train({1.0, 0.0});
+  RlTrainer t2(platform, app, objectives, cfg);
+  const num::Vec theta_energy = t2.train({0.0, 1.0});
+
+  runtime::Evaluator eval(platform);
+  policy::MlpPolicy p(platform.decision_space());
+  p.set_parameters(theta_time);
+  const num::Vec o_time = eval.evaluate(p, app, objectives);
+  p.set_parameters(theta_energy);
+  const num::Vec o_energy = eval.evaluate(p, app, objectives);
+  // The time-weighted policy must be at least as fast.
+  EXPECT_LE(o_time[0], o_energy[0] * 1.10);
+  // And the energy-weighted policy must not burn more energy.
+  EXPECT_LE(o_energy[1], o_time[1] * 1.10);
+}
+
+TEST(Rl, SweepProducesFront) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  RlConfig cfg;
+  cfg.episodes = 30;
+  const BaselineFrontResult r = rl_pareto_front(
+      platform, small_app(), runtime::time_energy_objectives(), 3, cfg);
+  EXPECT_EQ(r.objectives.size(), 3u);
+  EXPECT_FALSE(r.pareto_indices.empty());
+  EXPECT_GE(r.total_evaluations, 3u * 30u);
+  for (const auto& o : r.objectives) {
+    EXPECT_TRUE(std::isfinite(o[0]));
+    EXPECT_TRUE(std::isfinite(o[1]));
+  }
+}
+
+// --------------------------------------------------------------------- il
+
+TEST(Il, OracleTableCoversDecisionSpace) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  const soc::Application app = small_app();
+  const OracleTable table(platform, app);
+  EXPECT_EQ(table.num_epochs(), app.num_epochs());
+  EXPECT_EQ(table.num_decisions(), 4940u);
+  EXPECT_EQ(table.build_evaluations(), 4940u * app.num_epochs());
+}
+
+TEST(Il, OracleBeatsArbitraryDecisionsPerEpoch) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  const soc::Application app = small_app();
+  const OracleTable table(platform, app);
+  const auto objectives = runtime::time_energy_objectives();
+  const num::Vec w = {0.5, 0.5};
+  Rng rng(8);
+  for (std::size_t e = 0; e < app.num_epochs(); ++e) {
+    const std::size_t best = table.best_decision_index(e, w, objectives);
+    const double best_cost = table.scalarized_cost(e, best, w, objectives);
+    for (int probe = 0; probe < 20; ++probe) {
+      const std::size_t d = rng.uniform_index(4940);
+      EXPECT_LE(best_cost,
+                table.scalarized_cost(e, d, w, objectives) + 1e-12);
+    }
+  }
+}
+
+TEST(Il, ExtremeWeightsChooseExtremeConfigs) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  const soc::DecisionSpace& space = platform.decision_space();
+  const soc::Application app = small_app();
+  const OracleTable table(platform, app);
+  const auto objectives = runtime::time_energy_objectives();
+  // Pure-time oracle decisions should clock big cores high.
+  const auto fast =
+      space.decision(table.best_decision_index(0, {1.0, 0.0}, objectives));
+  const auto frugal =
+      space.decision(table.best_decision_index(0, {0.0, 1.0}, objectives));
+  EXPECT_GT(fast.freq_level[0], frugal.freq_level[0]);
+}
+
+TEST(Il, RejectsPpwObjective) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  const soc::Application app = small_app();
+  const OracleTable table(platform, app);
+  EXPECT_THROW(
+      IlTrainer(platform, app, runtime::time_ppw_objectives(), table),
+      Error);
+}
+
+TEST(Il, TrainedPolicyApproachesOracleCost) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  const soc::Application app = small_app();
+  const OracleTable table(platform, app);
+  const auto objectives = runtime::time_energy_objectives();
+
+  IlConfig cfg;
+  cfg.training_passes = 40;
+  cfg.dagger_rounds = 1;
+  IlTrainer trainer(platform, app, objectives, table, cfg);
+  const num::Vec theta = trainer.train({0.5, 0.5});
+
+  runtime::Evaluator eval(platform);
+  policy::MlpPolicy trained(platform.decision_space());
+  trained.set_parameters(theta);
+  const num::Vec o_trained = eval.evaluate(trained, app, objectives);
+
+  Rng rng(9);
+  policy::MlpPolicy fresh(platform.decision_space());
+  fresh.init_xavier(rng);
+  const num::Vec o_fresh = eval.evaluate(fresh, app, objectives);
+
+  const double cost_trained = 0.5 * o_trained[0] + 0.5 * o_trained[1];
+  const double cost_fresh = 0.5 * o_fresh[0] + 0.5 * o_fresh[1];
+  EXPECT_LT(cost_trained, cost_fresh);
+}
+
+TEST(Il, SweepProducesFront) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  IlConfig cfg;
+  cfg.training_passes = 15;
+  cfg.dagger_rounds = 1;
+  const BaselineFrontResult r = il_pareto_front(
+      platform, small_app(), runtime::time_energy_objectives(), 3, cfg);
+  EXPECT_EQ(r.objectives.size(), 3u);
+  EXPECT_FALSE(r.pareto_indices.empty());
+  EXPECT_GT(r.total_evaluations, 4000u);  // includes the exhaustive pass
+}
+
+TEST(Il, TableApplicationMismatchThrows) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  const OracleTable table(platform, small_app());
+  soc::Application other = small_app();
+  other.epochs.resize(6);
+  EXPECT_THROW(IlTrainer(platform, other,
+                         runtime::time_energy_objectives(), table),
+               Error);
+}
+
+TEST(Il, OracleFidelityChangesBeliefs) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  const soc::Application app = small_app();
+  const OracleTable exact(platform, app, OracleFidelity::Exact);
+  const OracleTable first(platform, app, OracleFidelity::FirstOrder);
+  const auto objectives = runtime::time_energy_objectives();
+  // The first-order model ignores contention/straggler effects, so it
+  // must disagree with the exact model on at least some decisions.
+  int disagreements = 0;
+  for (std::size_t e = 0; e < app.num_epochs(); ++e) {
+    for (const double w : {0.2, 0.5, 0.8}) {
+      const num::Vec weights = {w, 1.0 - w};
+      if (exact.best_decision_index(e, weights, objectives) !=
+          first.best_decision_index(e, weights, objectives)) {
+        ++disagreements;
+      }
+    }
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(Il, FirstOrderOracleOverestimatesManyCoreConfigs) {
+  // The linear-scaling belief rates all-cores-max relatively better
+  // against a big-cluster-only configuration than the exact model does
+  // on a branchy app (it lacks the straggler/contention terms).  Costs
+  // are normalized per-belief, so compare the all-max/big-only RATIO.
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  const soc::DecisionSpace& space = platform.decision_space();
+  const soc::Application app = small_app();  // qsort: branchy
+  const OracleTable exact(platform, app, OracleFidelity::Exact);
+  const OracleTable first(platform, app, OracleFidelity::FirstOrder);
+  const auto objectives = runtime::time_energy_objectives();
+  const num::Vec time_only = {1.0, 0.0};
+  const std::size_t all_max = space.index(space.max_performance_decision());
+  soc::DrmDecision big_only = space.max_performance_decision();
+  big_only.active_cores[1] = spec.clusters[1].min_active;
+  big_only.freq_level[1] = 0;
+  const std::size_t big_only_idx = space.index(big_only);
+
+  double exact_ratio = 0.0, first_ratio = 0.0;
+  for (std::size_t e = 0; e < app.num_epochs(); ++e) {
+    exact_ratio += exact.scalarized_cost(e, all_max, time_only, objectives) /
+                   exact.scalarized_cost(e, big_only_idx, time_only,
+                                         objectives);
+    first_ratio += first.scalarized_cost(e, all_max, time_only, objectives) /
+                   first.scalarized_cost(e, big_only_idx, time_only,
+                                         objectives);
+  }
+  EXPECT_LT(first_ratio, exact_ratio);
+}
+
+// --------------------------------------------------------------- tabular q
+
+TEST(TabularQ, StateGridCoversAndBins) {
+  StateGrid grid(4, 4, 3);
+  EXPECT_EQ(grid.num_states(), 48u);
+  soc::HwCounters c;
+  c.max_core_utilization = 0.0;
+  c.instructions_retired = 1e9;
+  c.noncache_external_requests = 0.0;
+  c.total_power_w = 0.0;
+  EXPECT_EQ(grid.state_of(c), 0u);
+  c.max_core_utilization = 1.0;
+  c.noncache_external_requests = 1e9;  // saturates the memory bin
+  c.total_power_w = 10.0;
+  EXPECT_EQ(grid.state_of(c), 47u);
+  // Distinct loads map to distinct states.
+  soc::HwCounters lo = c, hi = c;
+  lo.max_core_utilization = 0.1;
+  hi.max_core_utilization = 0.9;
+  EXPECT_NE(grid.state_of(lo), grid.state_of(hi));
+}
+
+TEST(TabularQ, RejectsPpwObjective) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  EXPECT_THROW(TabularQTrainer(platform, small_app(),
+                               runtime::time_ppw_objectives()),
+               Error);
+}
+
+TEST(TabularQ, TrainedPolicyIsValidAndDeployable) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  const soc::Application app = small_app();
+  TabularQConfig cfg;
+  cfg.episodes = 60;
+  TabularQTrainer trainer(platform, app, runtime::time_energy_objectives(),
+                          cfg);
+  TabularQPolicy policy = trainer.train({0.5, 0.5});
+  EXPECT_EQ(trainer.evaluations_used(), 60u);
+  soc::HwCounters c;
+  c.max_core_utilization = 0.8;
+  c.instructions_retired = 1e9;
+  EXPECT_TRUE(platform.decision_space().is_valid(policy.decide(c)));
+  // The LUT footprint exceeds an MLP policy's (the paper's Sec. V-F
+  // argument for function approximation).
+  policy::MlpPolicy mlp(platform.decision_space());
+  EXPECT_GT(policy.table_bytes(), mlp.serialized_bytes());
+}
+
+TEST(TabularQ, TrainingImprovesScalarizedObjective) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  const soc::Application app = small_app();
+  const auto objectives = runtime::time_energy_objectives();
+  TabularQConfig cfg;
+  cfg.episodes = 150;
+  cfg.seed = 3;
+  TabularQTrainer trainer(platform, app, objectives, cfg);
+  TabularQPolicy trained = trainer.train({0.5, 0.5});
+
+  runtime::Evaluator eval(platform);
+  const num::Vec o_trained = eval.evaluate(trained, app, objectives);
+  policy::RandomPolicy random_policy(platform.decision_space(), 4);
+  const num::Vec o_random = eval.evaluate(random_policy, app, objectives);
+  EXPECT_LT(0.5 * o_trained[0] + 0.5 * o_trained[1],
+            0.5 * o_random[0] + 0.5 * o_random[1]);
+}
+
+TEST(TabularQ, SweepProducesFront) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  TabularQConfig cfg;
+  cfg.episodes = 40;
+  const BaselineFrontResult r = tabular_q_pareto_front(
+      platform, small_app(), runtime::time_energy_objectives(), 3, cfg);
+  EXPECT_EQ(r.objectives.size(), 3u);
+  EXPECT_FALSE(r.pareto_indices.empty());
+}
+
+// ------------------------------------------------------------------- dypo
+
+TEST(Dypo, PolicyIsValidNearestCentroidLookup) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  const soc::Application app = small_app();
+  const OracleTable table(platform, app);
+  DypoPolicy policy = dypo_train(platform, app,
+                                 runtime::time_energy_objectives(), table,
+                                 {0.5, 0.5}, 3, 10);
+  EXPECT_LE(policy.num_clusters(), 3u);
+  soc::HwCounters c;
+  c.max_core_utilization = 0.9;
+  EXPECT_TRUE(platform.decision_space().is_valid(policy.decide(c)));
+}
+
+TEST(Dypo, FrontIsCoarserThanOracle) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  const BaselineFrontResult r = dypo_pareto_front(
+      platform, small_app(), runtime::time_energy_objectives(), 4, 2);
+  EXPECT_EQ(r.objectives.size(), 4u);
+  EXPECT_FALSE(r.pareto_indices.empty());
+}
+
+}  // namespace
+}  // namespace parmis::baselines

@@ -1,0 +1,373 @@
+// Unit tests for src/common: RNG, CLI parsing, tables, errors, logging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+
+namespace parmis {
+namespace {
+
+// ---------------------------------------------------------------- errors
+
+TEST(Error, RequirePassesOnTrue) { EXPECT_NO_THROW(require(true, "ok")); }
+
+TEST(Error, RequireThrowsWithMessageAndLocation) {
+  try {
+    require(false, "my precondition text");
+    FAIL() << "require(false) did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("my precondition text"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, EnsureThrowsInvariantKind) {
+  try {
+    ensure(false, "broken invariant");
+    FAIL() << "ensure(false) did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(9);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(10);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, NormalMomentsMatchStandardGaussian) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithMeanAndSd) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+  EXPECT_THROW(rng.normal(0.0, -1.0), Error);
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(14);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(15);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(16);
+  std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_NEAR(counts[0] / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / 100000.0, 0.6, 0.01);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(17);
+  EXPECT_THROW(rng.categorical({}), Error);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), Error);
+  EXPECT_THROW(rng.categorical({1.0, -1.0}), Error);
+}
+
+TEST(Rng, CategoricalSkipsZeroWeightBuckets) {
+  Rng rng(18);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.categorical({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(20);
+  Rng child = a.split();
+  // The child stream should not reproduce the parent's next outputs.
+  Rng b(20);
+  (void)b.split();
+  int same = 0;
+  for (int i = 0; i < 32; ++i) same += (child.next_u64() == a.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitmixIsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+// ------------------------------------------------------------------- cli
+
+TEST(Cli, ParsesKeyEqualsValue) {
+  const char* argv[] = {"prog", "--alpha=3.5", "--name=test"};
+  const CliArgs args = CliArgs::parse(3, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 3.5);
+  EXPECT_EQ(args.get("name", ""), "test");
+}
+
+TEST(Cli, ParsesKeySpaceValue) {
+  const char* argv[] = {"prog", "--iters", "42"};
+  const CliArgs args = CliArgs::parse(3, argv);
+  EXPECT_EQ(args.get_int("iters", 0), 42);
+}
+
+TEST(Cli, BareFlagIsBooleanTrue) {
+  const char* argv[] = {"prog", "--full"};
+  const CliArgs args = CliArgs::parse(2, argv);
+  EXPECT_TRUE(args.get_bool("full", false));
+  EXPECT_TRUE(args.has("full"));
+}
+
+TEST(Cli, MissingFlagYieldsFallback) {
+  const char* argv[] = {"prog"};
+  const CliArgs args = CliArgs::parse(1, argv);
+  EXPECT_EQ(args.get_int("iters", 99), 99);
+  EXPECT_FALSE(args.has("iters"));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  const char* argv[] = {"prog", "appname", "--k=1", "other"};
+  const CliArgs args = CliArgs::parse(4, argv);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "appname");
+  EXPECT_EQ(args.positional()[1], "other");
+}
+
+TEST(Cli, BooleanValueParsing) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=off"};
+  const CliArgs args = CliArgs::parse(5, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  const char* argv[] = {"prog", "--n=abc"};
+  const CliArgs args = CliArgs::parse(2, argv);
+  EXPECT_THROW(args.get_int("n", 0), Error);
+  EXPECT_THROW(args.get_double("n", 0.0), Error);
+}
+
+TEST(Cli, EmptyFlagNameThrows) {
+  const char* argv[] = {"prog", "--"};
+  EXPECT_THROW(CliArgs::parse(2, argv), Error);
+}
+
+TEST(Cli, NextFlagNotConsumedAsValue) {
+  const char* argv[] = {"prog", "--a", "--b=2"};
+  const CliArgs args = CliArgs::parse(3, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_EQ(args.get_int("b", 0), 2);
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(Table, AlignedPrintContainsHeadersAndCells) {
+  Table t({"name", "value"});
+  t.begin_row().add("alpha").add(1.25, 2);
+  t.begin_row().add("beta").add_int(7);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"a", "b"});
+  t.begin_row().add("x,y").add("with \"quote\"");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"with \"\"quote\"\"\""), std::string::npos);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"only"});
+  t.begin_row().add("one");
+  EXPECT_THROW(t.add("two"), Error);
+}
+
+TEST(Table, AddBeforeBeginRowThrows) {
+  Table t({"c"});
+  EXPECT_THROW(t.add("x"), Error);
+}
+
+TEST(Table, FormatDoubleHandlesSpecials) {
+  EXPECT_EQ(format_double(std::nan(""), 3), "nan");
+  EXPECT_EQ(format_double(INFINITY, 3), "inf");
+  EXPECT_EQ(format_double(-INFINITY, 3), "-inf");
+  EXPECT_EQ(format_double(1.5, 2), "1.50");
+}
+
+TEST(Table, RowAndColumnCounts) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.begin_row().add("1").add("2").add("3");
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, SaveCsvWritesFile) {
+  Table t({"a", "b"});
+  t.begin_row().add("1").add("2");
+  const std::string path = ::testing::TempDir() + "parmis_table_test.csv";
+  t.save_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "a,b");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1,2");
+  EXPECT_THROW(t.save_csv("/nonexistent-dir/x.csv"), Error);
+}
+
+TEST(Cli, FullScaleRequestedViaFlag) {
+  const char* argv[] = {"prog", "--full"};
+  EXPECT_TRUE(full_scale_requested(CliArgs::parse(2, argv)));
+  const char* argv2[] = {"prog"};
+  EXPECT_FALSE(full_scale_requested(CliArgs::parse(1, argv2)));
+  const char* argv3[] = {"prog", "--full=0"};
+  EXPECT_FALSE(full_scale_requested(CliArgs::parse(2, argv3)));
+}
+
+// ------------------------------------------------------------------- log
+
+TEST(Log, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::Info);
+}
+
+TEST(Log, SetAndGetLevel) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(before);
+}
+
+// -------------------------------------------------------------- stopwatch
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GT(sw.seconds(), 0.0);
+  EXPECT_GE(sw.micros(), sw.seconds() * 1e6 * 0.99);
+}
+
+TEST(Stopwatch, ResetRestartsClock) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double before = sw.seconds();
+  sw.reset();
+  EXPECT_LT(sw.seconds(), before + 1e-3);
+}
+
+}  // namespace
+}  // namespace parmis

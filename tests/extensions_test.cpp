@@ -1,0 +1,292 @@
+// Cross-cutting tests for the extension features and deeper property
+// sweeps: 3-objective NSGA-II + hypervolume, GP posterior contraction,
+// straggler/duty model properties, noisy-platform PaRMIS, EDP/peak-power
+// objectives, and the deployment path (archive + trace round trips).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "apps/benchmarks.hpp"
+#include "baselines/rl_tabular.hpp"
+#include "common/error.hpp"
+#include "core/parmis.hpp"
+#include "core/policy_search.hpp"
+#include "gp/gp.hpp"
+#include "moo/hypervolume.hpp"
+#include "moo/nsga2.hpp"
+#include "moo/test_problems.hpp"
+#include "policy/governors.hpp"
+#include "runtime/evaluator.hpp"
+#include "runtime/pareto_archive.hpp"
+#include "soc/perf_model.hpp"
+#include "soc/platform.hpp"
+#include "soc/trace_io.hpp"
+
+namespace parmis {
+namespace {
+
+using num::Vec;
+
+// ------------------------------------------------ 3-objective machinery
+
+TEST(ThreeObjectives, Nsga2ApproachesDtlz2Sphere) {
+  moo::Nsga2Config cfg;
+  cfg.population_size = 64;
+  cfg.generations = 80;
+  cfg.seed = 3;
+  const Vec lo(7, 0.0), hi(7, 1.0);
+  const auto res = moo::nsga2_minimize(
+      [](const Vec& x) { return moo::dtlz2(x, 3); }, lo, hi, cfg);
+  // On the true front, sum of squares == 1; measure mean deviation.
+  double dev = 0.0;
+  for (const auto& s : res.pareto_set) {
+    double ss = 0.0;
+    for (double v : s.objectives) ss += v * v;
+    dev += std::abs(std::sqrt(ss) - 1.0);
+  }
+  dev /= static_cast<double>(res.pareto_set.size());
+  EXPECT_LT(dev, 0.12);
+}
+
+TEST(ThreeObjectives, HypervolumeDispatcherHandles3d) {
+  moo::Nsga2Config cfg;
+  cfg.population_size = 32;
+  cfg.generations = 30;
+  cfg.seed = 4;
+  const Vec lo(7, 0.0), hi(7, 1.0);
+  const auto res = moo::nsga2_minimize(
+      [](const Vec& x) { return moo::dtlz2(x, 3); }, lo, hi, cfg);
+  std::vector<Vec> front;
+  for (const auto& s : res.pareto_set) front.push_back(s.objectives);
+  const double hv = moo::hypervolume(front, {2.0, 2.0, 2.0});
+  // The unit-sphere front within a 2^3 box dominates most of it.
+  EXPECT_GT(hv, 5.0);
+  EXPECT_LT(hv, 8.0);
+}
+
+TEST(ThreeObjectives, HypervolumeTranslationInvariance) {
+  Rng rng(5);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 15; ++i) {
+    pts.push_back({rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)});
+  }
+  const double hv = moo::hypervolume_wfg(pts, {1.5, 1.5, 1.5});
+  std::vector<Vec> shifted;
+  for (const auto& p : pts) {
+    shifted.push_back({p[0] + 10, p[1] - 3, p[2] + 0.5});
+  }
+  const double hv_shifted =
+      moo::hypervolume_wfg(shifted, {11.5, -1.5, 2.0});
+  EXPECT_NEAR(hv, hv_shifted, 1e-9);
+}
+
+// --------------------------------------------------- GP posterior sanity
+
+TEST(GpPosterior, VarianceNeverExceedsPrior) {
+  Rng rng(6);
+  gp::GpRegressor gp(gp::make_kernel("matern52", 1.0, 2.0), 1e-3);
+  num::Matrix X(12, 2);
+  Vec y(12);
+  for (int i = 0; i < 12; ++i) {
+    X(i, 0) = rng.uniform(-2, 2);
+    X(i, 1) = rng.uniform(-2, 2);
+    y[i] = std::sin(X(i, 0)) * std::cos(X(i, 1));
+  }
+  gp.set_data(X, y);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec q = {rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    const auto p = gp.predict(q);
+    EXPECT_LE(p.variance,
+              gp.kernel().prior_variance() *
+                      (gp.target_scale() * gp.target_scale()) +
+                  1e-9);
+  }
+}
+
+TEST(GpPosterior, MoreDataContractsUncertainty) {
+  gp::GpRegressor sparse(gp::make_kernel("rbf", 1.0), 1e-4);
+  gp::GpRegressor dense(gp::make_kernel("rbf", 1.0), 1e-4);
+  auto grid = [](std::size_t n) {
+    num::Matrix X(n, 1);
+    Vec y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      X(i, 0) = -2.0 + 4.0 * static_cast<double>(i) /
+                           static_cast<double>(n - 1);
+      y[i] = std::sin(X(i, 0));
+    }
+    return std::make_pair(X, y);
+  };
+  auto [xs, ys] = grid(4);
+  sparse.set_data(xs, ys);
+  auto [xd, yd] = grid(16);
+  dense.set_data(xd, yd);
+  const Vec q = {0.37};
+  EXPECT_LT(dense.predict(q).stddev(), sparse.predict(q).stddev());
+}
+
+// ------------------------------------------------ simulator properties
+
+TEST(StragglerModel, LittleCoresHurtBranchyParallelCode) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  const soc::PerfModel model(spec);
+  soc::EpochWorkload branchy{.instructions_g = 1.0,
+                             .parallel_fraction = 0.8,
+                             .mem_bytes_per_instr = 0.3,
+                             .branch_miss_rate = 0.025,
+                             .ilp = 0.6,
+                             .big_affinity = 0.7,
+                             .duty = 0.9};
+  soc::DrmDecision big_only{{4, 1}, {18, 0}};
+  soc::DrmDecision all_on{{4, 4}, {18, 12}};
+  EXPECT_LT(model.run_epoch(branchy, big_only).time_s,
+            model.run_epoch(branchy, all_on).time_s);
+  // Regular (low-miss) code does NOT suffer: more cores help.
+  soc::EpochWorkload regular = branchy;
+  regular.branch_miss_rate = 0.002;
+  EXPECT_GT(model.run_epoch(regular, big_only).time_s,
+            model.run_epoch(regular, all_on).time_s);
+}
+
+TEST(DutyCycle, LowersKernelVisibleLoadNotWallTime) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  const soc::PerfModel model(spec);
+  soc::EpochWorkload busy{.instructions_g = 0.5,
+                          .parallel_fraction = 0.5,
+                          .mem_bytes_per_instr = 0.3,
+                          .branch_miss_rate = 0.005,
+                          .ilp = 0.8,
+                          .big_affinity = 0.6,
+                          .duty = 1.0};
+  soc::EpochWorkload slack = busy;
+  slack.duty = 0.7;
+  const soc::DecisionSpace space(spec);
+  const auto d = space.default_decision();
+  const auto r_busy = model.run_epoch(busy, d);
+  const auto r_slack = model.run_epoch(slack, d);
+  EXPECT_DOUBLE_EQ(r_busy.time_s, r_slack.time_s);
+  EXPECT_GT(r_busy.counters.max_core_utilization,
+            r_slack.counters.max_core_utilization);
+  EXPECT_NEAR(r_slack.counters.max_core_utilization,
+              0.7 * r_busy.counters.max_core_utilization, 1e-9);
+}
+
+TEST(ManycorePlatform, EpochRunsAndScales) {
+  const soc::SocSpec spec = soc::SocSpec::manycore16();
+  const soc::PerfModel model(spec);
+  soc::EpochWorkload parallel{.instructions_g = 2.0,
+                              .parallel_fraction = 0.95,
+                              .mem_bytes_per_instr = 0.1,
+                              .branch_miss_rate = 0.003,
+                              .ilp = 0.85,
+                              .big_affinity = 0.5,
+                              .duty = 0.95};
+  soc::DrmDecision narrow{{1, 1, 0, 0}, {18, 0, 0, 0}};
+  soc::DrmDecision wide{{4, 4, 4, 4}, {18, 12, 18, 12}};
+  const double t_narrow = model.run_epoch(parallel, narrow).time_s;
+  const double t_wide = model.run_epoch(parallel, wide).time_s;
+  EXPECT_LT(t_wide, 0.4 * t_narrow);  // 16 cores buy real speedup
+}
+
+// ----------------------------------------- objectives beyond the paper
+
+TEST(ExtendedObjectives, EdpAndPeakPowerBehave) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  runtime::Evaluator eval(platform);
+  const soc::Application app = apps::make_benchmark("blowfish");
+  policy::PerformanceGovernor fast(platform.decision_space());
+  policy::PowersaveGovernor slow(platform.decision_space());
+  const auto mf = eval.run(fast, app);
+  const auto ms = eval.run(slow, app);
+  // Peak power orders as expected; EDP can favor either extreme but must
+  // equal E*T for both.
+  EXPECT_GT(mf.peak_power_w, ms.peak_power_w);
+  EXPECT_NEAR(mf.edp, mf.energy_j * mf.time_s, 1e-9);
+  const runtime::Objective edp(runtime::ObjectiveKind::EDP);
+  const runtime::Objective peak(runtime::ObjectiveKind::PeakPower);
+  EXPECT_DOUBLE_EQ(edp.min_value(mf), mf.edp);
+  EXPECT_DOUBLE_EQ(peak.raw_value(ms), ms.peak_power_w);
+}
+
+// --------------------------------------------- PaRMIS on a noisy board
+
+TEST(NoisyPlatform, ParmisToleratesSensorNoise) {
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::PlatformConfig noisy_cfg;
+  noisy_cfg.sensor_noise_sd = 0.02;  // 2% power-rail noise
+  soc::Platform platform(spec, noisy_cfg);
+  soc::Application app = apps::make_benchmark("fft");
+  app.epochs.resize(10);
+  core::DrmPolicyProblem problem(platform, app,
+                                 runtime::time_energy_objectives());
+  core::ParmisConfig cfg;
+  cfg.num_initial = 10;
+  cfg.max_iterations = 10;
+  cfg.acq_pool_size = 48;
+  cfg.acq_refine_steps = 4;
+  cfg.acquisition.rff_features = 48;
+  cfg.acquisition.front_sampler.population_size = 16;
+  cfg.acquisition.front_sampler.generations = 8;
+  cfg.initial_thetas = problem.anchor_thetas();
+  cfg.seed = 9;
+  core::Parmis opt(problem.evaluation_fn(), problem.theta_dim(), 2, cfg);
+  const auto res = opt.run();
+  EXPECT_FALSE(res.pareto_indices.empty());
+  for (const auto& o : res.objectives) {
+    EXPECT_TRUE(std::isfinite(o[0]));
+    EXPECT_TRUE(std::isfinite(o[1]));
+  }
+}
+
+// ------------------------------------------------- deployment pipeline
+
+TEST(Deployment, ArchiveTraceAndPolicyRoundTripTogether) {
+  // Export a benchmark as a trace, reload it, learn a tiny policy set,
+  // archive it, reload the archive, deploy the knee policy: the whole
+  // path a user would script.
+  const soc::SocSpec spec = soc::SocSpec::exynos5422();
+  soc::Platform platform(spec);
+  soc::Application app = apps::make_benchmark("aes");
+  app.epochs.resize(8);
+
+  std::stringstream trace;
+  soc::write_trace(trace, app);
+  const soc::Application reloaded = soc::read_trace(trace, "aes-reloaded");
+  ASSERT_EQ(reloaded.num_epochs(), app.num_epochs());
+
+  core::DrmPolicyProblem problem(platform, reloaded,
+                                 runtime::time_energy_objectives());
+  core::ParmisConfig cfg;
+  cfg.num_initial = 8;
+  cfg.max_iterations = 5;
+  cfg.acq_pool_size = 32;
+  cfg.acq_refine_steps = 2;
+  cfg.acquisition.rff_features = 32;
+  cfg.acquisition.front_sampler.population_size = 16;
+  cfg.acquisition.front_sampler.generations = 6;
+  cfg.initial_thetas = problem.anchor_thetas();
+  core::Parmis opt(problem.evaluation_fn(), problem.theta_dim(), 2, cfg);
+  const auto res = opt.run();
+
+  std::vector<runtime::ArchiveEntry> entries;
+  const auto thetas = res.pareto_thetas();
+  const auto front = res.pareto_front();
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    entries.push_back({thetas[i], front[i]});
+  }
+  auto archive = runtime::ParetoArchive::build(std::move(entries), 8);
+  std::stringstream blob;
+  archive.save(blob);
+  const auto deployed = runtime::ParetoArchive::load(blob);
+  ASSERT_FALSE(deployed.empty());
+
+  policy::MlpPolicy policy =
+      problem.make_policy(deployed.entries().front().theta);
+  runtime::Evaluator eval(platform);
+  const auto metrics = eval.run(policy, reloaded);
+  EXPECT_GT(metrics.time_s, 0.0);
+}
+
+}  // namespace
+}  // namespace parmis

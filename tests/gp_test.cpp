@@ -1,0 +1,378 @@
+// Unit + statistical tests for src/gp: kernels, exact GP regression,
+// random-Fourier-feature posterior function sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gp/gp.hpp"
+#include "gp/kernel.hpp"
+#include "gp/rff.hpp"
+#include "numerics/cholesky.hpp"
+
+namespace parmis::gp {
+namespace {
+
+using num::Matrix;
+using num::Vec;
+
+// ---------------------------------------------------------------- kernel
+
+TEST(Kernel, RbfKnownValues) {
+  RbfKernel k(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(k.value({0, 0}, {0, 0}), 2.0);
+  EXPECT_NEAR(k.value({0}, {1}), 2.0 * std::exp(-0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(k.prior_variance(), 2.0);
+}
+
+TEST(Kernel, Matern52KnownValues) {
+  Matern52Kernel k(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(k.value({0}, {0}), 1.0);
+  const double z = std::sqrt(5.0);
+  EXPECT_NEAR(k.value({0}, {1}),
+              (1.0 + z + z * z / 3.0) * std::exp(-z), 1e-12);
+}
+
+TEST(Kernel, SymmetryAndDecay) {
+  for (const auto& name : {"rbf", "matern52"}) {
+    const auto k = make_kernel(name, 0.7, 1.3);
+    EXPECT_DOUBLE_EQ(k->value({1, 2}, {3, -1}), k->value({3, -1}, {1, 2}));
+    EXPECT_GT(k->value({0, 0}, {0.1, 0.1}), k->value({0, 0}, {1, 1}));
+    EXPECT_GT(k->value({0, 0}, {1, 1}), k->value({0, 0}, {3, 3}));
+  }
+}
+
+TEST(Kernel, GramMatrixIsPositiveDefinite) {
+  Rng rng(5);
+  for (const auto& name : {"rbf", "matern52"}) {
+    const auto k = make_kernel(name, 1.0, 1.0);
+    const std::size_t n = 15, d = 3;
+    std::vector<Vec> pts(n, Vec(d));
+    for (auto& p : pts) {
+      for (auto& v : p) v = rng.uniform(-2, 2);
+    }
+    Matrix gram(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        gram(i, j) = k->value(pts[i], pts[j]);
+      }
+    }
+    gram.add_diagonal(1e-8);
+    EXPECT_NO_THROW(num::Cholesky{gram}) << name;
+  }
+}
+
+TEST(Kernel, HyperparameterValidation) {
+  EXPECT_THROW(RbfKernel(0.0, 1.0), Error);
+  EXPECT_THROW(RbfKernel(1.0, -1.0), Error);
+  RbfKernel k(1.0, 1.0);
+  EXPECT_THROW(k.set_hyperparameters(-1.0, 1.0), Error);
+  k.set_hyperparameters(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(k.lengthscale(), 2.0);
+  EXPECT_DOUBLE_EQ(k.signal_variance(), 3.0);
+}
+
+TEST(Kernel, CloneIsDeepAndEqual) {
+  RbfKernel k(1.5, 0.5);
+  const auto c = k.clone();
+  EXPECT_DOUBLE_EQ(c->value({0}, {1}), k.value({0}, {1}));
+  k.set_hyperparameters(3.0, 0.5);
+  EXPECT_NE(c->value({0}, {1}), k.value({0}, {1}));
+}
+
+TEST(Kernel, FactoryRejectsUnknownName) {
+  EXPECT_THROW(make_kernel("linear"), Error);
+}
+
+TEST(Kernel, RbfSpectralFrequenciesMatchTheory) {
+  // omega ~ N(0, 1/l^2): check the sample variance.
+  Rng rng(6);
+  RbfKernel k(2.0, 1.0);
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const Vec w = k.sample_spectral_frequency(rng, 1);
+    sum2 += w[0] * w[0];
+  }
+  EXPECT_NEAR(sum2 / n, 1.0 / 4.0, 0.01);
+}
+
+TEST(Kernel, SpectralFrequencyDimension) {
+  Rng rng(7);
+  Matern52Kernel k(1.0, 1.0);
+  EXPECT_EQ(k.sample_spectral_frequency(rng, 5).size(), 5u);
+}
+
+TEST(Kernel, ArdRbfAnisotropy) {
+  // Lengthscale 0.1 in dim 0 and 10 in dim 1: distance along dim 0
+  // decays covariance far faster than along dim 1.
+  ArdRbfKernel k({0.1, 10.0}, 1.0);
+  const double along0 = k.value({0, 0}, {0.5, 0});
+  const double along1 = k.value({0, 0}, {0, 0.5});
+  EXPECT_LT(along0, 1e-4);
+  EXPECT_GT(along1, 0.99);
+  EXPECT_DOUBLE_EQ(k.value({0, 0}, {0, 0}), 1.0);
+}
+
+TEST(Kernel, ArdMatchesIsotropicWhenUniform) {
+  ArdRbfKernel ard({0.7, 0.7, 0.7}, 1.3);
+  RbfKernel iso(0.7, 1.3);
+  Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec a = {rng.normal(), rng.normal(), rng.normal()};
+    Vec b = {rng.normal(), rng.normal(), rng.normal()};
+    EXPECT_NEAR(ard.value(a, b), iso.value(a, b), 1e-12);
+  }
+}
+
+TEST(Kernel, ArdSpectralFrequenciesRespectScales) {
+  ArdRbfKernel k({0.5, 5.0}, 1.0);
+  Rng rng(22);
+  double var0 = 0.0, var1 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const Vec w = k.sample_spectral_frequency(rng, 2);
+    var0 += w[0] * w[0];
+    var1 += w[1] * w[1];
+  }
+  EXPECT_NEAR(var0 / n, 1.0 / 0.25, 0.1);   // 1/l^2 = 4
+  EXPECT_NEAR(var1 / n, 1.0 / 25.0, 0.002);
+}
+
+TEST(Kernel, ArdCloneAndGpIntegration) {
+  ArdRbfKernel k({1.0, 2.0}, 1.0);
+  const auto c = k.clone();
+  EXPECT_EQ(c->name(), "ard_rbf");
+  EXPECT_DOUBLE_EQ(c->value({0, 0}, {1, 1}), k.value({0, 0}, {1, 1}));
+  EXPECT_THROW(ArdRbfKernel({1.0, -1.0}), Error);
+  // Full GP round trip with an anisotropic kernel.
+  gp::GpRegressor gp(std::make_unique<ArdRbfKernel>(num::Vec{1.0, 3.0}),
+                     1e-4);
+  num::Matrix X(5, 2);
+  Vec y(5);
+  Rng rng(23);
+  for (int i = 0; i < 5; ++i) {
+    X(i, 0) = rng.uniform(-1, 1);
+    X(i, 1) = rng.uniform(-1, 1);
+    y[i] = X(i, 0);
+  }
+  gp.set_data(X, y);
+  EXPECT_NEAR(gp.predict({X(0, 0), X(0, 1)}).mean, y[0], 0.1);
+}
+
+// -------------------------------------------------------------------- gp
+
+Matrix grid_inputs(const Vec& xs) {
+  Matrix X(xs.size(), 1);
+  for (std::size_t i = 0; i < xs.size(); ++i) X(i, 0) = xs[i];
+  return X;
+}
+
+TEST(Gp, PriorPredictionWithoutData) {
+  GpRegressor gp(std::make_unique<RbfKernel>(1.0, 2.5));
+  const Prediction p = gp.predict({0.3});
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_DOUBLE_EQ(p.variance, 2.5);
+}
+
+TEST(Gp, InterpolatesTrainingDataWithSmallNoise) {
+  GpRegressor gp(std::make_unique<RbfKernel>(1.0, 1.0), 1e-8);
+  const Vec xs = {-2, -1, 0, 1, 2};
+  Vec ys;
+  for (double x : xs) ys.push_back(std::sin(x));
+  gp.set_data(grid_inputs(xs), ys);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const Prediction p = gp.predict({xs[i]});
+    EXPECT_NEAR(p.mean, ys[i], 1e-3);
+    EXPECT_LT(p.stddev(), 0.05);
+  }
+}
+
+TEST(Gp, UncertaintyGrowsAwayFromData) {
+  GpRegressor gp(std::make_unique<RbfKernel>(0.5, 1.0), 1e-6);
+  gp.set_data(grid_inputs({0.0}), {1.0});
+  const double near = gp.predict({0.1}).variance;
+  const double mid = gp.predict({1.0}).variance;
+  const double far = gp.predict({5.0}).variance;
+  EXPECT_LT(near, mid);
+  EXPECT_LT(mid, far);
+  // Far away the posterior reverts to the prior.
+  EXPECT_NEAR(gp.predict({50.0}).mean, num::mean(Vec{1.0}), 1e-6);
+}
+
+TEST(Gp, PredictionBetweenPointsIsReasonable) {
+  GpRegressor gp(std::make_unique<RbfKernel>(1.0, 1.0), 1e-6);
+  gp.set_data(grid_inputs({0.0, 1.0}), {0.0, 1.0});
+  const double mid = gp.predict({0.5}).mean;
+  EXPECT_GT(mid, 0.2);
+  EXPECT_LT(mid, 0.8);
+}
+
+TEST(Gp, AddObservationMatchesBatchFit) {
+  GpRegressor inc(std::make_unique<RbfKernel>(1.0, 1.0), 1e-4);
+  GpRegressor batch(std::make_unique<RbfKernel>(1.0, 1.0), 1e-4);
+  const Vec xs = {-1.0, 0.2, 0.9, 2.0};
+  const Vec ys = {0.5, -0.3, 1.2, 0.1};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    inc.add_observation({xs[i]}, ys[i]);
+  }
+  batch.set_data(grid_inputs(xs), ys);
+  for (double q = -2.0; q <= 3.0; q += 0.5) {
+    EXPECT_NEAR(inc.predict({q}).mean, batch.predict({q}).mean, 1e-10);
+    EXPECT_NEAR(inc.predict({q}).variance, batch.predict({q}).variance,
+                1e-10);
+  }
+}
+
+TEST(Gp, TargetNormalizationMakesUnitsIrrelevant) {
+  // Same data in seconds vs milliseconds must give proportional output.
+  GpRegressor a(std::make_unique<RbfKernel>(1.0, 1.0), 1e-4);
+  GpRegressor b(std::make_unique<RbfKernel>(1.0, 1.0), 1e-4);
+  const Vec xs = {-1, 0, 1};
+  a.set_data(grid_inputs(xs), {1.0, 2.0, 3.0});
+  b.set_data(grid_inputs(xs), {1000.0, 2000.0, 3000.0});
+  EXPECT_NEAR(b.predict({0.5}).mean, 1000.0 * a.predict({0.5}).mean, 1e-6);
+  EXPECT_NEAR(b.predict({0.5}).stddev(), 1000.0 * a.predict({0.5}).stddev(),
+              1e-6);
+}
+
+TEST(Gp, LogMarginalLikelihoodPrefersTrueLengthscale) {
+  // Data drawn from a smooth function: very short lengthscales underfit
+  // the marginal likelihood.
+  Rng rng(8);
+  const std::size_t n = 20;
+  Vec xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.uniform(-3, 3);
+    ys[i] = std::sin(xs[i]);
+  }
+  auto ll_for = [&](double lengthscale) {
+    GpRegressor gp(std::make_unique<RbfKernel>(lengthscale, 1.0), 1e-4);
+    gp.set_data(grid_inputs(xs), ys);
+    return gp.log_marginal_likelihood();
+  };
+  EXPECT_GT(ll_for(1.0), ll_for(0.01));
+  EXPECT_GT(ll_for(1.0), ll_for(100.0));
+}
+
+TEST(Gp, HyperparameterOptimizationImprovesLikelihood) {
+  Rng rng(9);
+  const std::size_t n = 25;
+  Vec xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.uniform(-3, 3);
+    ys[i] = std::cos(2.0 * xs[i]) + 0.05 * rng.normal();
+  }
+  GpRegressor gp(std::make_unique<RbfKernel>(10.0, 1.0), 1e-2);
+  gp.set_data(grid_inputs(xs), ys);
+  const double before = gp.log_marginal_likelihood();
+  Rng opt_rng(10);
+  gp.optimize_hyperparameters(opt_rng, 64);
+  EXPECT_GE(gp.log_marginal_likelihood(), before);
+}
+
+TEST(Gp, CopyIsIndependent) {
+  GpRegressor a(std::make_unique<RbfKernel>(1.0, 1.0), 1e-4);
+  a.set_data(grid_inputs({0.0}), {1.0});
+  GpRegressor b = a;
+  b.add_observation({1.0}, 2.0);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_NEAR(a.predict({0.0}).mean, 1.0, 1e-3);
+}
+
+TEST(Gp, DimensionMismatchThrows) {
+  GpRegressor gp(std::make_unique<RbfKernel>());
+  gp.set_data(grid_inputs({0.0}), {1.0});
+  EXPECT_THROW(gp.predict({0.0, 1.0}), Error);
+  EXPECT_THROW(gp.add_observation({0.0, 1.0}, 0.5), Error);
+}
+
+TEST(Gp, ConstantTargetsHandledGracefully) {
+  GpRegressor gp(std::make_unique<RbfKernel>(), 1e-4);
+  gp.set_data(grid_inputs({0, 1, 2}), {3.0, 3.0, 3.0});
+  EXPECT_NEAR(gp.predict({0.5}).mean, 3.0, 1e-6);
+}
+
+// ------------------------------------------------------------------- rff
+
+TEST(Rff, SampledFunctionsPassNearTrainingData) {
+  GpRegressor gp(std::make_unique<RbfKernel>(1.0, 1.0), 1e-4);
+  const Vec xs = {-2, -1, 0, 1, 2};
+  Vec ys;
+  for (double x : xs) ys.push_back(std::sin(x));
+  gp.set_data(grid_inputs(xs), ys);
+
+  Rng rng(11);
+  for (int s = 0; s < 5; ++s) {
+    const SampledFunction f = sample_posterior_function(gp, rng, 256);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_NEAR(f({xs[i]}), ys[i], 0.25) << "sample " << s;
+    }
+  }
+}
+
+TEST(Rff, SampleMeanApproximatesPosteriorMean) {
+  GpRegressor gp(std::make_unique<RbfKernel>(1.0, 1.0), 1e-3);
+  const Vec xs = {-1, 0, 1};
+  const Vec ys = {1.0, 0.0, -1.0};
+  gp.set_data(grid_inputs(xs), ys);
+
+  Rng rng(12);
+  const Vec query = {0.5};
+  double sum = 0.0;
+  const int s_count = 200;
+  for (int s = 0; s < s_count; ++s) {
+    sum += sample_posterior_function(gp, rng, 192)({0.5});
+  }
+  EXPECT_NEAR(sum / s_count, gp.predict(query).mean, 0.1);
+}
+
+TEST(Rff, SampleSpreadTracksPosteriorUncertainty) {
+  GpRegressor gp(std::make_unique<RbfKernel>(0.6, 1.0), 1e-3);
+  gp.set_data(grid_inputs({0.0}), {0.0});
+  Rng rng(13);
+  num::Vec at_data, far_away;
+  for (int s = 0; s < 120; ++s) {
+    const SampledFunction f = sample_posterior_function(gp, rng, 192);
+    at_data.push_back(f({0.0}));
+    far_away.push_back(f({4.0}));
+  }
+  EXPECT_LT(num::stddev(at_data), 0.2);
+  EXPECT_GT(num::stddev(far_away), 0.5);
+}
+
+TEST(Rff, DeterministicGivenRngState) {
+  GpRegressor gp(std::make_unique<RbfKernel>(1.0, 1.0), 1e-4);
+  gp.set_data(grid_inputs({0.0, 1.0}), {0.5, -0.5});
+  Rng r1(14), r2(14);
+  const SampledFunction f1 = sample_posterior_function(gp, r1, 64);
+  const SampledFunction f2 = sample_posterior_function(gp, r2, 64);
+  for (double q = -1.0; q <= 2.0; q += 0.25) {
+    EXPECT_DOUBLE_EQ(f1({q}), f2({q}));
+  }
+}
+
+TEST(Rff, RequiresFittedGp) {
+  GpRegressor gp(std::make_unique<RbfKernel>());
+  Rng rng(15);
+  EXPECT_THROW(sample_posterior_function(gp, rng, 64), Error);
+}
+
+TEST(Rff, FunctionDimensionsMatchGp) {
+  GpRegressor gp(std::make_unique<RbfKernel>(), 1e-4);
+  Matrix X(3, 2);
+  X(0, 0) = 0;  X(0, 1) = 0;
+  X(1, 0) = 1;  X(1, 1) = 0;
+  X(2, 0) = 0;  X(2, 1) = 1;
+  gp.set_data(X, {0.0, 1.0, -1.0});
+  Rng rng(16);
+  const SampledFunction f = sample_posterior_function(gp, rng, 32);
+  EXPECT_EQ(f.input_dim(), 2u);
+  EXPECT_EQ(f.num_features(), 32u);
+  EXPECT_THROW(f({1.0}), Error);
+}
+
+}  // namespace
+}  // namespace parmis::gp

@@ -1,0 +1,447 @@
+// Unit + property tests for src/moo: dominance, non-dominated sorting,
+// crowding, hypervolume (exact + Monte Carlo), NSGA-II on ZDT problems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "moo/hypervolume.hpp"
+#include "moo/nsga2.hpp"
+#include "moo/pareto.hpp"
+#include "moo/test_problems.hpp"
+
+namespace parmis::moo {
+namespace {
+
+// ------------------------------------------------------------- dominance
+
+TEST(Dominance, BasicCases) {
+  EXPECT_TRUE(dominates({1, 1}, {2, 2}));
+  EXPECT_TRUE(dominates({1, 2}, {2, 2}));
+  EXPECT_FALSE(dominates({2, 2}, {2, 2}));  // equal: no strict improvement
+  EXPECT_FALSE(dominates({1, 3}, {2, 2}));  // incomparable
+  EXPECT_THROW(dominates({1}, {1, 2}), Error);
+}
+
+TEST(Dominance, AntisymmetryProperty) {
+  Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    Vec a = {rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)};
+    Vec b = {rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)};
+    EXPECT_FALSE(dominates(a, b) && dominates(b, a));
+  }
+}
+
+TEST(Dominance, TransitivityProperty) {
+  Rng rng(2);
+  int checked = 0;
+  for (int trial = 0; trial < 3000 && checked < 100; ++trial) {
+    Vec a = {rng.uniform(0, 1), rng.uniform(0, 1)};
+    Vec b = {a[0] + rng.uniform(0, 0.5), a[1] + rng.uniform(0, 0.5)};
+    Vec c = {b[0] + rng.uniform(0, 0.5), b[1] + rng.uniform(0, 0.5)};
+    if (dominates(a, b) && dominates(b, c)) {
+      EXPECT_TRUE(dominates(a, c));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST(Dominance, Incomparable) {
+  EXPECT_TRUE(incomparable({1, 3}, {3, 1}));
+  EXPECT_FALSE(incomparable({1, 1}, {2, 2}));
+  EXPECT_FALSE(incomparable({1, 1}, {1, 1}));
+}
+
+// ------------------------------------------------------------ pareto ops
+
+TEST(Pareto, NonDominatedIndicesKnownSet) {
+  const std::vector<Vec> pts = {{1, 5}, {2, 2}, {5, 1}, {4, 4}, {3, 3}};
+  const auto idx = non_dominated_indices(pts);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Pareto, DuplicatesKeepFirstOccurrence) {
+  const std::vector<Vec> pts = {{1, 2}, {1, 2}, {0, 3}};
+  const auto idx = non_dominated_indices(pts);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Pareto, FrontMembersAreMutuallyIncomparable) {
+  Rng rng(3);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)});
+  }
+  const auto front = pareto_front(pts);
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    for (std::size_t j = i + 1; j < front.size(); ++j) {
+      EXPECT_FALSE(dominates(front[i], front[j]));
+      EXPECT_FALSE(dominates(front[j], front[i]));
+    }
+  }
+  // Every non-front point is dominated by some front point.
+  for (const auto& p : pts) {
+    bool in_front = false;
+    for (const auto& f : front) in_front |= (f == p);
+    if (in_front) continue;
+    bool dominated = false;
+    for (const auto& f : front) dominated |= dominates(f, p);
+    EXPECT_TRUE(dominated);
+  }
+}
+
+TEST(Pareto, FastNonDominatedSortLayersAreConsistent) {
+  const std::vector<Vec> pts = {{1, 1}, {2, 2}, {3, 3}, {1, 4}, {4, 1}};
+  const auto fronts = fast_non_dominated_sort(pts);
+  ASSERT_GE(fronts.size(), 2u);
+  // Layer 0 = {0}; {1,4} and {4,1} are incomparable with {1,1}? No:
+  // (1,1) dominates (1,4)? 1<=1, 1<4 -> yes.  So layer 0 == {(1,1)}.
+  EXPECT_EQ(fronts[0], (std::vector<std::size_t>{0}));
+  // Every point in layer i+1 is dominated by someone in layer i.
+  for (std::size_t layer = 1; layer < fronts.size(); ++layer) {
+    for (std::size_t q : fronts[layer]) {
+      bool dominated = false;
+      for (std::size_t p : fronts[layer - 1]) {
+        dominated |= dominates(pts[p], pts[q]);
+      }
+      EXPECT_TRUE(dominated);
+    }
+  }
+  // Layers partition all indices.
+  std::size_t total = 0;
+  for (const auto& f : fronts) total += f.size();
+  EXPECT_EQ(total, pts.size());
+}
+
+TEST(Pareto, CrowdingDistanceBoundariesInfinite) {
+  const std::vector<Vec> pts = {{0, 4}, {1, 3}, {2, 2}, {3, 1}, {4, 0}};
+  std::vector<std::size_t> members = {0, 1, 2, 3, 4};
+  const auto cd = crowding_distance(pts, members);
+  EXPECT_TRUE(std::isinf(cd[0]));
+  EXPECT_TRUE(std::isinf(cd[4]));
+  for (std::size_t i = 1; i <= 3; ++i) {
+    EXPECT_TRUE(std::isfinite(cd[i]));
+    EXPECT_GT(cd[i], 0.0);
+  }
+}
+
+TEST(Pareto, CrowdingPrefersIsolatedPoints) {
+  // Point 2 is crowded; point 1 is isolated.
+  const std::vector<Vec> pts = {{0, 10}, {3, 6}, {8.9, 1.2}, {9, 1}, {10, 0}};
+  std::vector<std::size_t> members = {0, 1, 2, 3, 4};
+  const auto cd = crowding_distance(pts, members);
+  EXPECT_GT(cd[1], cd[2]);
+}
+
+TEST(Pareto, ComponentwiseExtremes) {
+  const std::vector<Vec> pts = {{1, 5}, {4, 2}};
+  EXPECT_EQ(componentwise_max(pts), (Vec{4, 5}));
+  EXPECT_EQ(componentwise_min(pts), (Vec{1, 2}));
+  EXPECT_THROW(componentwise_max({}), Error);
+}
+
+// ------------------------------------------------------------ hypervolume
+
+TEST(Hypervolume, SinglePointBox) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{1, 1}}, {3, 3}), 4.0);
+}
+
+TEST(Hypervolume, TwoPointStaircase) {
+  // Points (1,2) and (2,1), ref (3,3): area = 3 (union of two boxes).
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{1, 2}, {2, 1}}, {3, 3}), 3.0);
+}
+
+TEST(Hypervolume, DominatedPointAddsNothing) {
+  const double base = hypervolume_2d({{1, 1}}, {4, 4});
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{1, 1}, {2, 2}}, {4, 4}), base);
+}
+
+TEST(Hypervolume, PointsOutsideReferenceIgnored) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{5, 5}}, {3, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{1, 5}}, {3, 3}), 0.0);
+}
+
+TEST(Hypervolume, MonotoneUnderNewNonDominatedPoint) {
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Vec> pts;
+    for (int i = 0; i < 10; ++i) {
+      pts.push_back({rng.uniform(0, 1), rng.uniform(0, 1)});
+    }
+    const Vec ref = {1.5, 1.5};
+    const double before = hypervolume_2d(pts, ref);
+    pts.push_back({rng.uniform(0, 1), rng.uniform(0, 1)});
+    const double after = hypervolume_2d(pts, ref);
+    EXPECT_GE(after, before - 1e-12);
+  }
+}
+
+TEST(Hypervolume, Wfg3dKnownValue) {
+  // Single point (1,1,1), ref (2,2,2): volume 1.
+  EXPECT_NEAR(hypervolume_wfg({{1, 1, 1}}, {2, 2, 2}), 1.0, 1e-12);
+  // Two incomparable points with known union volume:
+  // (0,1,1) and (1,0,0), ref (2,2,2):
+  //   vol(box1) = 2*1*1 = 2, vol(box2) = 1*2*2 = 4,
+  //   intersection = box at (max componentwise) = (1,1,1) -> 1*1*1 = 1
+  //   union = 2 + 4 - 1 = 5.
+  EXPECT_NEAR(hypervolume_wfg({{0, 1, 1}, {1, 0, 0}}, {2, 2, 2}), 5.0,
+              1e-12);
+}
+
+TEST(Hypervolume, WfgMatches2dSweep) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Vec> pts;
+    for (int i = 0; i < 12; ++i) {
+      pts.push_back({rng.uniform(0, 1), rng.uniform(0, 1)});
+    }
+    const Vec ref = {1.2, 1.2};
+    EXPECT_NEAR(hypervolume_wfg(pts, ref), hypervolume_2d(pts, ref), 1e-10);
+  }
+}
+
+TEST(Hypervolume, MonteCarloAgreesWithExact) {
+  Rng rng(6);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 15; ++i) {
+    pts.push_back({rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)});
+  }
+  const Vec ref = {1.1, 1.1, 1.1};
+  const double exact = hypervolume_wfg(pts, ref);
+  Rng mc_rng(7);
+  const double approx = hypervolume_monte_carlo(pts, ref, mc_rng, 200000);
+  EXPECT_NEAR(approx, exact, 0.03 * exact + 1e-6);
+}
+
+TEST(Hypervolume, DispatcherSelectsConsistentAnswers) {
+  const std::vector<Vec> pts2 = {{1, 2}, {2, 1}};
+  EXPECT_DOUBLE_EQ(hypervolume(pts2, {3, 3}), 3.0);
+  const std::vector<Vec> pts3 = {{1, 1, 1}};
+  EXPECT_NEAR(hypervolume(pts3, {2, 2, 2}), 1.0, 1e-12);
+}
+
+TEST(Hypervolume, DefaultReferencePointIsWorseThanAllPoints) {
+  const std::vector<Vec> pts = {{1, 5}, {4, 2}, {-1, 3}};
+  const Vec ref = default_reference_point(pts, 0.1);
+  for (const auto& p : pts) {
+    for (std::size_t j = 0; j < p.size(); ++j) EXPECT_GT(ref[j], p[j]);
+  }
+}
+
+TEST(Hypervolume, EmptyFrontIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({}, {1, 1}), 0.0);
+}
+
+// --------------------------------------------------------- test problems
+
+TEST(TestProblems, Zdt1FrontValues) {
+  // On the true front (g = 1): f2 = 1 - sqrt(f1).
+  Vec x(10, 0.0);
+  x[0] = 0.25;
+  const Vec f = zdt1(x);
+  EXPECT_DOUBLE_EQ(f[0], 0.25);
+  EXPECT_NEAR(f[1], zdt1_front(0.25), 1e-12);
+}
+
+TEST(TestProblems, Zdt2FrontValues) {
+  Vec x(10, 0.0);
+  x[0] = 0.5;
+  const Vec f = zdt2(x);
+  EXPECT_NEAR(f[1], zdt2_front(0.5), 1e-12);
+}
+
+TEST(TestProblems, AwayFromFrontIsWorse) {
+  Vec on(5, 0.0), off(5, 0.5);
+  on[0] = off[0] = 0.3;
+  EXPECT_LT(zdt1(on)[1], zdt1(off)[1]);
+}
+
+TEST(TestProblems, Dtlz2OnFrontSumsToOne) {
+  // With all distance variables at 0.5, sum f_i^2 == 1.
+  Vec x(7, 0.5);
+  x[0] = 0.3;
+  x[1] = 0.8;
+  const Vec f = dtlz2(x, 3);
+  double s = 0.0;
+  for (double v : f) s += v * v;
+  EXPECT_NEAR(s, 1.0, 1e-10);
+}
+
+// ----------------------------------------------------------------- nsga2
+
+double mean_distance_to_zdt1_front(const std::vector<Nsga2Solution>& set) {
+  double total = 0.0;
+  for (const auto& s : set) {
+    total += std::abs(s.objectives[1] - zdt1_front(s.objectives[0]));
+  }
+  return total / static_cast<double>(set.size());
+}
+
+TEST(Nsga2, ConvergesOnZdt1) {
+  Nsga2Config cfg;
+  cfg.population_size = 64;
+  cfg.generations = 120;
+  cfg.seed = 8;
+  const Vec lo(12, 0.0), hi(12, 1.0);
+  const Nsga2Result res = nsga2_minimize(
+      [](const Vec& x) { return zdt1(x); }, lo, hi, cfg);
+  ASSERT_FALSE(res.pareto_set.empty());
+  EXPECT_LT(mean_distance_to_zdt1_front(res.pareto_set), 0.05);
+  // Spread: the front should cover most of f1's range.
+  double min_f1 = 1.0, max_f1 = 0.0;
+  for (const auto& s : res.pareto_set) {
+    min_f1 = std::min(min_f1, s.objectives[0]);
+    max_f1 = std::max(max_f1, s.objectives[0]);
+  }
+  EXPECT_LT(min_f1, 0.15);
+  EXPECT_GT(max_f1, 0.7);
+}
+
+TEST(Nsga2, HandlesNonConvexZdt2Front) {
+  // Linear scalarization cannot populate a concave front; NSGA-II can —
+  // this is the paper's Sec. III argument against the RL/IL baselines.
+  Nsga2Config cfg;
+  cfg.population_size = 64;
+  cfg.generations = 120;
+  cfg.seed = 9;
+  const Vec lo(12, 0.0), hi(12, 1.0);
+  const Nsga2Result res = nsga2_minimize(
+      [](const Vec& x) { return zdt2(x); }, lo, hi, cfg);
+  // Count interior points (f1 in (0.2, 0.8)) — scalarization would find
+  // only the extremes of a concave front.
+  int interior = 0;
+  for (const auto& s : res.pareto_set) {
+    if (s.objectives[0] > 0.2 && s.objectives[0] < 0.8) ++interior;
+  }
+  EXPECT_GE(interior, 5);
+}
+
+TEST(Nsga2, RespectsBounds) {
+  Nsga2Config cfg;
+  cfg.population_size = 16;
+  cfg.generations = 10;
+  cfg.seed = 10;
+  const Vec lo = {-1.0, 2.0}, hi = {1.0, 5.0};
+  const Nsga2Result res = nsga2_minimize(
+      [](const Vec& x) {
+        return Vec{x[0] * x[0], (x[1] - 3.0) * (x[1] - 3.0)};
+      },
+      lo, hi, cfg);
+  for (const auto& s : res.final_population) {
+    EXPECT_GE(s.x[0], -1.0);
+    EXPECT_LE(s.x[0], 1.0);
+    EXPECT_GE(s.x[1], 2.0);
+    EXPECT_LE(s.x[1], 5.0);
+  }
+}
+
+TEST(Nsga2, EvaluationCountIsExact) {
+  Nsga2Config cfg;
+  cfg.population_size = 20;
+  cfg.generations = 7;
+  const Vec lo(3, 0.0), hi(3, 1.0);
+  const Nsga2Result res = nsga2_minimize(
+      [](const Vec& x) { return zdt1(x); }, lo, hi, cfg);
+  EXPECT_EQ(res.evaluations, 20u * (7u + 1u));
+}
+
+TEST(Nsga2, DeterministicForSeed) {
+  Nsga2Config cfg;
+  cfg.population_size = 16;
+  cfg.generations = 12;
+  cfg.seed = 11;
+  const Vec lo(4, 0.0), hi(4, 1.0);
+  auto run = [&]() {
+    return nsga2_minimize([](const Vec& x) { return zdt1(x); }, lo, hi, cfg);
+  };
+  const auto a = run(), b = run();
+  ASSERT_EQ(a.pareto_set.size(), b.pareto_set.size());
+  for (std::size_t i = 0; i < a.pareto_set.size(); ++i) {
+    EXPECT_EQ(a.pareto_set[i].objectives, b.pareto_set[i].objectives);
+  }
+}
+
+TEST(Nsga2, InitialSeedPointsAreUsed) {
+  // Seeding the known optimum of a simple problem guarantees it survives.
+  Nsga2Config cfg;
+  cfg.population_size = 16;
+  cfg.generations = 5;
+  cfg.seed = 12;
+  const Vec lo(2, -2.0), hi(2, 2.0);
+  const Vec optimum = {0.0, 0.0};
+  const Nsga2Result res = nsga2_minimize(
+      [](const Vec& x) {
+        return Vec{x[0] * x[0] + x[1] * x[1],
+                   (x[0] - 1) * (x[0] - 1) + x[1] * x[1]};
+      },
+      lo, hi, cfg, {optimum});
+  double best = 1e9;
+  for (const auto& s : res.pareto_set) best = std::min(best, s.objectives[0]);
+  EXPECT_LT(best, 0.05);
+}
+
+TEST(Nsga2, MoreSeedsThanPopulationAreTruncated) {
+  Nsga2Config cfg;
+  cfg.population_size = 4;
+  cfg.generations = 2;
+  cfg.seed = 14;
+  const Vec lo(2, 0.0), hi(2, 1.0);
+  std::vector<Vec> seeds(10, Vec{0.5, 0.5});
+  const auto res = nsga2_minimize(
+      [](const Vec& x) { return zdt1(x); }, lo, hi, cfg, seeds);
+  EXPECT_EQ(res.final_population.size(), 4u);
+}
+
+TEST(Nsga2, CrowdingDegenerateObjective) {
+  // One objective constant: crowding must not divide by zero and the
+  // algorithm still runs.
+  Nsga2Config cfg;
+  cfg.population_size = 8;
+  cfg.generations = 4;
+  const Vec lo(2, 0.0), hi(2, 1.0);
+  const auto res = nsga2_minimize(
+      [](const Vec& x) { return Vec{x[0], 1.0}; }, lo, hi, cfg);
+  EXPECT_FALSE(res.pareto_set.empty());
+}
+
+TEST(Nsga2, ValidatesConfiguration) {
+  const Vec lo(2, 0.0), hi(2, 1.0);
+  Nsga2Config bad;
+  bad.population_size = 5;  // odd
+  EXPECT_THROW(
+      nsga2_minimize([](const Vec& x) { return zdt1(x); }, lo, hi, bad),
+      Error);
+  Nsga2Config ok;
+  EXPECT_THROW(nsga2_minimize([](const Vec& x) { return zdt1(x); },
+                              {1.0, 1.0}, {0.0, 0.0}, ok),
+               Error);
+}
+
+// Parameterized sweep: PHV of NSGA-II's ZDT1 front improves with budget.
+class Nsga2BudgetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Nsga2BudgetSweep, MoreGenerationsNeverMuchWorse) {
+  Nsga2Config small;
+  small.population_size = 32;
+  small.generations = GetParam();
+  small.seed = 13;
+  Nsga2Config big = small;
+  big.generations = GetParam() * 4;
+  const Vec lo(8, 0.0), hi(8, 1.0);
+  auto phv = [&](const Nsga2Config& cfg) {
+    const auto res = nsga2_minimize(
+        [](const Vec& x) { return zdt1(x); }, lo, hi, cfg);
+    std::vector<Vec> front;
+    for (const auto& s : res.pareto_set) front.push_back(s.objectives);
+    return hypervolume_2d(front, {1.2, 7.0});
+  };
+  EXPECT_GE(phv(big), phv(small) * 0.98);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, Nsga2BudgetSweep,
+                         ::testing::Values(5, 10, 20));
+
+}  // namespace
+}  // namespace parmis::moo

@@ -1,0 +1,374 @@
+// Unit + property tests for src/numerics: linear algebra, Cholesky,
+// Gaussian distribution functions, truncated entropy, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "numerics/cholesky.hpp"
+#include "numerics/distributions.hpp"
+#include "numerics/matrix.hpp"
+#include "numerics/stats.hpp"
+#include "numerics/vec.hpp"
+
+namespace parmis::num {
+namespace {
+
+// ------------------------------------------------------------------- vec
+
+TEST(Vec, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+  EXPECT_THROW(dot({1}, {1, 2}), Error);
+}
+
+TEST(Vec, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(squared_distance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(squared_distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Vec, AddSubScaleAxpy) {
+  const Vec a = {1, 2}, b = {3, 5};
+  EXPECT_EQ(add(a, b), (Vec{4, 7}));
+  EXPECT_EQ(sub(b, a), (Vec{2, 3}));
+  EXPECT_EQ(scale(a, 2.0), (Vec{2, 4}));
+  Vec y = {1, 1};
+  axpy(2.0, a, y);
+  EXPECT_EQ(y, (Vec{3, 5}));
+}
+
+TEST(Vec, MeanVarianceStddev) {
+  const Vec v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(variance({1.0}), 0.0);
+  EXPECT_THROW(mean({}), Error);
+}
+
+TEST(Vec, MinMaxElements) {
+  EXPECT_DOUBLE_EQ(min_element({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(max_element({3, 1, 2}), 3.0);
+  EXPECT_THROW(min_element({}), Error);
+}
+
+TEST(Vec, LinspaceEndpointsAndSpacing) {
+  const Vec g = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.back(), 1.0);
+  EXPECT_DOUBLE_EQ(g[2], 0.5);
+  EXPECT_THROW(linspace(0, 1, 1), Error);
+}
+
+// ---------------------------------------------------------------- matrix
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 9.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 9.0);
+  EXPECT_THROW(m.at(2, 0), Error);
+}
+
+TEST(Matrix, FromRowsValidatesShape) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), Error);
+  EXPECT_THROW(Matrix::from_rows({}), Error);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  Matrix eye = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+  eye.add_diagonal(2.0);
+  EXPECT_DOUBLE_EQ(eye(2, 2), 3.0);
+}
+
+TEST(Matrix, MatvecAndTransposedMatvec) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.matvec({1, 1}), (Vec{3, 7, 11}));
+  EXPECT_EQ(m.matvec_transposed({1, 1, 1}), (Vec{9, 12}));
+  EXPECT_THROW(m.matvec({1, 2, 3}), Error);
+}
+
+TEST(Matrix, MatmulAgreesWithHandComputation) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Rng rng(1);
+  Matrix m(4, 7);
+  for (auto& v : m.data()) v = rng.normal();
+  const Matrix mt = m.transposed();
+  EXPECT_EQ(mt.rows(), 7u);
+  const Matrix mtt = mt.transposed();
+  EXPECT_EQ(mtt.data(), m.data());
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix m = Matrix::from_rows({{3, 0}, {0, 4}});
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+// -------------------------------------------------------------- cholesky
+
+TEST(Cholesky, FactorizesKnownSpdMatrix) {
+  // A = [[4,2],[2,3]] -> L = [[2,0],[1,sqrt(2)]]
+  const Matrix a = Matrix::from_rows({{4, 2}, {2, 3}});
+  const Cholesky chol(a);
+  EXPECT_NEAR(chol.lower()(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(chol.lower()(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(chol.lower()(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(chol.jitter_used(), 0.0);
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  const Matrix a = Matrix::from_rows({{4, 2}, {2, 3}});
+  const Vec x_true = {1.0, -2.0};
+  const Vec b = a.matvec(x_true);
+  const Vec x = Cholesky(a).solve(b);
+  EXPECT_NEAR(x[0], x_true[0], 1e-12);
+  EXPECT_NEAR(x[1], x_true[1], 1e-12);
+}
+
+TEST(Cholesky, LogDetMatchesDirectComputation) {
+  const Matrix a = Matrix::from_rows({{4, 2}, {2, 3}});
+  // det = 12 - 4 = 8
+  EXPECT_NEAR(Cholesky(a).log_det(), std::log(8.0), 1e-12);
+}
+
+TEST(Cholesky, RandomSpdReconstruction) {
+  Rng rng(2);
+  const std::size_t n = 12;
+  Matrix b(n, n);
+  for (auto& v : b.data()) v = rng.normal();
+  Matrix a = b.matmul(b.transposed());
+  a.add_diagonal(0.5);
+  const Cholesky chol(a);
+  const Matrix recon = chol.lower().matmul(chol.lower().transposed());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(recon(i, j), a(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(Cholesky, JitterRescuesSingularMatrix) {
+  // Rank-1 matrix: requires jitter.
+  const Matrix a = Matrix::from_rows({{1, 1}, {1, 1}});
+  const Cholesky chol(a);
+  EXPECT_GT(chol.jitter_used(), 0.0);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  const Matrix a = Matrix::from_rows({{1, 0}, {0, -5}});
+  EXPECT_THROW(Cholesky(a, 1e-10, 3), Error);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(Cholesky(Matrix(2, 3)), Error);
+}
+
+// --------------------------------------------------------- distributions
+
+TEST(Distributions, PdfKnownValues) {
+  EXPECT_NEAR(norm_pdf(0.0), 1.0 / std::sqrt(2.0 * std::numbers::pi), 1e-15);
+  EXPECT_NEAR(norm_pdf(1.0), 0.24197072451914337, 1e-12);
+  EXPECT_NEAR(norm_pdf(-1.0), norm_pdf(1.0), 1e-15);
+}
+
+TEST(Distributions, CdfKnownValues) {
+  EXPECT_NEAR(norm_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(norm_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(norm_cdf(-1.0) + norm_cdf(1.0), 1.0, 1e-12);
+}
+
+TEST(Distributions, LogCdfMatchesDirectInSafeRange) {
+  for (double x = -7.5; x <= 8.0; x += 0.25) {
+    EXPECT_NEAR(log_norm_cdf(x), std::log(norm_cdf(x)), 1e-10) << "x=" << x;
+  }
+}
+
+TEST(Distributions, LogCdfDeepTailIsFiniteAndMonotone) {
+  double prev = log_norm_cdf(-200.0);
+  EXPECT_TRUE(std::isfinite(prev));
+  for (double x = -150.0; x <= -10.0; x += 10.0) {
+    const double cur = log_norm_cdf(x);
+    EXPECT_TRUE(std::isfinite(cur));
+    EXPECT_GT(cur, prev) << "x=" << x;
+    prev = cur;
+  }
+}
+
+TEST(Distributions, LogCdfTailBranchAgreesWithErfc) {
+  // The implementation switches to the asymptotic series at x = -12;
+  // erfc is still accurate down to x ~ -37, so both evaluations of the
+  // SAME point must agree where they overlap.
+  for (double x = -20.0; x <= -12.0; x += 0.5) {
+    const double direct = std::log(norm_cdf(x));  // erfc branch, by hand
+    EXPECT_NEAR(log_norm_cdf(x) / direct, 1.0, 1e-9) << "x=" << x;
+  }
+}
+
+TEST(Distributions, InverseMillsRatioLimits) {
+  // For x >> 0: phi/Phi -> phi(x) (tiny). For x << 0: -x + O(1/x), i.e.
+  // phi/Phi(-50) = 50.02 (the 1/x correction), not exactly 50.
+  EXPECT_NEAR(inverse_mills_ratio(8.0), norm_pdf(8.0), 1e-15);
+  EXPECT_NEAR(inverse_mills_ratio(-50.0), 50.0 + 1.0 / 50.0, 1e-3);
+  EXPECT_NEAR(inverse_mills_ratio(0.0),
+              norm_pdf(0.0) / 0.5, 1e-12);
+}
+
+TEST(Distributions, GaussianEntropyClosedForm) {
+  // H = 0.5 ln(2 pi e sigma^2)
+  EXPECT_NEAR(gaussian_entropy(1.0),
+              0.5 * std::log(2.0 * std::numbers::pi * std::numbers::e),
+              1e-12);
+  EXPECT_NEAR(gaussian_entropy(2.0) - gaussian_entropy(1.0), std::log(2.0),
+              1e-12);
+  EXPECT_THROW(gaussian_entropy(0.0), Error);
+}
+
+/// Numerically integrates the upper-truncated Gaussian entropy for
+/// comparison with the closed form (paper Eq. 8 building block).
+double truncated_entropy_numeric(double mu, double sigma, double upper) {
+  const double z = norm_cdf((upper - mu) / sigma);
+  const double lo = mu - 12.0 * sigma;
+  const int n = 400000;
+  const double h = (upper - lo) / n;
+  double entropy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = lo + (i + 0.5) * h;
+    const double p = norm_pdf((x - mu) / sigma) / (sigma * z);
+    if (p > 1e-300) entropy -= p * std::log(p) * h;
+  }
+  return entropy;
+}
+
+TEST(Distributions, TruncatedEntropyMatchesNumericIntegration) {
+  struct Case {
+    double mu, sigma, upper;
+  };
+  for (const auto& c : {Case{0.0, 1.0, 0.0}, Case{0.0, 1.0, 2.0},
+                        Case{1.0, 0.5, 0.8}, Case{-2.0, 3.0, -1.0}}) {
+    EXPECT_NEAR(upper_truncated_gaussian_entropy(c.mu, c.sigma, c.upper),
+                truncated_entropy_numeric(c.mu, c.sigma, c.upper), 2e-4)
+        << "mu=" << c.mu << " sigma=" << c.sigma << " upper=" << c.upper;
+  }
+}
+
+TEST(Distributions, TruncationNeverIncreasesEntropy) {
+  for (double upper = -3.0; upper <= 4.0; upper += 0.5) {
+    EXPECT_LE(upper_truncated_gaussian_entropy(0.0, 1.0, upper),
+              gaussian_entropy(1.0) + 1e-12);
+  }
+}
+
+TEST(Distributions, EntropyReductionTermNonNegative) {
+  for (double g = -40.0; g <= 40.0; g += 0.5) {
+    const double v = entropy_reduction_term(g);
+    EXPECT_GE(v, 0.0) << "gamma=" << g;
+    EXPECT_TRUE(std::isfinite(v)) << "gamma=" << g;
+  }
+}
+
+TEST(Distributions, EntropyReductionTermMonotoneDecreasingInGamma) {
+  // Less headroom below the truncation point => more entropy removed.
+  double prev = entropy_reduction_term(-30.0);
+  for (double g = -29.0; g <= 30.0; g += 1.0) {
+    const double cur = entropy_reduction_term(g);
+    EXPECT_LE(cur, prev + 1e-9) << "gamma=" << g;
+    prev = cur;
+  }
+}
+
+TEST(Distributions, EntropyReductionDeepTailMatchesSafeBranch) {
+  // In the overlap region both the direct evaluation (erfc still exact)
+  // and the asymptotic branch must agree at the SAME point.
+  for (double g = -20.0; g <= -12.0; g += 0.5) {
+    const double phi_over_cdf = norm_pdf(g) / norm_cdf(g);
+    const double direct = 0.5 * g * phi_over_cdf - std::log(norm_cdf(g));
+    EXPECT_NEAR(entropy_reduction_term(g) / direct, 1.0, 1e-8) << g;
+  }
+}
+
+TEST(Distributions, EntropyReductionVanishesForLargeGamma) {
+  EXPECT_LT(entropy_reduction_term(8.0), 1e-12);
+}
+
+TEST(Distributions, EntropyIdentityLinksReductionAndTruncation) {
+  // H_trunc = H_gauss - reduction, by construction and by math.
+  const double mu = 0.3, sigma = 1.7, upper = 0.9;
+  const double gamma = (upper - mu) / sigma;
+  EXPECT_NEAR(upper_truncated_gaussian_entropy(mu, sigma, upper),
+              gaussian_entropy(sigma) - entropy_reduction_term(gamma), 1e-12);
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(3);
+  RunningStats rs;
+  Vec all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    rs.add(x);
+    all.push_back(x);
+  }
+  EXPECT_EQ(rs.count(), 1000u);
+  EXPECT_NEAR(rs.mean(), mean(all), 1e-10);
+  EXPECT_NEAR(rs.variance(), variance(all), 1e-8);
+  EXPECT_DOUBLE_EQ(rs.min(), min_element(all));
+  EXPECT_DOUBLE_EQ(rs.max(), max_element(all));
+}
+
+TEST(Stats, MergeEqualsSinglePass) {
+  Rng rng(4);
+  RunningStats a, b, whole;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-1, 1);
+    (i < 250 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+}
+
+TEST(Stats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(Stats, QuantileInterpolation) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+  EXPECT_THROW(quantile({}, 0.5), Error);
+  EXPECT_THROW(quantile({1.0}, 1.5), Error);
+}
+
+}  // namespace
+}  // namespace parmis::num

@@ -1,0 +1,302 @@
+// Tests for src/runtime: objectives, the EVALUATE engine, global
+// multi-app evaluation, and the online policy selector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/benchmarks.hpp"
+#include "common/error.hpp"
+#include "policy/governors.hpp"
+#include "policy/mlp_policy.hpp"
+#include "runtime/evaluator.hpp"
+#include "runtime/objectives.hpp"
+#include "runtime/pareto_archive.hpp"
+#include "runtime/selector.hpp"
+
+#include <sstream>
+
+namespace parmis::runtime {
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  soc::SocSpec spec_ = soc::SocSpec::exynos5422();
+  soc::Platform platform_{spec_};
+  soc::Application app_ = apps::make_benchmark("qsort");
+};
+
+// ------------------------------------------------------------- objectives
+
+TEST(Objectives, DirectionsAndNames) {
+  EXPECT_FALSE(Objective(ObjectiveKind::ExecutionTime).maximize());
+  EXPECT_FALSE(Objective(ObjectiveKind::Energy).maximize());
+  EXPECT_TRUE(Objective(ObjectiveKind::PPW).maximize());
+  EXPECT_FALSE(Objective(ObjectiveKind::EDP).maximize());
+  EXPECT_EQ(Objective(ObjectiveKind::ExecutionTime).name(), "time_s");
+}
+
+TEST(Objectives, MinValueNegatesMaximizedObjectives) {
+  RunMetrics m;
+  m.time_s = 2.0;
+  m.energy_j = 5.0;
+  m.ppw_mean = 0.8;
+  m.edp = 10.0;
+  m.peak_power_w = 4.0;
+  const Objective time(ObjectiveKind::ExecutionTime);
+  const Objective ppw(ObjectiveKind::PPW);
+  EXPECT_DOUBLE_EQ(time.min_value(m), 2.0);
+  EXPECT_DOUBLE_EQ(ppw.min_value(m), -0.8);
+  EXPECT_DOUBLE_EQ(ppw.to_raw(ppw.min_value(m)), 0.8);
+  EXPECT_DOUBLE_EQ(time.to_raw(time.min_value(m)), 2.0);
+}
+
+TEST(Objectives, StandardPairsAndVector) {
+  const auto te = time_energy_objectives();
+  ASSERT_EQ(te.size(), 2u);
+  EXPECT_EQ(te[0].kind(), ObjectiveKind::ExecutionTime);
+  EXPECT_EQ(te[1].kind(), ObjectiveKind::Energy);
+  const auto tp = time_ppw_objectives();
+  EXPECT_EQ(tp[1].kind(), ObjectiveKind::PPW);
+
+  RunMetrics m;
+  m.time_s = 1.5;
+  m.energy_j = 3.0;
+  EXPECT_EQ(objective_vector(te, m), (num::Vec{1.5, 3.0}));
+  EXPECT_THROW(objective_vector({}, m), Error);
+}
+
+// -------------------------------------------------------------- evaluator
+
+TEST_F(RuntimeTest, DeterministicRunsWithoutNoise) {
+  policy::PerformanceGovernor gov(platform_.decision_space());
+  Evaluator eval(platform_);
+  const RunMetrics a = eval.run(gov, app_);
+  const RunMetrics b = eval.run(gov, app_);
+  EXPECT_DOUBLE_EQ(a.time_s, b.time_s);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.epochs, app_.num_epochs());
+}
+
+TEST_F(RuntimeTest, MetricsInternallyConsistent) {
+  policy::OndemandGovernor gov(platform_.decision_space());
+  Evaluator eval(platform_);
+  const RunMetrics m = eval.run(gov, app_);
+  EXPECT_NEAR(m.avg_power_w, m.energy_j / m.time_s, 1e-9);
+  EXPECT_NEAR(m.edp, m.energy_j * m.time_s, 1e-9);
+  EXPECT_GE(m.peak_power_w, m.avg_power_w);
+  EXPECT_GT(m.ppw_mean, 0.0);
+}
+
+TEST_F(RuntimeTest, PpwIsNotJustInverseEnergy) {
+  // Mean per-epoch IPS/W would equal instructions/energy only if every
+  // epoch had identical (gips, power); phase structure breaks that.
+  policy::PerformanceGovernor gov(platform_.decision_space());
+  Evaluator eval(platform_);
+  const RunMetrics m = eval.run(gov, app_);
+  const double whole_run_ppw = app_.total_instructions_g() / m.energy_j;
+  EXPECT_GT(std::abs(m.ppw_mean - whole_run_ppw) / whole_run_ppw, 0.005);
+}
+
+TEST_F(RuntimeTest, PoliciesActuallyChangeOutcomes) {
+  Evaluator eval(platform_);
+  policy::PerformanceGovernor fast(platform_.decision_space());
+  policy::PowersaveGovernor slow(platform_.decision_space());
+  const RunMetrics mf = eval.run(fast, app_);
+  const RunMetrics ms = eval.run(slow, app_);
+  EXPECT_LT(mf.time_s, 0.5 * ms.time_s);
+  EXPECT_GT(mf.avg_power_w, ms.avg_power_w);
+}
+
+TEST_F(RuntimeTest, DecisionOverheadMeasured) {
+  EvaluatorConfig cfg;
+  cfg.measure_decision_overhead = true;
+  Evaluator eval(platform_, cfg);
+  policy::MlpPolicy mlp(platform_.decision_space());
+  Rng rng(1);
+  mlp.init_xavier(rng);
+  const RunMetrics m = eval.run(mlp, app_);
+  EXPECT_GT(m.decision_overhead_us, 0.0);
+  EXPECT_LT(m.decision_overhead_us, 5000.0);  // << the 100 ms epoch
+}
+
+TEST_F(RuntimeTest, ThermalThrottlingSlowsHotRuns) {
+  // An aggressive thermal configuration must throttle the performance
+  // governor and increase execution time vs the unthrottled run.
+  EvaluatorConfig hot;
+  hot.enable_thermal = true;
+  hot.thermal_params.trip_point_c = 35.0;    // trips within the first epochs
+  hot.thermal_params.release_point_c = 30.0;
+  hot.thermal_params.capacitance_j_per_c = 0.2;  // heats quickly
+  Evaluator throttled(platform_, hot);
+  Evaluator free(platform_);
+  policy::PerformanceGovernor gov(platform_.decision_space());
+  const double t_free = free.run(gov, app_).time_s;
+  const double t_hot = throttled.run(gov, app_).time_s;
+  EXPECT_GT(t_hot, t_free * 1.05);
+}
+
+TEST_F(RuntimeTest, EvaluateReturnsMinimizationVector) {
+  Evaluator eval(platform_);
+  policy::PerformanceGovernor gov(platform_.decision_space());
+  const num::Vec v = eval.evaluate(gov, app_, time_ppw_objectives());
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_GT(v[0], 0.0);   // time
+  EXPECT_LT(v[1], 0.0);   // negated PPW
+}
+
+// ------------------------------------------------------- global evaluator
+
+TEST_F(RuntimeTest, GlobalEvaluatorNormalizesAgainstReference) {
+  std::vector<soc::Application> apps = {apps::make_benchmark("qsort"),
+                                        apps::make_benchmark("dijkstra")};
+  GlobalEvaluator global(platform_, apps, time_energy_objectives());
+  // The reference policy itself scores exactly (1, 1) by construction.
+  policy::StaticPolicy ref(platform_.decision_space().default_decision());
+  const num::Vec v = global.evaluate(ref);
+  EXPECT_NEAR(v[0], 1.0, 0.02);  // DVFS transitions cause tiny deviations
+  EXPECT_NEAR(v[1], 1.0, 0.02);
+  EXPECT_EQ(global.last_per_app_metrics().size(), 2u);
+}
+
+TEST_F(RuntimeTest, GlobalEvaluatorOrdersPolicies) {
+  std::vector<soc::Application> apps = {apps::make_benchmark("qsort"),
+                                        apps::make_benchmark("fft")};
+  GlobalEvaluator global(platform_, apps, time_energy_objectives());
+  policy::PerformanceGovernor fast(platform_.decision_space());
+  policy::PowersaveGovernor slow(platform_.decision_space());
+  const num::Vec vf = global.evaluate(fast);
+  const num::Vec vs = global.evaluate(slow);
+  EXPECT_LT(vf[0], vs[0]);  // normalized time ordering preserved
+}
+
+TEST_F(RuntimeTest, GlobalEvaluatorValidatesInputs) {
+  EXPECT_THROW(GlobalEvaluator(platform_, {}, time_energy_objectives()),
+               Error);
+  EXPECT_THROW(
+      GlobalEvaluator(platform_, {apps::make_benchmark("qsort")}, {}),
+      Error);
+}
+
+// ---------------------------------------------------------------- selector
+
+TEST(Selector, ExtremeWeightsPickExtremePoints) {
+  const std::vector<num::Vec> front = {{1.0, 9.0}, {5.0, 5.0}, {9.0, 1.0}};
+  PolicySelector sel(front);
+  EXPECT_EQ(sel.select({1.0, 0.0}), 0u);   // all weight on objective 0
+  EXPECT_EQ(sel.select({0.0, 1.0}), 2u);
+  EXPECT_EQ(sel.best_for_objective(0), 0u);
+  EXPECT_EQ(sel.best_for_objective(1), 2u);
+}
+
+TEST(Selector, KneePointIsBalanced) {
+  const std::vector<num::Vec> front = {{0.0, 10.0}, {3.0, 3.0}, {10.0, 0.0}};
+  PolicySelector sel(front);
+  EXPECT_EQ(sel.knee_point(), 1u);
+}
+
+TEST(Selector, WeightsAreUnitFree) {
+  // Same relative weights, different scales -> same selection.
+  const std::vector<num::Vec> front = {{1.0, 900.0}, {2.0, 500.0},
+                                       {4.0, 100.0}};
+  PolicySelector sel(front);
+  EXPECT_EQ(sel.select({1.0, 1.0}), sel.select({10.0, 10.0}));
+}
+
+TEST(Selector, Validation) {
+  EXPECT_THROW(PolicySelector({}), Error);
+  EXPECT_THROW(PolicySelector({{1.0, 2.0}, {1.0}}), Error);
+  PolicySelector sel({{1.0, 2.0}, {2.0, 1.0}});
+  EXPECT_THROW(sel.select({1.0}), Error);
+  EXPECT_THROW(sel.select({0.0, 0.0}), Error);
+  EXPECT_THROW(sel.select({-1.0, 2.0}), Error);
+  EXPECT_THROW(sel.best_for_objective(5), Error);
+}
+
+TEST(Selector, DegenerateObjectiveHandled) {
+  // One objective constant across the front: normalization must not
+  // divide by zero.
+  const std::vector<num::Vec> front = {{1.0, 5.0}, {2.0, 5.0}};
+  PolicySelector sel(front);
+  EXPECT_EQ(sel.select({1.0, 1.0}), 0u);
+}
+
+TEST(Selector, SingletonFront) {
+  PolicySelector sel({{3.0, 4.0}});
+  EXPECT_EQ(sel.select({1.0, 1.0}), 0u);
+  EXPECT_EQ(sel.knee_point(), 0u);
+}
+
+// ----------------------------------------------------------- archive
+
+ArchiveEntry entry(double t, double e) {
+  return {{t, e}, {t, e}};  // theta mirrors objectives for easy checking
+}
+
+TEST(ParetoArchive, BuildKeepsOnlyNonDominated) {
+  const auto archive = ParetoArchive::build(
+      {entry(1, 9), entry(5, 5), entry(9, 1), entry(6, 6), entry(9, 9)}, 0);
+  EXPECT_EQ(archive.size(), 3u);
+  for (const auto& e : archive.entries()) {
+    EXPECT_NE(e.objectives, (num::Vec{6, 6}));
+    EXPECT_NE(e.objectives, (num::Vec{9, 9}));
+  }
+}
+
+TEST(ParetoArchive, PruneKeepsExtremesAndSpreads) {
+  std::vector<ArchiveEntry> candidates;
+  for (int i = 0; i <= 20; ++i) {
+    candidates.push_back(entry(i, 20 - i));  // straight-line front
+  }
+  const auto archive = ParetoArchive::build(candidates, 5);
+  EXPECT_EQ(archive.size(), 5u);
+  // Extremes survive crowding-based pruning.
+  bool has_left = false, has_right = false;
+  for (const auto& e : archive.entries()) {
+    has_left |= (e.objectives == num::Vec{0, 20});
+    has_right |= (e.objectives == num::Vec{20, 0});
+  }
+  EXPECT_TRUE(has_left);
+  EXPECT_TRUE(has_right);
+}
+
+TEST(ParetoArchive, InsertRejectsDominatedAcceptsImprovement) {
+  auto archive = ParetoArchive::build({entry(2, 8), entry(8, 2)}, 0);
+  EXPECT_FALSE(archive.insert(entry(9, 9)));   // dominated
+  EXPECT_FALSE(archive.insert(entry(2, 8)));   // duplicate
+  EXPECT_TRUE(archive.insert(entry(5, 5)));    // new trade-off
+  EXPECT_EQ(archive.size(), 3u);
+  EXPECT_TRUE(archive.insert(entry(1, 1)));    // dominates everything
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(ParetoArchive, SerializationRoundTrip) {
+  auto archive = ParetoArchive::build(
+      {entry(1.5, 8.25), entry(4.0, 4.0), entry(8.5, 1.125)}, 0);
+  std::stringstream buffer;
+  archive.save(buffer);
+  EXPECT_EQ(static_cast<std::size_t>(buffer.str().size()),
+            archive.serialized_bytes());
+  const auto loaded = ParetoArchive::load(buffer);
+  ASSERT_EQ(loaded.size(), archive.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.entries()[i].theta, archive.entries()[i].theta);
+    EXPECT_EQ(loaded.entries()[i].objectives,
+              archive.entries()[i].objectives);
+  }
+}
+
+TEST(ParetoArchive, LoadRejectsGarbage) {
+  std::stringstream buffer("this is not an archive at all........");
+  EXPECT_THROW(ParetoArchive::load(buffer), Error);
+}
+
+TEST(ParetoArchive, WorksWithPolicySelector) {
+  const auto archive = ParetoArchive::build(
+      {entry(1, 9), entry(5, 5), entry(9, 1)}, 0);
+  PolicySelector selector(archive.objectives());
+  const std::size_t fast = selector.select({1.0, 0.0});
+  EXPECT_EQ(archive.entries()[fast].objectives[0], 1.0);
+}
+
+}  // namespace
+}  // namespace parmis::runtime
