@@ -1,0 +1,122 @@
+// Campaign suite bench: the full scenario catalogue on the parallel
+// campaign runner.
+//
+// Protocol:
+//  1. run the >= 8-scenario suite once on 1 thread (reference),
+//  2. run it again on N threads (--threads, default: hardware),
+//  3. assert the per-cell objective vectors are bitwise identical
+//     (digest equality — the determinism contract of exec::ThreadPool),
+//  4. report per-scenario PHV by method and the measured wall-clock
+//     speedup, plus an intra-cell speedup probe (GlobalEvaluator's
+//     pooled per-app fan-out on the 12-app scenario).
+//
+// Flags: --threads=N  --seeds=K  --csv=path  --full
+#include <iostream>
+#include <utility>
+
+#include "bench_common.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "core/policy_search.hpp"
+#include "exec/campaign.hpp"
+#include "exec/thread_pool.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace parmis;
+
+/// Intra-cell probe: one PaRMIS run on the 12-app global scenario with
+/// the evaluator and acquisition scoring wired through a pool of
+/// `threads`, returning (wall seconds, PHV of the final front).
+std::pair<double, double> intra_cell_run(std::size_t threads) {
+  exec::ThreadPool pool(threads);
+  scenario::ScenarioSpec spec = scenario::make_scenario("xu3-all12-te");
+  const soc::SocSpec soc_spec = scenario::make_platform_spec(spec);
+  soc::Platform platform(soc_spec, spec.platform_config);
+  runtime::EvaluatorConfig eval_config = scenario::make_evaluator_config(spec);
+  eval_config.pool = &pool;
+
+  core::DrmPolicyProblem problem(platform, scenario::make_applications(spec),
+                                 scenario::make_objectives(spec), {},
+                                 eval_config);
+  core::ParmisConfig config = spec.parmis;
+  config.pool = &pool;
+  auto anchors = problem.anchor_thetas();
+  anchors.resize(3);
+  config.initial_thetas = std::move(anchors);
+  core::Parmis parmis(problem.evaluation_fn(), problem.theta_dim(),
+                      problem.num_objectives(), config);
+  const Stopwatch wall;
+  const core::ParmisResult result = parmis.run();
+  return {wall.seconds(),
+          result.phv_history.empty() ? 0.0 : result.phv_history.back()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  const std::size_t threads = static_cast<std::size_t>(
+      args.get_int("threads", static_cast<int>(exec::default_num_threads())));
+
+  exec::CampaignConfig config;
+  config.scenarios = scenario::all_scenarios();
+  if (full_scale_requested(args)) {
+    for (auto& s : config.scenarios) {
+      s.parmis = scenario::campaign_parmis_budget(true);
+    }
+  }
+  config.seeds_per_cell = static_cast<std::size_t>(args.get_int("seeds", 1));
+
+  std::cout << "campaign suite: " << config.scenarios.size()
+            << " scenarios, " << config.seeds_per_cell
+            << " seed(s) per cell\n\n";
+
+  config.num_threads = 1;
+  exec::CampaignReport reference = exec::CampaignRunner(config).run();
+  config.num_threads = threads;
+  exec::CampaignReport parallel = exec::CampaignRunner(config).run();
+
+  const bool identical =
+      reference.objectives_digest() == parallel.objectives_digest();
+
+  // Per-scenario PHV by method (seed 0 of each cell).
+  Table phv_table({"scenario", "method", "phv", "front", "wall_s"});
+  for (const auto& cell : parallel.cells) {
+    if (cell.seed != 1) continue;
+    phv_table.begin_row()
+        .add(cell.scenario)
+        .add(cell.method)
+        .add(cell.phv, 4)
+        .add_int(static_cast<long long>(cell.front.size()))
+        .add(cell.wall_s, 3);
+  }
+  phv_table.print(std::cout);
+  if (args.has("csv")) parallel.save_csv(args.get("csv", "campaign.csv"));
+
+  std::cout << "\ndeterminism: "
+            << (identical ? "bitwise-identical objectives at 1 vs "
+                          : "DIGEST MISMATCH at 1 vs ")
+            << threads << " threads\n"
+            << "campaign wall: 1 thread "
+            << format_double(reference.wall_s, 3) << " s, " << threads
+            << " threads " << format_double(parallel.wall_s, 3)
+            << " s, speedup "
+            << format_double(parallel.wall_s > 0.0
+                                 ? reference.wall_s / parallel.wall_s
+                                 : 0.0,
+                             2)
+            << "x\n";
+
+  const auto [serial_s, serial_phv] = intra_cell_run(1);
+  const auto [pooled_s, pooled_phv] = intra_cell_run(threads);
+  std::cout << "intra-cell (12-app global, pooled evaluator + acquisition): "
+            << "1 thread " << format_double(serial_s, 3) << " s, " << threads
+            << " threads " << format_double(pooled_s, 3) << " s, speedup "
+            << format_double(pooled_s > 0.0 ? serial_s / pooled_s : 0.0, 2)
+            << "x, PHV match: "
+            << (serial_phv == pooled_phv ? "bitwise" : "MISMATCH") << "\n";
+
+  return identical && serial_phv == pooled_phv ? 0 : 1;
+}

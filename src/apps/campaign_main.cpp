@@ -1,0 +1,165 @@
+// campaign — declarative scenario sweeps on the parallel campaign runner.
+//
+// Examples:
+//   campaign --list
+//   campaign                              # all scenarios, all methods
+//   campaign --scenarios=xu3-mibench-te,mobile3-edp --threads=4 --seeds=2
+//   campaign --compare-threads --threads=4 --csv=campaign.csv
+//
+// --compare-threads runs the identical campaign once on 1 thread and
+// once on --threads threads, asserts the per-cell objectives are
+// bitwise-identical (digest equality), and reports the measured
+// speedup.  Exit status is non-zero if any cell failed or the
+// determinism check did not hold.
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "exec/campaign.hpp"
+#include "exec/thread_pool.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using parmis::exec::CampaignConfig;
+using parmis::exec::CampaignReport;
+using parmis::exec::CampaignRunner;
+
+void print_catalogue() {
+  parmis::Table table({"scenario", "platform", "apps", "objectives",
+                       "thermal", "methods"});
+  for (const auto& spec : parmis::scenario::all_scenarios()) {
+    std::size_t napps = spec.benchmark_apps.size();
+    if (spec.generated.has_value()) napps += spec.generated->num_apps;
+    std::string objectives;
+    for (const auto& o : parmis::scenario::make_objectives(spec)) {
+      objectives += (objectives.empty() ? "" : "+") + o.name();
+    }
+    std::string methods;
+    for (const auto& m : spec.methods) {
+      methods += (methods.empty() ? "" : ",") + m;
+    }
+    table.begin_row()
+        .add(spec.name)
+        .add(spec.platform)
+        .add_int(static_cast<long long>(napps))
+        .add(objectives)
+        .add(spec.thermal ? "on" : "off")
+        .add(methods);
+  }
+  table.print(std::cout);
+}
+
+void print_report(const CampaignReport& report) {
+  parmis::Table table({"scenario", "method", "seed", "evals", "front", "phv",
+                       "overhead_us", "wall_s", "status"});
+  for (const auto& cell : report.cells) {
+    table.begin_row()
+        .add(cell.scenario)
+        .add(cell.method)
+        .add_int(static_cast<long long>(cell.seed))
+        .add_int(static_cast<long long>(cell.evaluations))
+        .add_int(static_cast<long long>(cell.front.size()))
+        .add(cell.phv, 4)
+        .add(cell.decision_overhead_us, 2)
+        .add(cell.wall_s, 3)
+        .add(cell.error.empty() ? "ok" : "FAILED: " + cell.error);
+  }
+  table.print(std::cout);
+  std::ostringstream digest;
+  digest << std::hex << report.objectives_digest();
+  std::cout << "\ncells: " << report.cells.size()
+            << "  threads: " << report.num_threads
+            << "  wall: " << parmis::format_double(report.wall_s, 3)
+            << " s  digest: " << digest.str() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const parmis::CliArgs args = parmis::CliArgs::parse(argc, argv);
+    if (args.has("help")) {
+      std::cout
+          << "usage: campaign [--list] [--scenarios=a,b|all] [--threads=N]\n"
+             "                [--seeds=K] [--seed=S] [--csv=path] "
+             "[--json=path]\n"
+             "                [--compare-threads] [--full]\n";
+      return 0;
+    }
+    if (args.has("list")) {
+      print_catalogue();
+      return 0;
+    }
+
+    CampaignConfig config;
+    const std::string which = args.get("scenarios", "all");
+    if (which == "all") {
+      config.scenarios = parmis::scenario::all_scenarios();
+    } else {
+      std::stringstream ss(which);
+      std::string name;
+      while (std::getline(ss, name, ',')) {
+        if (!name.empty()) {
+          config.scenarios.push_back(parmis::scenario::make_scenario(name));
+        }
+      }
+    }
+    if (args.get_bool("full", false)) {
+      for (auto& s : config.scenarios) {
+        s.parmis = parmis::scenario::campaign_parmis_budget(true);
+      }
+    }
+    config.num_threads = static_cast<std::size_t>(args.get_int(
+        "threads", static_cast<int>(parmis::exec::default_num_threads())));
+    config.seeds_per_cell =
+        static_cast<std::size_t>(args.get_int("seeds", 1));
+    config.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    CampaignReport report;
+    bool deterministic = true;
+    if (args.get_bool("compare-threads", false)) {
+      CampaignConfig serial = config;
+      serial.num_threads = 1;
+      std::cout << "== reference run (1 thread) ==\n";
+      const CampaignReport baseline = CampaignRunner(serial).run();
+      std::cout << "== parallel run (" << config.num_threads
+                << " threads) ==\n";
+      report = CampaignRunner(config).run();
+      deterministic =
+          baseline.objectives_digest() == report.objectives_digest();
+      print_report(report);
+      const double speedup =
+          report.wall_s > 0.0 ? baseline.wall_s / report.wall_s : 0.0;
+      std::cout << "1-thread wall: "
+                << parmis::format_double(baseline.wall_s, 3)
+                << " s  " << report.num_threads << "-thread wall: "
+                << parmis::format_double(report.wall_s, 3)
+                << " s  speedup: " << parmis::format_double(speedup, 2)
+                << "x\n"
+                << "determinism: "
+                << (deterministic ? "bitwise-identical objectives"
+                                  : "DIGEST MISMATCH")
+                << "\n";
+    } else {
+      report = CampaignRunner(config).run();
+      print_report(report);
+    }
+
+    if (args.has("csv")) report.save_csv(args.get("csv", "campaign.csv"));
+    if (args.has("json")) report.save_json(args.get("json", "campaign.json"));
+
+    bool any_failed = false;
+    for (const auto& cell : report.cells) {
+      any_failed = any_failed || !cell.error.empty();
+    }
+    return (any_failed || !deterministic) ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "campaign: " << e.what() << "\n";
+    return 1;
+  }
+}

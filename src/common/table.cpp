@@ -67,8 +67,6 @@ void Table::print(std::ostream& os) const {
   for (const auto& row : rows_) emit_row(row);
 }
 
-namespace {
-
 std::string csv_escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
   std::string out = "\"";
@@ -79,8 +77,6 @@ std::string csv_escape(const std::string& cell) {
   out += '"';
   return out;
 }
-
-}  // namespace
 
 void Table::write_csv(std::ostream& os) const {
   auto emit = [&](const std::vector<std::string>& cells) {

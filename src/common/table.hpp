@@ -50,6 +50,9 @@ class Table {
 /// Formats `value` with a fixed number of decimals (shared helper).
 std::string format_double(double value, int precision);
 
+/// RFC-4180 CSV cell quoting (shared by Table and the campaign reports).
+std::string csv_escape(const std::string& cell);
+
 }  // namespace parmis
 
 #endif  // PARMIS_COMMON_TABLE_HPP

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "exec/thread_pool.hpp"
 #include "moo/hypervolume.hpp"
 #include "moo/pareto.hpp"
 
@@ -161,12 +162,24 @@ num::Vec Parmis::maximize_acquisition(
   }
 
   // --- pick argmax, then a short stochastic local refinement ---
+  // Scoring fans out over the (optional) worker pool: iteration i only
+  // writes slot i, and the argmax scan below is index-ordered with a
+  // strict comparison, so the winner is the same at every pool size.
+  std::vector<double> scores(pool.size());
+  if (config_.pool != nullptr) {
+    config_.pool->parallel_for(pool.size(), [&](std::size_t i) {
+      scores[i] = acq.value(pool[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      scores[i] = acq.value(pool[i]);
+    }
+  }
   std::size_t best = 0;
   double best_val = -1.0;
   for (std::size_t i = 0; i < pool.size(); ++i) {
-    const double v = acq.value(pool[i]);
-    if (v > best_val) {
-      best_val = v;
+    if (scores[i] > best_val) {
+      best_val = scores[i];
       best = i;
     }
   }

@@ -26,6 +26,10 @@
 #include "gp/gp.hpp"
 #include "numerics/vec.hpp"
 
+namespace parmis::exec {
+class ThreadPool;
+}
+
 namespace parmis::core {
 
 /// Black-box policy evaluation: theta -> objective vector (minimized).
@@ -52,6 +56,12 @@ struct ParmisConfig {
   std::uint64_t seed = 7;
   bool track_convergence = true;     ///< record PHV after every iteration
   std::optional<num::Vec> phv_reference;  ///< fixed PHV reference point
+
+  /// Optional worker pool for scoring the acquisition candidate pool.
+  /// alpha(theta) evaluations are independent const reads of the GP
+  /// models, and the argmax reduction is index-ordered, so the chosen
+  /// theta is identical at every pool size.  nullptr = serial scoring.
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// Everything PaRMIS produces.

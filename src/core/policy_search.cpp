@@ -1,5 +1,7 @@
 #include "core/policy_search.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace parmis::core {
@@ -7,12 +9,13 @@ namespace parmis::core {
 DrmPolicyProblem::DrmPolicyProblem(soc::Platform& platform,
                                    soc::Application app,
                                    std::vector<runtime::Objective> objectives,
-                                   policy::MlpPolicyConfig policy_config)
+                                   policy::MlpPolicyConfig policy_config,
+                                   runtime::EvaluatorConfig eval_config)
     : platform_(&platform),
       objectives_(std::move(objectives)),
       policy_(std::make_unique<policy::MlpPolicy>(platform.decision_space(),
                                                   policy_config)),
-      evaluator_(platform),
+      evaluator_(platform, eval_config),
       app_(std::move(app)) {
   require(objectives_.size() >= 2, "policy problem: need >= 2 objectives");
   app_->validate();
@@ -21,13 +24,15 @@ DrmPolicyProblem::DrmPolicyProblem(soc::Platform& platform,
 DrmPolicyProblem::DrmPolicyProblem(soc::Platform& platform,
                                    std::vector<soc::Application> apps,
                                    std::vector<runtime::Objective> objectives,
-                                   policy::MlpPolicyConfig policy_config)
+                                   policy::MlpPolicyConfig policy_config,
+                                   runtime::EvaluatorConfig eval_config)
     : platform_(&platform),
       objectives_(std::move(objectives)),
       policy_(std::make_unique<policy::MlpPolicy>(platform.decision_space(),
                                                   policy_config)),
-      evaluator_(platform),
-      global_(std::in_place, platform, std::move(apps), objectives_) {
+      evaluator_(platform, eval_config),
+      global_(std::in_place, platform, std::move(apps), objectives_,
+              eval_config) {
   require(objectives_.size() >= 2, "policy problem: need >= 2 objectives");
 }
 
@@ -44,6 +49,23 @@ EvaluationFn DrmPolicyProblem::evaluation_fn() {
 std::vector<num::Vec> DrmPolicyProblem::anchor_thetas() const {
   const soc::DecisionSpace& space = platform_->decision_space();
   const soc::SocSpec& spec = space.spec();
+
+  // Cluster roles come from the spec, not cluster names: efficiency
+  // clusters are flagged explicitly, and the "big" workhorse is the
+  // cluster with the highest aggregate throughput — on a
+  // prime/gold/silver mobile SoC that is the multi-core gold cluster,
+  // not the single prime core.
+  const auto is_efficiency = [&spec](std::size_t c) {
+    return spec.clusters[c].efficiency;
+  };
+  const auto aggregate_ipc = [&spec](std::size_t c) {
+    return spec.clusters[c].ipc_peak * spec.clusters[c].num_cores;
+  };
+  std::size_t big = 0;
+  for (std::size_t c = 1; c < spec.clusters.size(); ++c) {
+    if (aggregate_ipc(c) > aggregate_ipc(big)) big = c;
+  }
+
   std::vector<soc::DrmDecision> anchors;
   anchors.push_back(space.max_performance_decision());
   anchors.push_back(space.default_decision());
@@ -52,7 +74,7 @@ std::vector<num::Vec> DrmPolicyProblem::anchor_thetas() const {
   {
     soc::DrmDecision d = space.max_performance_decision();
     for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
-      if (spec.clusters[c].name.rfind("little", 0) == 0) {
+      if (is_efficiency(c)) {
         d.active_cores[c] = spec.clusters[c].min_active;
         d.freq_level[c] = 0;
       }
@@ -67,7 +89,7 @@ std::vector<num::Vec> DrmPolicyProblem::anchor_thetas() const {
   {
     soc::DrmDecision d = space.min_power_decision();
     for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
-      if (spec.clusters[c].name.rfind("little", 0) == 0) {
+      if (is_efficiency(c)) {
         d.active_cores[c] = spec.clusters[c].num_cores;
         d.freq_level[c] = spec.clusters[c].dvfs.levels() - 1;
       }
@@ -89,12 +111,11 @@ std::vector<num::Vec> DrmPolicyProblem::anchor_thetas() const {
   {
     soc::DrmDecision base = space.min_power_decision();
     for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
-      if (spec.clusters[c].name.rfind("little", 0) == 0) {
+      if (is_efficiency(c)) {
         base.active_cores[c] = spec.clusters[c].min_active;
         base.freq_level[c] = 0;
       }
     }
-    const std::size_t big = 0;  // first cluster is big-class in our specs
     soc::DrmDecision d = base;
     d.active_cores[big] = 1;
     d.freq_level[big] = spec.clusters[big].dvfs.levels() / 2;
@@ -112,8 +133,7 @@ std::vector<num::Vec> DrmPolicyProblem::anchor_thetas() const {
   {
     soc::DrmDecision d = space.min_power_decision();
     for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
-      if (spec.clusters[c].name.rfind("little", 0) == 0 &&
-          spec.clusters[c].num_cores >= 2) {
+      if (is_efficiency(c) && spec.clusters[c].num_cores >= 2) {
         d.active_cores[c] = 2;
         d.freq_level[c] = spec.clusters[c].dvfs.levels() / 2;
         break;
@@ -127,12 +147,11 @@ std::vector<num::Vec> DrmPolicyProblem::anchor_thetas() const {
   {
     soc::DrmDecision base = space.min_power_decision();
     for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
-      if (spec.clusters[c].name.rfind("little", 0) == 0) {
+      if (is_efficiency(c)) {
         base.active_cores[c] = spec.clusters[c].min_active;
         base.freq_level[c] = 0;
       }
     }
-    const std::size_t big = 0;
     const int top = spec.clusters[big].dvfs.levels() - 1;
     for (const int cores : {2, 3, 4}) {
       for (const int level : {top, 3 * top / 4}) {
@@ -144,11 +163,37 @@ std::vector<num::Vec> DrmPolicyProblem::anchor_thetas() const {
     }
   }
 
+  // The corner-point recipes above assume Exynos-style cluster sizes;
+  // clamp every anchor into the platform's admissible ranges so exotic
+  // specs (e.g. a single-core prime cluster) still get valid anchors.
+  for (auto& d : anchors) {
+    for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+      d.active_cores[c] =
+          std::clamp(d.active_cores[c], spec.clusters[c].min_active,
+                     spec.clusters[c].num_cores);
+      d.freq_level[c] =
+          std::clamp(d.freq_level[c], 0, spec.clusters[c].dvfs.levels() - 1);
+    }
+  }
+
+  // Clamping can collapse distinct corner recipes onto the same
+  // decision (e.g. a 2- and 3-core ladder step on a 3-core cluster);
+  // drop the duplicates so the initial design never re-measures a
+  // policy it already evaluated.
+  std::vector<soc::DrmDecision> unique_anchors;
+  unique_anchors.reserve(anchors.size());
+  for (const auto& d : anchors) {
+    if (std::find(unique_anchors.begin(), unique_anchors.end(), d) ==
+        unique_anchors.end()) {
+      unique_anchors.push_back(d);
+    }
+  }
+
   std::vector<num::Vec> thetas;
-  thetas.reserve(anchors.size());
+  thetas.reserve(unique_anchors.size());
   policy::MlpPolicyConfig cfg;
   cfg.hidden = policy_->head(0).config().hidden;
-  for (const auto& d : anchors) {
+  for (const auto& d : unique_anchors) {
     thetas.push_back(
         policy::MlpPolicy::constant_decision_theta(space, cfg, d));
   }

@@ -22,16 +22,20 @@ namespace parmis::core {
 /// Application-specific or global DRM policy search problem.
 class DrmPolicyProblem {
  public:
-  /// Application-specific problem (paper Sec. V-C).
+  /// Application-specific problem (paper Sec. V-C).  `eval_config`
+  /// selects thermal modeling / decision timing / the worker pool for
+  /// the underlying evaluator.
   DrmPolicyProblem(soc::Platform& platform, soc::Application app,
                    std::vector<runtime::Objective> objectives,
-                   policy::MlpPolicyConfig policy_config = {});
+                   policy::MlpPolicyConfig policy_config = {},
+                   runtime::EvaluatorConfig eval_config = {});
 
   /// Global problem over many applications (paper Sec. V-D).
   DrmPolicyProblem(soc::Platform& platform,
                    std::vector<soc::Application> apps,
                    std::vector<runtime::Objective> objectives,
-                   policy::MlpPolicyConfig policy_config = {});
+                   policy::MlpPolicyConfig policy_config = {},
+                   runtime::EvaluatorConfig eval_config = {});
 
   /// dim(theta) of the underlying MLP policy.
   std::size_t theta_dim() const { return policy_->num_parameters(); }

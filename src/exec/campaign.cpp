@@ -1,0 +1,363 @@
+#include "exec/campaign.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "core/policy_search.hpp"
+#include "exec/thread_pool.hpp"
+#include "moo/hypervolume.hpp"
+#include "policy/governors.hpp"
+#include "runtime/evaluator.hpp"
+
+namespace parmis::exec {
+
+namespace {
+
+/// Mixes `value` into `state` through the splitmix64 scrambler (stable
+/// across platforms, unlike std::hash).
+std::uint64_t mix(std::uint64_t state, std::uint64_t value) {
+  std::uint64_t s = state ^ value;
+  return splitmix64(s);
+}
+
+std::uint64_t hash_string(const std::string& s, std::uint64_t state) {
+  for (unsigned char c : s) state = mix(state, c);
+  return mix(state, s.size());
+}
+
+/// Builds a baseline policy by method name; nullptr for "parmis".
+std::unique_ptr<policy::Policy> make_method_policy(
+    const std::string& method, const soc::DecisionSpace& space,
+    std::uint64_t seed) {
+  if (method == "performance") {
+    return std::make_unique<policy::PerformanceGovernor>(space);
+  }
+  if (method == "powersave") {
+    return std::make_unique<policy::PowersaveGovernor>(space);
+  }
+  if (method == "ondemand") {
+    return std::make_unique<policy::OndemandGovernor>(space);
+  }
+  if (method == "conservative") {
+    return std::make_unique<policy::ConservativeGovernor>(space);
+  }
+  if (method == "interactive") {
+    return std::make_unique<policy::InteractiveGovernor>(space);
+  }
+  if (method == "schedutil") {
+    return std::make_unique<policy::SchedutilGovernor>(space);
+  }
+  if (method == "random") {
+    return std::make_unique<policy::RandomPolicy>(space, seed);
+  }
+  require(false, "campaign: unknown method: " + method);
+  return nullptr;  // unreachable
+}
+
+/// %.17g round-trippable double for the JSON report.
+std::string json_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// RFC-8259 string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CellResult CampaignRunner::run_cell(const scenario::ScenarioSpec& spec,
+                                    const std::string& method,
+                                    std::uint64_t seed,
+                                    std::size_t anchor_limit) {
+  CellResult cell;
+  cell.scenario = spec.name;
+  cell.platform = spec.platform;
+  cell.method = method;
+  cell.seed = seed;
+
+  const Stopwatch wall;
+  try {
+    spec.validate();
+
+    // Everything below is cell-local and built in a fixed order, so the
+    // cell's outputs depend only on (spec, method, seed).
+    const soc::SocSpec soc_spec = scenario::make_platform_spec(spec);
+    soc::PlatformConfig platform_config = spec.platform_config;
+    // The noise substream is derived from (scenario, seed) but NOT the
+    // method, so methods compared on the same cell face the identical
+    // sensor-noise realization — paired comparisons, not confounded ones.
+    platform_config.noise_seed =
+        mix(hash_string(spec.name, platform_config.noise_seed), seed);
+    soc::Platform platform(soc_spec, platform_config);
+
+    const std::vector<soc::Application> apps =
+        scenario::make_applications(spec);
+    const std::vector<runtime::Objective> objectives =
+        scenario::make_objectives(spec);
+    runtime::EvaluatorConfig eval_config =
+        scenario::make_evaluator_config(spec);
+
+    cell.num_apps = apps.size();
+    for (const auto& o : objectives) cell.objective_names.push_back(o.name());
+
+    if (method == "parmis") {
+      core::DrmPolicyProblem problem(platform, apps, objectives, {},
+                                     eval_config);
+      core::ParmisConfig config = spec.parmis;
+      config.seed = seed;
+      std::vector<num::Vec> anchors = problem.anchor_thetas();
+      if (anchor_limit > 0 && anchors.size() > anchor_limit) {
+        anchors.resize(anchor_limit);
+      }
+      config.initial_thetas = std::move(anchors);
+      core::Parmis parmis(problem.evaluation_fn(), problem.theta_dim(),
+                          objectives.size(), config);
+      const core::ParmisResult result = parmis.run();
+      cell.front = result.pareto_front();
+      cell.evaluations = result.thetas.size();
+
+      // Deployed-policy decision overhead (Table II protocol): timed on
+      // the first application with the first Pareto-optimal policy.
+      if (!result.pareto_indices.empty()) {
+        policy::MlpPolicy deployed =
+            problem.make_policy(result.pareto_thetas().front());
+        runtime::EvaluatorConfig timed = eval_config;
+        timed.measure_decision_overhead = true;
+        runtime::Evaluator evaluator(platform, timed);
+        cell.decision_overhead_us =
+            evaluator.run(deployed, apps.front()).decision_overhead_us;
+      }
+    } else {
+      std::unique_ptr<policy::Policy> policy =
+          make_method_policy(method, platform.decision_space(), seed);
+      runtime::EvaluatorConfig timed = eval_config;
+      timed.measure_decision_overhead = true;
+      runtime::GlobalEvaluator evaluator(platform, apps, objectives, timed);
+      cell.front = {evaluator.evaluate(*policy)};
+      cell.evaluations = 1;
+      double overhead = 0.0;
+      for (const auto& m : evaluator.last_per_app_metrics()) {
+        overhead += m.decision_overhead_us;
+      }
+      cell.decision_overhead_us =
+          overhead / static_cast<double>(apps.size());
+    }
+
+    // Per-objective best in natural units.
+    cell.best_raw.assign(objectives.size(), 0.0);
+    for (std::size_t j = 0; j < objectives.size(); ++j) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& point : cell.front) best = std::min(best, point[j]);
+      cell.best_raw[j] = objectives[j].to_raw(best);
+    }
+  } catch (const std::exception& e) {
+    cell.error = e.what();
+    cell.front.clear();
+  }
+  cell.wall_s = wall.seconds();
+  return cell;
+}
+
+CampaignRunner::CampaignRunner(CampaignConfig config)
+    : config_(std::move(config)) {
+  require(!config_.scenarios.empty(), "campaign: no scenarios");
+  require(config_.seeds_per_cell >= 1, "campaign: seeds_per_cell >= 1");
+  for (const auto& s : config_.scenarios) s.validate();
+}
+
+CampaignReport CampaignRunner::run() {
+  struct CellSpec {
+    const scenario::ScenarioSpec* scenario;
+    std::string method;
+    std::uint64_t seed;
+  };
+  std::vector<CellSpec> cells;
+  for (const auto& spec : config_.scenarios) {
+    for (const auto& method : spec.methods) {
+      for (std::size_t s = 0; s < config_.seeds_per_cell; ++s) {
+        cells.push_back(
+            {&spec, method, config_.base_seed + static_cast<std::uint64_t>(s)});
+      }
+    }
+  }
+
+  CampaignReport report;
+  report.cells.resize(cells.size());
+  ThreadPool pool(config_.num_threads);
+  report.num_threads = pool.num_threads();
+  log_info() << "campaign: " << cells.size() << " cells over "
+             << config_.scenarios.size() << " scenarios on "
+             << pool.num_threads() << " thread(s)";
+
+  const Stopwatch wall;
+  const std::size_t anchor_limit = config_.anchor_limit;
+  std::vector<CellResult>& results = report.cells;
+  pool.parallel_for(cells.size(), [&](std::size_t i) {
+    results[i] = run_cell(*cells[i].scenario, cells[i].method, cells[i].seed,
+                          anchor_limit);
+  });
+  report.wall_s = wall.seconds();
+
+  // Serial aggregation: one shared PHV reference per scenario across all
+  // of its cells (methods and seeds), then per-cell PHV against it.
+  for (const auto& spec : config_.scenarios) {
+    std::vector<num::Vec> all_points;
+    for (const auto& cell : report.cells) {
+      if (cell.scenario != spec.name || !cell.error.empty()) continue;
+      all_points.insert(all_points.end(), cell.front.begin(),
+                        cell.front.end());
+    }
+    if (all_points.size() < 2) continue;
+    const num::Vec ref = moo::default_reference_point(all_points, 0.1);
+    for (auto& cell : report.cells) {
+      if (cell.scenario != spec.name || !cell.error.empty()) continue;
+      if (cell.front.empty()) continue;
+      cell.phv = moo::hypervolume(cell.front, ref);
+    }
+  }
+  return report;
+}
+
+std::uint64_t CampaignReport::objectives_digest() const {
+  std::uint64_t state = 0x5CEA11ABCDE5EEDULL;
+  for (const auto& cell : cells) {
+    state = hash_string(cell.scenario, state);
+    state = hash_string(cell.method, state);
+    state = mix(state, cell.seed);
+    state = mix(state, cell.evaluations);
+    state = mix(state, cell.front.size());
+    for (const auto& point : cell.front) {
+      for (double v : point) {
+        state = mix(state, std::bit_cast<std::uint64_t>(v));
+      }
+    }
+    state = hash_string(cell.error, state);
+  }
+  return state;
+}
+
+void CampaignReport::write_csv(std::ostream& os) const {
+  // Column count must be uniform, so best_<j> columns are sized by the
+  // widest objective set in the campaign.
+  std::size_t max_objectives = 0;
+  for (const auto& cell : cells) {
+    max_objectives = std::max(max_objectives, cell.objective_names.size());
+  }
+  os << "scenario,platform,method,seed,apps,evaluations,front_size,phv,"
+        "wall_s,decision_overhead_us,error";
+  for (std::size_t j = 0; j < max_objectives; ++j) {
+    os << ",objective_" << j << ",best_" << j;
+  }
+  os << "\n";
+  for (const auto& cell : cells) {
+    os << csv_escape(cell.scenario) << ',' << csv_escape(cell.platform)
+       << ',' << csv_escape(cell.method) << ',' << cell.seed << ','
+       << cell.num_apps << ',' << cell.evaluations << ','
+       << cell.front.size() << ',' << json_double(cell.phv) << ','
+       << json_double(cell.wall_s) << ','
+       << json_double(cell.decision_overhead_us) << ','
+       << csv_escape(cell.error);
+    for (std::size_t j = 0; j < max_objectives; ++j) {
+      // Failed cells have objective names but no best_raw values.
+      if (j < cell.objective_names.size() && j < cell.best_raw.size()) {
+        os << ',' << csv_escape(cell.objective_names[j]) << ','
+           << json_double(cell.best_raw[j]);
+      } else if (j < cell.objective_names.size()) {
+        os << ',' << csv_escape(cell.objective_names[j]) << ',';
+      } else {
+        os << ",,";
+      }
+    }
+    os << "\n";
+  }
+}
+
+void CampaignReport::save_csv(const std::string& path) const {
+  std::ofstream os(path);
+  require(os.good(), "campaign: cannot open for writing: " + path);
+  write_csv(os);
+  require(os.good(), "campaign: write failed: " + path);
+}
+
+void CampaignReport::write_json(std::ostream& os) const {
+  os << "{\n  \"num_threads\": " << num_threads
+     << ",\n  \"wall_s\": " << json_double(wall_s)
+     << ",\n  \"objectives_digest\": \"" << std::hex << objectives_digest()
+     << std::dec << "\",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& cell = cells[i];
+    os << "    {\"scenario\": \"" << json_escape(cell.scenario)
+       << "\", \"platform\": \"" << json_escape(cell.platform)
+       << "\", \"method\": \"" << json_escape(cell.method)
+       << "\", \"seed\": " << cell.seed << ", \"apps\": " << cell.num_apps
+       << ", \"evaluations\": " << cell.evaluations
+       << ", \"phv\": " << json_double(cell.phv)
+       << ", \"wall_s\": " << json_double(cell.wall_s)
+       << ", \"decision_overhead_us\": "
+       << json_double(cell.decision_overhead_us) << ",\n     \"objectives\": [";
+    for (std::size_t j = 0; j < cell.objective_names.size(); ++j) {
+      os << (j ? ", " : "") << '"' << json_escape(cell.objective_names[j])
+         << '"';
+    }
+    os << "], \"best_raw\": [";
+    for (std::size_t j = 0; j < cell.best_raw.size(); ++j) {
+      os << (j ? ", " : "") << json_double(cell.best_raw[j]);
+    }
+    os << "],\n     \"front\": [";
+    for (std::size_t p = 0; p < cell.front.size(); ++p) {
+      os << (p ? ", " : "") << '[';
+      for (std::size_t j = 0; j < cell.front[p].size(); ++j) {
+        os << (j ? ", " : "") << json_double(cell.front[p][j]);
+      }
+      os << ']';
+    }
+    os << "]";
+    if (!cell.error.empty()) {
+      os << ", \"error\": \"" << json_escape(cell.error) << '"';
+    }
+    os << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+void CampaignReport::save_json(const std::string& path) const {
+  std::ofstream os(path);
+  require(os.good(), "campaign: cannot open for writing: " + path);
+  write_json(os);
+  require(os.good(), "campaign: write failed: " + path);
+}
+
+}  // namespace parmis::exec

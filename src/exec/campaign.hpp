@@ -1,0 +1,101 @@
+// Parallel campaign runner: (scenario x method x seed) fan-out.
+//
+// A campaign cell is one method evaluated on one scenario with one
+// seed.  Cells are fully self-contained: each builds its own SocSpec,
+// Platform (with a cell-derived sensor seed), applications, evaluator,
+// and Rng from the declarative ScenarioSpec, and runs single-threaded
+// inside.  The runner fans cells across a ThreadPool; because cell i
+// writes only results slot i and shares no mutable state, the per-cell
+// objective vectors are bitwise-identical at every thread count — the
+// property the campaign tests and the campaign CLI's determinism check
+// assert.  Wall-clock fields (cell and campaign timings, decision
+// overhead) are measured and therefore excluded from the digest.
+//
+// PHV is assigned at (serial) aggregation time with one shared
+// reference point per scenario across all its cells — the paper's
+// "same reference point for all DRM approaches" convention.
+#ifndef PARMIS_EXEC_CAMPAIGN_HPP
+#define PARMIS_EXEC_CAMPAIGN_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "numerics/vec.hpp"
+#include "scenario/scenario.hpp"
+
+namespace parmis::exec {
+
+/// Result of one (scenario, method, seed) cell.
+struct CellResult {
+  std::string scenario;
+  std::string platform;
+  std::string method;
+  std::uint64_t seed = 0;
+  std::vector<std::string> objective_names;
+  std::size_t num_apps = 0;
+  std::size_t evaluations = 0;            ///< policy evaluations performed
+  std::vector<num::Vec> front;            ///< non-dominated objectives (min)
+  num::Vec best_raw;                      ///< per-objective best, natural units
+  double phv = 0.0;                       ///< shared-reference PHV
+  double wall_s = 0.0;                    ///< cell wall clock (not in digest)
+  double decision_overhead_us = 0.0;      ///< mean decide() wall clock
+  std::string error;                      ///< non-empty: the cell failed
+};
+
+/// Campaign-wide options.
+struct CampaignConfig {
+  std::vector<scenario::ScenarioSpec> scenarios;
+  std::size_t num_threads = 1;   ///< 0 = hardware concurrency
+  std::size_t seeds_per_cell = 1;
+  std::uint64_t base_seed = 1;
+  /// Constant-decision anchors given to PaRMIS's initial design (0 = all
+  /// of DrmPolicyProblem::anchor_thetas(); small values keep cells fast).
+  std::size_t anchor_limit = 3;
+};
+
+/// Everything one campaign run produces.
+struct CampaignReport {
+  std::vector<CellResult> cells;  ///< scenario-major deterministic order
+  std::size_t num_threads = 1;
+  double wall_s = 0.0;
+
+  /// Order-sensitive hash over every cell's objective bit patterns;
+  /// equal digests mean bitwise-identical campaign results.  Timing
+  /// fields do not contribute.
+  std::uint64_t objectives_digest() const;
+
+  /// One row per cell: scenario,platform,method,seed,...  best_<j> are
+  /// per-objective minima over the front, reported in natural units.
+  void write_csv(std::ostream& os) const;
+  void save_csv(const std::string& path) const;
+
+  /// Full report including fronts, round-trippable doubles.
+  void write_json(std::ostream& os) const;
+  void save_json(const std::string& path) const;
+};
+
+/// Fans campaign cells across a thread pool and aggregates the report.
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignConfig config);
+
+  /// Runs every cell and returns the aggregated report.  A throwing
+  /// cell is reported via CellResult::error, not by aborting the run.
+  CampaignReport run();
+
+  /// Runs one cell in isolation (also the unit-test entry point).
+  static CellResult run_cell(const scenario::ScenarioSpec& spec,
+                             const std::string& method, std::uint64_t seed,
+                             std::size_t anchor_limit);
+
+  const CampaignConfig& config() const { return config_; }
+
+ private:
+  CampaignConfig config_;
+};
+
+}  // namespace parmis::exec
+
+#endif  // PARMIS_EXEC_CAMPAIGN_HPP

@@ -1,0 +1,121 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace parmis::exec {
+
+std::size_t default_num_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// One parallel_for invocation: a shared index counter every
+/// participating thread races on, plus completion bookkeeping.
+struct ThreadPool::Job {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex m;
+  std::condition_variable done;
+  std::exception_ptr error;  // first exception, guarded by m
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_threads_(num_threads == 0 ? default_num_threads() : num_threads) {
+  // Catches size_t underflow from negative CLI values before reserve().
+  require(num_threads_ <= 4096,
+          "thread pool: implausible thread count " +
+              std::to_string(num_threads_));
+  workers_.reserve(num_threads_ - 1);
+  for (std::size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drain(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) return;
+    try {
+      (*job.body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.m);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+      std::lock_guard<std::mutex> lock(job.m);
+      job.done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping_ with no work left
+      job = pending_.front();
+    }
+    drain(*job);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find(pending_.begin(), pending_.end(), job);
+    if (it != pending_.end()) pending_.erase(it);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (num_threads_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(job);
+  }
+  wake_.notify_all();
+
+  // The calling thread races the workers for indices; by the time drain
+  // returns every index has been claimed, though claimed iterations may
+  // still be running on workers.
+  drain(*job);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find(pending_.begin(), pending_.end(), job);
+    if (it != pending_.end()) pending_.erase(it);
+  }
+
+  std::unique_lock<std::mutex> lock(job->m);
+  job->done.wait(lock, [&] {
+    return job->completed.load(std::memory_order_acquire) >= job->n;
+  });
+  if (job->error) {
+    std::exception_ptr error = job->error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace parmis::exec

@@ -30,6 +30,11 @@ class Policy {
 
   /// Short identifier for tables and logs.
   virtual std::string name() const = 0;
+
+  /// Deep copy, or nullptr if the policy is not clonable.  Clonable
+  /// policies let the runtime evaluate many applications concurrently
+  /// (one clone per app); the built-in policies all support it.
+  virtual std::unique_ptr<Policy> clone() const { return nullptr; }
 };
 
 /// Always returns a fixed decision (building block for oracles/tests).
@@ -39,6 +44,9 @@ class StaticPolicy final : public Policy {
 
   soc::DrmDecision decide(const soc::HwCounters&) override;
   std::string name() const override { return label_; }
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<StaticPolicy>(*this);
+  }
 
  private:
   soc::DrmDecision decision_;
@@ -53,6 +61,9 @@ class RandomPolicy final : public Policy {
   soc::DrmDecision decide(const soc::HwCounters&) override;
   void reset() override;
   std::string name() const override { return "random"; }
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<RandomPolicy>(*this);
+  }
 
  private:
   const soc::DecisionSpace* space_;  // non-owning

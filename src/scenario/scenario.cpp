@@ -1,0 +1,285 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "apps/benchmarks.hpp"
+#include "common/error.hpp"
+
+namespace parmis::scenario {
+
+namespace {
+
+const std::vector<std::string>& known_methods() {
+  static const std::vector<std::string> methods = {
+      "parmis",       "performance", "powersave", "ondemand",
+      "conservative", "interactive", "schedutil", "random"};
+  return methods;
+}
+
+}  // namespace
+
+void ScenarioSpec::validate() const {
+  require(!name.empty(), "scenario: empty name");
+  const auto& variants = soc::SocSpec::variant_names();
+  require(std::find(variants.begin(), variants.end(), platform) !=
+              variants.end(),
+          "scenario " + name + ": unknown platform variant: " + platform);
+  require(!benchmark_apps.empty() || generated.has_value(),
+          "scenario " + name + ": empty application suite");
+  const auto& bench_names = apps::benchmark_names();
+  for (const auto& app : benchmark_apps) {
+    require(std::find(bench_names.begin(), bench_names.end(), app) !=
+                bench_names.end(),
+            "scenario " + name + ": unknown benchmark app: " + app);
+  }
+  require(objectives.size() >= 2,
+          "scenario " + name + ": need at least two objectives");
+  require(!methods.empty(), "scenario " + name + ": no methods");
+  for (const auto& m : methods) {
+    require(std::find(known_methods().begin(), known_methods().end(), m) !=
+                known_methods().end(),
+            "scenario " + name + ": unknown method: " + m);
+  }
+}
+
+soc::SocSpec make_platform_spec(const ScenarioSpec& spec) {
+  return soc::SocSpec::by_name(spec.platform);
+}
+
+std::vector<soc::Application> make_applications(const ScenarioSpec& spec) {
+  std::vector<soc::Application> apps;
+  apps.reserve(spec.benchmark_apps.size());
+  for (const auto& name : spec.benchmark_apps) {
+    apps.push_back(apps::make_benchmark(name));
+  }
+  if (spec.generated.has_value()) {
+    auto synth = generate_applications(*spec.generated, spec.workload_seed);
+    for (auto& app : synth) apps.push_back(std::move(app));
+  }
+  return apps;
+}
+
+std::vector<runtime::Objective> make_objectives(const ScenarioSpec& spec) {
+  std::vector<runtime::Objective> objectives;
+  objectives.reserve(spec.objectives.size());
+  for (runtime::ObjectiveKind kind : spec.objectives) {
+    objectives.emplace_back(kind);
+  }
+  return objectives;
+}
+
+runtime::EvaluatorConfig make_evaluator_config(const ScenarioSpec& spec) {
+  runtime::EvaluatorConfig config;
+  config.enable_thermal = spec.thermal;
+  config.thermal_params = spec.thermal_params;
+  return config;
+}
+
+core::ParmisConfig campaign_parmis_budget(bool full) {
+  core::ParmisConfig config;
+  if (full) {
+    config.num_initial = 12;
+    config.max_iterations = 100;
+    return config;
+  }
+  // A campaign multiplies cells, so each PaRMIS run gets a deliberately
+  // small budget: enough iterations for the GP + acquisition loop to be
+  // exercised end to end, small enough that a >= 8-scenario suite
+  // finishes in seconds.
+  config.num_initial = 4;
+  config.max_iterations = 4;
+  config.acq_pool_size = 32;
+  config.acq_refine_steps = 4;
+  config.hyperopt_interval = 100;  // skip hyperopt inside the tiny budget
+  config.hyperopt_candidates = 4;
+  config.acquisition.rff_features = 32;
+  config.acquisition.front_sampler.population_size = 16;
+  config.acquisition.front_sampler.generations = 8;
+  return config;
+}
+
+namespace {
+
+ScenarioSpec base_scenario(const std::string& name,
+                           const std::string& description) {
+  ScenarioSpec s;
+  s.name = name;
+  s.description = description;
+  s.parmis = campaign_parmis_budget();
+  return s;
+}
+
+WorkloadGenConfig small_synthetic(std::size_t num_apps) {
+  WorkloadGenConfig gen;
+  gen.num_apps = num_apps;
+  gen.min_phases = 2;
+  gen.max_phases = 3;
+  gen.min_run_length = 2;
+  gen.max_run_length = 4;
+  return gen;
+}
+
+ScenarioSpec xu3_mibench_te() {
+  ScenarioSpec s = base_scenario(
+      "xu3-mibench-te",
+      "Odroid-XU3, four MiBench apps, time/energy (paper Sec. V-C)");
+  s.benchmark_apps = {"basicmath", "dijkstra", "qsort", "sha"};
+  return s;
+}
+
+ScenarioSpec xu3_cortex_ppw() {
+  ScenarioSpec s = base_scenario(
+      "xu3-cortex-ppw",
+      "Odroid-XU3, CortexSuite apps, time/PPW (paper Sec. V-E)");
+  s.benchmark_apps = {"kmeans", "spectral", "motionest", "pca"};
+  s.objectives = {runtime::ObjectiveKind::ExecutionTime,
+                  runtime::ObjectiveKind::PPW};
+  return s;
+}
+
+ScenarioSpec xu3_all12_te() {
+  ScenarioSpec s = base_scenario(
+      "xu3-all12-te",
+      "Odroid-XU3, all 12 paper apps, global time/energy (paper Sec. V-D)");
+  s.benchmark_apps = apps::benchmark_names();
+  return s;
+}
+
+ScenarioSpec xu3_thermal() {
+  ScenarioSpec s = base_scenario(
+      "xu3-thermal-tpp",
+      "Odroid-XU3 with the RC thermal model: time/energy/peak-power");
+  s.benchmark_apps = {"fft", "aes", "kmeans"};
+  s.objectives = {runtime::ObjectiveKind::ExecutionTime,
+                  runtime::ObjectiveKind::Energy,
+                  runtime::ObjectiveKind::PeakPower};
+  s.thermal = true;
+  return s;
+}
+
+ScenarioSpec xu3_synthetic_te() {
+  ScenarioSpec s = base_scenario(
+      "xu3-synthetic-te",
+      "Odroid-XU3, procedurally generated apps only, time/energy");
+  s.generated = small_synthetic(4);
+  s.workload_seed = 1001;
+  return s;
+}
+
+ScenarioSpec xu3_noisy_te() {
+  ScenarioSpec s = base_scenario(
+      "xu3-noisy-te",
+      "Odroid-XU3 with INA231-like sensor noise, time/energy");
+  s.benchmark_apps = {"blowfish", "strsearch", "qsort"};
+  s.platform_config.sensor_noise_sd = 0.03;
+  return s;
+}
+
+ScenarioSpec manycore_mixed_te() {
+  ScenarioSpec s = base_scenario(
+      "manycore-mixed-te",
+      "16-core 4-cluster platform, paper + synthetic mix, time/energy");
+  s.platform = "manycore16";
+  s.benchmark_apps = {"kmeans", "fft"};
+  s.generated = small_synthetic(2);
+  s.workload_seed = 2002;
+  return s;
+}
+
+ScenarioSpec manycore_synth_eppw() {
+  ScenarioSpec s = base_scenario(
+      "manycore-synthetic-eppw",
+      "16-core platform, synthetic suite, energy/PPW");
+  s.platform = "manycore16";
+  s.generated = small_synthetic(3);
+  s.workload_seed = 2003;
+  s.objectives = {runtime::ObjectiveKind::Energy,
+                  runtime::ObjectiveKind::PPW};
+  return s;
+}
+
+ScenarioSpec mobile3_interactive_ppw() {
+  ScenarioSpec s = base_scenario(
+      "mobile3-interactive-ppw",
+      "3-cluster mobile SoC, bursty synthetic + paper apps, time/PPW");
+  s.platform = "mobile3";
+  s.benchmark_apps = {"strsearch", "aes"};
+  s.generated = small_synthetic(2);
+  s.workload_seed = 3003;
+  s.objectives = {runtime::ObjectiveKind::ExecutionTime,
+                  runtime::ObjectiveKind::PPW};
+  s.methods = {"parmis", "performance", "powersave", "interactive",
+               "schedutil"};
+  return s;
+}
+
+ScenarioSpec mobile3_edp() {
+  ScenarioSpec s = base_scenario(
+      "mobile3-edp",
+      "3-cluster mobile SoC, time/EDP with DVFS-transition charging");
+  s.platform = "mobile3";
+  s.benchmark_apps = {"basicmath", "motionest"};
+  s.generated = small_synthetic(1);
+  s.workload_seed = 3004;
+  s.objectives = {runtime::ObjectiveKind::ExecutionTime,
+                  runtime::ObjectiveKind::EDP};
+  return s;
+}
+
+// One table drives the whole registry: lookup, the name catalogue, and
+// all_scenarios() cannot drift apart.  Adding a scenario = one factory
+// function + one row here.
+using ScenarioFactory = ScenarioSpec (*)();
+
+const std::vector<std::pair<std::string, ScenarioFactory>>&
+scenario_table() {
+  static const std::vector<std::pair<std::string, ScenarioFactory>> table = {
+      {"xu3-mibench-te", xu3_mibench_te},
+      {"xu3-cortex-ppw", xu3_cortex_ppw},
+      {"xu3-all12-te", xu3_all12_te},
+      {"xu3-thermal-tpp", xu3_thermal},
+      {"xu3-synthetic-te", xu3_synthetic_te},
+      {"xu3-noisy-te", xu3_noisy_te},
+      {"manycore-mixed-te", manycore_mixed_te},
+      {"manycore-synthetic-eppw", manycore_synth_eppw},
+      {"mobile3-interactive-ppw", mobile3_interactive_ppw},
+      {"mobile3-edp", mobile3_edp},
+  };
+  return table;
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> n;
+    for (const auto& [name, factory] : scenario_table()) n.push_back(name);
+    return n;
+  }();
+  return names;
+}
+
+ScenarioSpec make_scenario(const std::string& name) {
+  for (const auto& [key, factory] : scenario_table()) {
+    if (key != name) continue;
+    ScenarioSpec s = factory();
+    ensure(s.name == key, "scenario registry: factory name mismatch for " +
+                              key + " (got " + s.name + ")");
+    s.validate();
+    return s;
+  }
+  require(false, "unknown scenario: " + name);
+  return {};  // unreachable
+}
+
+std::vector<ScenarioSpec> all_scenarios() {
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(scenario_names().size());
+  for (const auto& name : scenario_names()) {
+    specs.push_back(make_scenario(name));
+  }
+  return specs;
+}
+
+}  // namespace parmis::scenario

@@ -1,0 +1,88 @@
+// Declarative scenario registry: what to evaluate, on which platform.
+//
+// A ScenarioSpec is a self-contained, serializable description of one
+// evaluation setting: a named platform variant (SocSpec registry), a
+// platform configuration (sensor noise, DVFS charging), an application
+// suite (paper benchmarks by name plus procedurally generated apps),
+// an objective set, thermal on/off, the methods to run, and the PaRMIS
+// budget.  Campaign cells are (scenario x method x seed) points; the
+// runner materializes each cell's Platform/Evaluator/Rng from the spec
+// alone, which is what makes runs bitwise-reproducible regardless of
+// thread count or cell ordering.
+//
+// The registry ships >= 8 named scenarios spanning all three platform
+// variants; registry lookups are by name so CLIs, benches, and tests
+// share one catalogue.
+#ifndef PARMIS_SCENARIO_SCENARIO_HPP
+#define PARMIS_SCENARIO_SCENARIO_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/parmis.hpp"
+#include "runtime/evaluator.hpp"
+#include "runtime/objectives.hpp"
+#include "scenario/workload_gen.hpp"
+#include "soc/platform.hpp"
+#include "soc/spec.hpp"
+
+namespace parmis::scenario {
+
+/// One named evaluation setting.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+
+  // --- platform ---
+  std::string platform = "exynos5422";  ///< SocSpec::by_name key
+  soc::PlatformConfig platform_config;
+
+  // --- application suite ---
+  std::vector<std::string> benchmark_apps;  ///< paper apps by name
+  std::optional<WorkloadGenConfig> generated;  ///< appended synthetic apps
+  std::uint64_t workload_seed = 1;
+
+  // --- evaluation ---
+  std::vector<runtime::ObjectiveKind> objectives = {
+      runtime::ObjectiveKind::ExecutionTime, runtime::ObjectiveKind::Energy};
+  bool thermal = false;
+  soc::ThermalParams thermal_params;
+
+  // --- methods + budgets ---
+  /// Methods the campaign runs on this scenario.  "parmis" plus any
+  /// governor name understood by make_governor_policy().
+  std::vector<std::string> methods = {"parmis", "performance", "powersave",
+                                      "ondemand"};
+  core::ParmisConfig parmis;  ///< budget template; seed overridden per cell
+
+  /// Throws parmis::Error if the spec is internally inconsistent
+  /// (unknown platform/app/method names, empty suite, < 2 objectives).
+  void validate() const;
+};
+
+/// Materialization helpers (each cell builds its own copies from these).
+soc::SocSpec make_platform_spec(const ScenarioSpec& spec);
+std::vector<soc::Application> make_applications(const ScenarioSpec& spec);
+std::vector<runtime::Objective> make_objectives(const ScenarioSpec& spec);
+runtime::EvaluatorConfig make_evaluator_config(const ScenarioSpec& spec);
+
+// ----------------------------------------------------------------- registry
+
+/// Names of the built-in scenarios, in catalogue order.
+const std::vector<std::string>& scenario_names();
+
+/// Builds a built-in scenario by name; throws for unknown names.
+ScenarioSpec make_scenario(const std::string& name);
+
+/// The whole catalogue.
+std::vector<ScenarioSpec> all_scenarios();
+
+/// A small PaRMIS budget (seconds per cell) used by the built-in
+/// scenarios; `full` raises budgets toward paper scale.
+core::ParmisConfig campaign_parmis_budget(bool full = false);
+
+}  // namespace parmis::scenario
+
+#endif  // PARMIS_SCENARIO_SCENARIO_HPP

@@ -1,0 +1,172 @@
+#include "scenario/workload_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace parmis::scenario {
+
+namespace {
+
+double sample_range(Rng& rng, double lo, double hi) {
+  if (lo == hi) return lo;
+  return rng.uniform(lo, hi);
+}
+
+/// Multiplicative jitter clamped back into [lo, hi] so jittered epochs
+/// stay inside the archetype's (validated) ranges.
+double jittered(Rng& rng, double value, double rel_sd, double lo, double hi) {
+  const double j = value * (1.0 + rng.normal(0.0, rel_sd));
+  return std::clamp(j, lo, hi);
+}
+
+}  // namespace
+
+soc::EpochWorkload EpochDistribution::sample(Rng& rng) const {
+  soc::EpochWorkload e;
+  e.instructions_g = sample_range(rng, instructions_g_min, instructions_g_max);
+  e.parallel_fraction =
+      sample_range(rng, parallel_fraction_min, parallel_fraction_max);
+  e.mem_bytes_per_instr =
+      sample_range(rng, mem_bytes_per_instr_min, mem_bytes_per_instr_max);
+  e.branch_miss_rate =
+      sample_range(rng, branch_miss_rate_min, branch_miss_rate_max);
+  e.ilp = sample_range(rng, ilp_min, ilp_max);
+  e.big_affinity = sample_range(rng, big_affinity_min, big_affinity_max);
+  e.duty = sample_range(rng, duty_min, duty_max);
+  e.validate();
+  return e;
+}
+
+const std::vector<EpochDistribution>& standard_archetypes() {
+  static const std::vector<EpochDistribution> archetypes = [] {
+    std::vector<EpochDistribution> a;
+
+    EpochDistribution compute;
+    compute.label = "compute";
+    compute.mem_bytes_per_instr_min = 0.02;
+    compute.mem_bytes_per_instr_max = 0.15;
+    compute.branch_miss_rate_min = 0.001;
+    compute.branch_miss_rate_max = 0.005;
+    compute.ilp_min = 0.7;
+    compute.ilp_max = 1.0;
+    compute.big_affinity_min = 0.6;
+    compute.big_affinity_max = 0.95;
+    a.push_back(compute);
+
+    EpochDistribution memory;
+    memory.label = "memory";
+    memory.mem_bytes_per_instr_min = 0.5;
+    memory.mem_bytes_per_instr_max = 1.2;
+    memory.ilp_min = 0.3;
+    memory.ilp_max = 0.6;
+    memory.big_affinity_min = 0.2;
+    memory.big_affinity_max = 0.5;
+    a.push_back(memory);
+
+    EpochDistribution branchy;
+    branchy.label = "branchy";
+    branchy.branch_miss_rate_min = 0.01;
+    branchy.branch_miss_rate_max = 0.05;
+    branchy.parallel_fraction_min = 0.05;
+    branchy.parallel_fraction_max = 0.4;
+    branchy.ilp_min = 0.35;
+    branchy.ilp_max = 0.7;
+    a.push_back(branchy);
+
+    EpochDistribution parallel;
+    parallel.label = "parallel";
+    parallel.parallel_fraction_min = 0.75;
+    parallel.parallel_fraction_max = 0.98;
+    parallel.instructions_g_min = 0.5;
+    parallel.instructions_g_max = 3.0;
+    parallel.big_affinity_min = 0.3;
+    parallel.big_affinity_max = 0.7;
+    a.push_back(parallel);
+
+    EpochDistribution serial;
+    serial.label = "serial";
+    serial.parallel_fraction_min = 0.0;
+    serial.parallel_fraction_max = 0.15;
+    serial.big_affinity_min = 0.7;
+    serial.big_affinity_max = 1.0;
+    a.push_back(serial);
+
+    EpochDistribution io;
+    io.label = "io";
+    io.duty_min = 0.55;
+    io.duty_max = 0.8;
+    io.instructions_g_min = 0.1;
+    io.instructions_g_max = 0.6;
+    io.parallel_fraction_min = 0.05;
+    io.parallel_fraction_max = 0.3;
+    a.push_back(io);
+
+    return a;
+  }();
+  return archetypes;
+}
+
+std::vector<soc::Application> generate_applications(
+    const WorkloadGenConfig& config, std::uint64_t seed) {
+  require(config.num_apps > 0, "workload gen: num_apps must be positive");
+  require(config.min_phases >= 1 && config.min_phases <= config.max_phases,
+          "workload gen: need 1 <= min_phases <= max_phases");
+  require(config.min_run_length >= 1 &&
+              config.min_run_length <= config.max_run_length,
+          "workload gen: need 1 <= min_run_length <= max_run_length");
+  require(config.jitter >= 0.0, "workload gen: jitter must be >= 0");
+
+  const std::vector<EpochDistribution>& archetypes =
+      config.archetypes.empty() ? standard_archetypes() : config.archetypes;
+
+  std::vector<soc::Application> apps;
+  apps.reserve(config.num_apps);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < config.num_apps; ++i) {
+    // One substream per application: adding apps to a config never
+    // changes the ones already generated.
+    Rng app_rng = rng.split();
+
+    const std::size_t num_phases =
+        config.min_phases +
+        app_rng.uniform_index(config.max_phases - config.min_phases + 1);
+
+    soc::Application app;
+    std::string phase_tags;
+    for (std::size_t p = 0; p < num_phases; ++p) {
+      const EpochDistribution& dist =
+          archetypes[app_rng.uniform_index(archetypes.size())];
+      const soc::EpochWorkload tmpl = dist.sample(app_rng);
+      const std::size_t run =
+          config.min_run_length +
+          app_rng.uniform_index(config.max_run_length -
+                                config.min_run_length + 1);
+      for (std::size_t r = 0; r < run; ++r) {
+        soc::EpochWorkload e = tmpl;
+        e.instructions_g = jittered(app_rng, tmpl.instructions_g,
+                                    config.jitter, 1e-3, 1e3);
+        e.parallel_fraction = jittered(app_rng, tmpl.parallel_fraction,
+                                       config.jitter, 0.0, 1.0);
+        e.mem_bytes_per_instr = jittered(app_rng, tmpl.mem_bytes_per_instr,
+                                         config.jitter, 0.0, 10.0);
+        e.branch_miss_rate = jittered(app_rng, tmpl.branch_miss_rate,
+                                      config.jitter, 0.0, 0.2);
+        e.ilp = jittered(app_rng, tmpl.ilp, config.jitter, 0.05, 1.0);
+        e.big_affinity = jittered(app_rng, tmpl.big_affinity, config.jitter,
+                                  0.0, 1.0);
+        e.duty = jittered(app_rng, tmpl.duty, config.jitter, 0.5, 1.0);
+        app.epochs.push_back(e);
+      }
+      phase_tags += (p == 0 ? "" : "-") + dist.label;
+    }
+    app.name = config.name_prefix + "-" + std::to_string(i) + "-" +
+               phase_tags;
+    app.validate();
+    apps.push_back(std::move(app));
+  }
+  return apps;
+}
+
+}  // namespace parmis::scenario

@@ -1,0 +1,66 @@
+// Seeded procedural workload generator: synthetic Applications.
+//
+// The paper evaluates on 12 fixed benchmarks; scaling the evaluation to
+// "as many scenarios as you can imagine" needs an unbounded supply of
+// *plausible* applications.  Real programs are phase-structured: long
+// stretches of similar behaviour (an archetype: compute-bound, memory-
+// bound, branchy, parallel, ...) separated by phase changes [DyPO;
+// Mandal et al.].  The generator mirrors that: for each application it
+// draws a handful of phase templates from archetype-specific
+// EpochWorkload distributions, then emits runs of jittered copies of
+// each template.  Everything is derived from one explicit seed, so the
+// same config + seed always produces bitwise-identical applications —
+// the property the campaign layer's determinism guarantees rest on.
+#ifndef PARMIS_SCENARIO_WORKLOAD_GEN_HPP
+#define PARMIS_SCENARIO_WORKLOAD_GEN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "soc/workload.hpp"
+
+namespace parmis::scenario {
+
+/// Inclusive sampling ranges for every EpochWorkload field: one phase
+/// archetype (e.g. "memory-bound") is one such distribution.
+struct EpochDistribution {
+  std::string label;  ///< archetype name, embedded in generated app names
+  double instructions_g_min = 0.2, instructions_g_max = 2.0;
+  double parallel_fraction_min = 0.1, parallel_fraction_max = 0.9;
+  double mem_bytes_per_instr_min = 0.05, mem_bytes_per_instr_max = 0.8;
+  double branch_miss_rate_min = 0.001, branch_miss_rate_max = 0.02;
+  double ilp_min = 0.4, ilp_max = 1.0;
+  double big_affinity_min = 0.2, big_affinity_max = 0.9;
+  double duty_min = 0.85, duty_max = 1.0;
+
+  /// One epoch drawn uniformly from the ranges.
+  soc::EpochWorkload sample(Rng& rng) const;
+};
+
+/// The built-in archetype library: compute-bound, memory-bound, branchy,
+/// data-parallel, serial-latency, and io-duty phases.
+const std::vector<EpochDistribution>& standard_archetypes();
+
+/// Generator configuration.  Defaults give MiBench-sized applications.
+struct WorkloadGenConfig {
+  std::size_t num_apps = 4;
+  std::size_t min_phases = 2;      ///< phase templates per application
+  std::size_t max_phases = 4;
+  std::size_t min_run_length = 2;  ///< jittered epochs per phase run
+  std::size_t max_run_length = 6;
+  double jitter = 0.10;            ///< relative sd of per-epoch variation
+  std::string name_prefix = "synth";
+  std::vector<EpochDistribution> archetypes;  ///< empty = standard library
+};
+
+/// Synthesizes `config.num_apps` applications.  Deterministic: the same
+/// (config, seed) pair always returns identical applications.  Every
+/// returned application passes Application::validate().
+std::vector<soc::Application> generate_applications(
+    const WorkloadGenConfig& config, std::uint64_t seed);
+
+}  // namespace parmis::scenario
+
+#endif  // PARMIS_SCENARIO_WORKLOAD_GEN_HPP

@@ -42,6 +42,7 @@ class Platform {
   const SocSpec& spec() const { return *spec_; }
   const PerfModel& model() const { return model_; }
   const DecisionSpace& decision_space() const { return space_; }
+  const PlatformConfig& config() const { return config_; }
 
   /// Resets the sensor-noise stream (e.g. between repeated evaluations).
   void reseed_sensors(std::uint64_t seed);

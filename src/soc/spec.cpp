@@ -1,5 +1,6 @@
 #include "soc/spec.hpp"
 
+#include <utility>
 #include "common/error.hpp"
 
 namespace parmis::soc {
@@ -62,6 +63,7 @@ SocSpec SocSpec::exynos5422() {
       .branch_sensitivity = 3.0,
       .mem_kappa = 0.45,
       .little_penalty = 0.40,  // ILP-heavy code loses more on the A7
+      .efficiency = true,
       .ceff_nf = 0.10,
       .leak_w = 0.02,
       .idle_dynamic_fraction = 0.05,
@@ -94,6 +96,102 @@ SocSpec SocSpec::manycore16() {
   spec.mem_bandwidth_gbs = 9.0;   // wider memory system
   spec.uncore_power_w = 0.45;
   return spec;
+}
+
+SocSpec SocSpec::mobile3() {
+  SocSpec spec;
+  spec.name = "mobile3";
+
+  // One wide out-of-order prime core: highest single-thread throughput,
+  // steep V/f curve, expensive to keep online.
+  ClusterSpec prime{
+      .name = "prime",
+      .num_cores = 1,
+      .min_active = 0,
+      .dvfs = DvfsTable(400, 2800, 200),            // 13 levels
+      .opp = OppCurve(0.70, 1.15, 0.4, 2.8),
+      .ipc_peak = 3.2,
+      .branch_sensitivity = 10.0,
+      .mem_kappa = 0.55,
+      .little_penalty = 0.0,
+      .ceff_nf = 0.55,
+      .leak_w = 0.16,
+      .idle_dynamic_fraction = 0.04,
+  };
+
+  // Three performance ("gold") cores: big-class, slightly narrower.
+  ClusterSpec gold{
+      .name = "gold",
+      .num_cores = 3,
+      .min_active = 0,
+      .dvfs = DvfsTable(400, 2400, 200),            // 11 levels
+      .opp = OppCurve(0.65, 1.05, 0.4, 2.4),
+      .ipc_peak = 2.6,
+      .branch_sensitivity = 8.0,
+      .mem_kappa = 0.55,
+      .little_penalty = 0.10,
+      .ceff_nf = 0.40,
+      .leak_w = 0.10,
+      .idle_dynamic_fraction = 0.05,
+  };
+
+  // Four efficiency ("silver") in-order cores; one hosts the OS.
+  ClusterSpec silver{
+      .name = "silver",
+      .num_cores = 4,
+      .min_active = 1,
+      .dvfs = DvfsTable(300, 1800, 150),            // 11 levels
+      .opp = OppCurve(0.55, 0.95, 0.3, 1.8),
+      .ipc_peak = 1.3,
+      .branch_sensitivity = 3.5,
+      .mem_kappa = 0.40,
+      .little_penalty = 0.35,
+      .efficiency = true,
+      .ceff_nf = 0.12,
+      .leak_w = 0.02,
+      .idle_dynamic_fraction = 0.05,
+  };
+
+  spec.clusters = {prime, gold, silver};
+  spec.mem_bandwidth_gbs = 12.0;  // LPDDR4X-class sustained bandwidth
+  spec.uncore_power_w = 0.35;
+  spec.mem_power_per_gbs = 0.04;
+  spec.dvfs_transition_s = 150e-6;  // faster PLLs than the 2014 part
+  spec.hotplug_transition_s = 5e-3;
+  return spec;
+}
+
+namespace {
+
+// Single table so by_name() and variant_names() cannot drift apart.
+using SpecFactory = SocSpec (*)();
+
+const std::vector<std::pair<std::string, SpecFactory>>& variant_table() {
+  static const std::vector<std::pair<std::string, SpecFactory>> table = {
+      {"exynos5422", SocSpec::exynos5422},
+      {"manycore16", SocSpec::manycore16},
+      {"mobile3", SocSpec::mobile3},
+  };
+  return table;
+}
+
+}  // namespace
+
+SocSpec SocSpec::by_name(const std::string& name) {
+  for (const auto& [key, factory] : variant_table()) {
+    if (key == name) return factory();
+  }
+  require(false, "unknown platform variant: " + name);
+  return {};  // unreachable
+}
+
+const std::vector<std::string>& SocSpec::variant_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> n;
+    for (const auto& [name, factory] : variant_table()) n.push_back(name);
+    return n;
+  }();
+  return names;
 }
 
 }  // namespace parmis::soc

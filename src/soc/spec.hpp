@@ -32,6 +32,8 @@ struct ClusterSpec {
   double branch_sensitivity = 8.0;  ///< IPC penalty per misprediction rate
   double mem_kappa = 0.6;     ///< memory-latency stall factor (per byte/instr per GHz)
   double little_penalty = 0.0; ///< extra IPC derate for big-affine code (0 for big)
+  bool efficiency = false;     ///< role flag: in-order/efficiency-class
+                               ///< cluster (drives anchor corner points)
 
   // --- power model parameters ---
   double ceff_nf = 0.45;      ///< effective switched capacitance per core (nF)
@@ -72,6 +74,17 @@ struct SocSpec {
   /// Future-work platform: four clusters (2 big-class, 2 little-class),
   /// 16 cores total, wider memory system.
   static SocSpec manycore16();
+
+  /// Contemporary 3-cluster mobile SoC (prime + gold + silver, 1+3+4
+  /// cores), Snapdragon-class DVFS ranges and LPDDR4-class bandwidth.
+  static SocSpec mobile3();
+
+  /// Builds a spec by registry name ("exynos5422" | "manycore16" |
+  /// "mobile3"); throws parmis::Error for unknown names.
+  static SocSpec by_name(const std::string& name);
+
+  /// The registry names accepted by by_name().
+  static const std::vector<std::string>& variant_names();
 };
 
 }  // namespace parmis::soc
