@@ -10,11 +10,16 @@
 //     speedup, plus an intra-cell speedup probe (GlobalEvaluator's
 //     pooled per-app fan-out on the 12-app scenario).
 //
-// Flags: --threads=N  --seeds=K  --csv=path  --full
+// With --cache-dir the suite additionally measures cache effectiveness:
+// a third, fully cached pass over the same cells, reporting the replay
+// speedup and asserting the replayed digest matches the computed one.
+//
+// Flags: --threads=N  --seeds=K  --csv=path  --full  --cache-dir=path
 #include <iostream>
 #include <utility>
 
 #include "bench_common.hpp"
+#include "cache/result_cache.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "core/policy_search.hpp"
@@ -109,6 +114,34 @@ int main(int argc, char** argv) {
                              2)
             << "x\n";
 
+  bool cache_ok = true;
+  if (args.has("cache-dir")) {
+    // Cache-effectiveness probe: populate from the parallel run's
+    // cells, then replay the whole suite from disk.
+    cache::ResultCache cache(args.get("cache-dir", ".parmis-cache"));
+    config.cache = &cache;
+    const Stopwatch populate_wall;
+    const exec::CampaignReport populated = exec::CampaignRunner(config).run();
+    const double populate_s = populate_wall.seconds();
+    const Stopwatch replay_wall;
+    exec::CampaignReport replayed = exec::CampaignRunner(config).run();
+    const double replay_s = replay_wall.seconds();
+    config.cache = nullptr;
+    cache_ok = replayed.cache_hits == replayed.cells.size() &&
+               replayed.objectives_digest() == parallel.objectives_digest();
+    // A reused --cache-dir serves part of the populate pass from prior
+    // entries; report its hit count so the compute time is read
+    // honestly (cold compute only when pre-cached is 0).
+    std::cout << "\ncache: " << cache.num_entries() << " entries ("
+              << cache.total_bytes() << " bytes), replay "
+              << replayed.cache_hits << "/" << replayed.cells.size()
+              << " hits, compute " << format_double(populate_s, 3) << " s ("
+              << populated.cache_hits << " pre-cached) vs replay "
+              << format_double(replay_s, 3)
+              << " s, digest match: " << (cache_ok ? "bitwise" : "MISMATCH")
+              << "\n";
+  }
+
   const auto [serial_s, serial_phv] = intra_cell_run(1);
   const auto [pooled_s, pooled_phv] = intra_cell_run(threads);
   std::cout << "intra-cell (12-app global, pooled evaluator + acquisition): "
@@ -118,5 +151,5 @@ int main(int argc, char** argv) {
             << "x, PHV match: "
             << (serial_phv == pooled_phv ? "bitwise" : "MISMATCH") << "\n";
 
-  return identical && serial_phv == pooled_phv ? 0 : 1;
+  return identical && cache_ok && serial_phv == pooled_phv ? 0 : 1;
 }

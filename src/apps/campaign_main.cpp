@@ -5,17 +5,31 @@
 //   campaign                              # all scenarios, all methods
 //   campaign --scenarios=xu3-mibench-te,mobile3-edp --threads=4 --seeds=2
 //   campaign --compare-threads --threads=4 --csv=campaign.csv
+//   campaign --cache-dir=.parmis-cache --cache-stats
+//   campaign --cache-dir=.parmis-cache --resume
+//   campaign --cache-dir=.parmis-cache --cache-gc --cache-max-mb=64
 //
 // --compare-threads runs the identical campaign once on 1 thread and
 // once on --threads threads, asserts the per-cell objectives are
 // bitwise-identical (digest equality), and reports the measured
 // speedup.  Exit status is non-zero if any cell failed or the
 // determinism check did not hold.
+//
+// --cache-dir enables the content-addressed result cache: each cell is
+// looked up before execution and stored after, so repeated suites cost
+// O(changed cells).  --resume prints how much of the campaign will be
+// replayed before running (and requires --cache-dir); --no-cache
+// bypasses a configured cache; --cache-stats reports entry counts and
+// hit/miss totals; --cache-gc prunes oldest entries down to
+// --cache-max-mb and exits; --require-cached exits non-zero unless
+// every cell was a cache hit (CI effectiveness check).
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
@@ -67,7 +81,8 @@ void print_report(const CampaignReport& report) {
         .add(cell.phv, 4)
         .add(cell.decision_overhead_us, 2)
         .add(cell.wall_s, 3)
-        .add(cell.error.empty() ? "ok" : "FAILED: " + cell.error);
+        .add(!cell.error.empty() ? "FAILED: " + cell.error
+                                 : (cell.from_cache ? "cached" : "ok"));
   }
   table.print(std::cout);
   std::ostringstream digest;
@@ -88,7 +103,10 @@ int main(int argc, char** argv) {
           << "usage: campaign [--list] [--scenarios=a,b|all] [--threads=N]\n"
              "                [--seeds=K] [--seed=S] [--csv=path] "
              "[--json=path]\n"
-             "                [--compare-threads] [--full]\n";
+             "                [--compare-threads] [--full]\n"
+             "                [--cache-dir=path] [--no-cache] [--resume]\n"
+             "                [--cache-stats] [--require-cached]\n"
+             "                [--cache-gc] [--cache-max-mb=N]\n";
       return 0;
     }
     if (args.has("list")) {
@@ -120,9 +138,75 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("seeds", 1));
     config.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
+    // ------------------------------------------------------ result cache
+    const bool resume = args.get_bool("resume", false);
+    const bool compare_threads = args.get_bool("compare-threads", false);
+    parmis::require(!resume || (args.has("cache-dir") &&
+                               !args.get_bool("no-cache", false)),
+                    "campaign: --resume requires --cache-dir (and is "
+                    "incompatible with --no-cache)");
+    const bool require_cached = args.get_bool("require-cached", false);
+    parmis::require(!(compare_threads && require_cached),
+                    "campaign: --require-cached is incompatible with "
+                    "--compare-threads (the determinism check executes "
+                    "every cell)");
+    parmis::require(!(compare_threads && resume),
+                    "campaign: --resume is incompatible with "
+                    "--compare-threads (the determinism check executes "
+                    "every cell; nothing is replayed)");
+    // Flag preconditions are checked before any cell runs: a campaign
+    // can be hours of compute, and a typo must fail in milliseconds.
+    parmis::require(!require_cached || (args.has("cache-dir") &&
+                                        !args.get_bool("no-cache", false)),
+                    "campaign: --require-cached requires --cache-dir "
+                    "(and is incompatible with --no-cache)");
+    parmis::require(!args.get_bool("cache-stats", false) ||
+                        args.has("cache-dir"),
+                    "campaign: --cache-stats requires --cache-dir");
+    parmis::require(!args.has("cache-max-mb") ||
+                        args.get_bool("cache-gc", false),
+                    "campaign: --cache-max-mb only applies to --cache-gc");
+    if (args.get_bool("cache-gc", false)) {
+      // Offline maintenance: prune and exit.  Independent of --no-cache
+      // (which only controls whether *this run* would consult entries).
+      parmis::require(args.has("cache-dir"),
+                      "campaign: --cache-gc requires --cache-dir");
+      const int max_mb = args.get_int("cache-max-mb", 256);
+      parmis::require(max_mb >= 0, "campaign: --cache-max-mb must be >= 0");
+      const std::uintmax_t max_bytes =
+          static_cast<std::uintmax_t>(max_mb) * 1024u * 1024u;
+      parmis::cache::ResultCache gc_cache(
+          args.get("cache-dir", ".parmis-cache"));
+      const std::size_t removed = gc_cache.gc(max_bytes);
+      std::cout << "cache-gc: removed " << removed << " entries; "
+                << gc_cache.num_entries() << " entries ("
+                << gc_cache.total_bytes() << " bytes) remain in "
+                << gc_cache.dir() << "\n";
+      return 0;
+    }
+    std::unique_ptr<parmis::cache::ResultCache> cache;
+    if (args.has("cache-dir") && !args.get_bool("no-cache", false)) {
+      cache = std::make_unique<parmis::cache::ResultCache>(
+          args.get("cache-dir", ".parmis-cache"));
+    }
+    config.cache = cache.get();
+    if (resume) {
+      const auto [cached, total] = CampaignRunner(config).probe_cache();
+      std::cout << "resume: " << cached << "/" << total
+                << " cells cached; executing " << (total - cached) << "\n";
+    }
+
     CampaignReport report;
     bool deterministic = true;
-    if (args.get_bool("compare-threads", false)) {
+    if (compare_threads) {
+      // The determinism check must execute every cell twice — a cache
+      // would replay the baseline's results into the parallel run and
+      // make digest equality vacuous.
+      if (config.cache != nullptr) {
+        std::cout << "note: cache disabled under --compare-threads\n";
+        config.cache = nullptr;
+        cache.reset();
+      }
       CampaignConfig serial = config;
       serial.num_threads = 1;
       std::cout << "== reference run (1 thread) ==\n";
@@ -150,12 +234,40 @@ int main(int argc, char** argv) {
       print_report(report);
     }
 
+    if (cache != nullptr) {
+      std::cout << "cache: " << report.cache_hits << " hits, "
+                << report.cache_misses << " misses ("
+                << (resume ? "resumed" : "reused") << " "
+                << report.cache_hits << "/" << report.cells.size()
+                << " cells)\n";
+    }
+    if (args.get_bool("cache-stats", false)) {
+      if (cache != nullptr) {
+        const parmis::cache::CacheStats stats = cache->stats();
+        std::cout << "cache-stats: dir " << cache->dir() << ", "
+                  << cache->num_entries() << " entries, "
+                  << cache->total_bytes() << " bytes; this run: "
+                  << stats.hits << " hits, " << stats.misses << " misses, "
+                  << stats.stores << " stores, " << stats.corrupt
+                  << " corrupt\n";
+      } else {
+        std::cout << "cache-stats: cache disabled this run\n";
+      }
+    }
+
     if (args.has("csv")) report.save_csv(args.get("csv", "campaign.csv"));
     if (args.has("json")) report.save_json(args.get("json", "campaign.json"));
 
     bool any_failed = false;
     for (const auto& cell : report.cells) {
       any_failed = any_failed || !cell.error.empty();
+    }
+    if (require_cached &&
+        (report.cache_misses > 0 ||
+         report.cache_hits != report.cells.size())) {
+      std::cerr << "campaign: --require-cached: " << report.cache_misses
+                << " cells were not served from the cache\n";
+      return 1;
     }
     return (any_failed || !deterministic) ? 1 : 0;
   } catch (const std::exception& e) {

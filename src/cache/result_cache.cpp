@@ -1,0 +1,333 @@
+#include "cache/result_cache.hpp"
+
+#include <bit>
+#include <chrono>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "common/canonical.hpp"
+#include "common/error.hpp"
+#include "common/fs.hpp"
+
+namespace parmis::cache {
+
+namespace {
+
+constexpr const char* kEntryMagic = "parmis-cell-cache v1\n";
+constexpr const char* kEntrySuffix = ".cell";
+
+// ------------------------------------------------------- serialization
+// Entry payloads use the shared canonical emitters (common/canonical.hpp)
+// — the same encoding scenario::canonical_serialize keys on.
+
+using canonical::put_f64;
+using canonical::put_str;
+using canonical::put_u64;
+
+std::string serialize_payload(const CellKey& key,
+                              const exec::CellResult& cell) {
+  std::string out;
+  out.reserve(1024);
+  put_str(out, "key", key.hex());
+  put_str(out, "scenario", cell.scenario);
+  put_str(out, "platform", cell.platform);
+  put_str(out, "method", cell.method);
+  put_u64(out, "seed", cell.seed);
+  put_u64(out, "apps", cell.num_apps);
+  put_u64(out, "evaluations", cell.evaluations);
+  put_u64(out, "objective_names", cell.objective_names.size());
+  for (const auto& name : cell.objective_names) put_str(out, "name", name);
+  put_u64(out, "front", cell.front.size());
+  for (const auto& point : cell.front) {
+    put_u64(out, "point", point.size());
+    for (double v : point) put_f64(out, "f", v);
+  }
+  // CellResult::phv is deliberately NOT stored: it is assigned at
+  // campaign aggregation time against a reference point shared across
+  // that run's cells, so a per-cell cached value would be meaningless
+  // out of context (and is always recomputed on replay anyway).
+  put_u64(out, "best_raw", cell.best_raw.size());
+  for (double v : cell.best_raw) put_f64(out, "f", v);
+  put_f64(out, "wall_s", cell.wall_s);
+  put_f64(out, "overhead_us", cell.decision_overhead_us);
+  put_str(out, "error", cell.error);
+  return out;
+}
+
+// --------------------------------------------------------------- parsing
+// Strict cursor parser over the payload.  Any deviation (wrong tag,
+// malformed number, short read) fails the whole entry, which the cache
+// then treats as corruption.
+
+struct Cursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  bool expect(const std::string& literal) {
+    if (text.compare(pos, literal.size(), literal) != 0) return false;
+    pos += literal.size();
+    return true;
+  }
+
+  bool read_decimal(std::uint64_t& out) {
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+      return false;
+    }
+    out = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      const std::uint64_t digit =
+          static_cast<std::uint64_t>(text[pos] - '0');
+      // Reject values that cannot fit instead of silently wrapping —
+      // but accept everything up to and including UINT64_MAX, which
+      // the serializer legitimately writes (e.g. as a seed).
+      if (out > UINT64_MAX / 10 ||
+          (out == UINT64_MAX / 10 && digit > UINT64_MAX % 10)) {
+        return false;
+      }
+      out = out * 10 + digit;
+      ++pos;
+    }
+    return true;
+  }
+
+  bool read_u64(const char* tag, std::uint64_t& out) {
+    return expect(std::string(tag) + "=") && read_decimal(out) &&
+           expect("\n");
+  }
+
+  bool read_str(const char* tag, std::string& out) {
+    std::uint64_t len = 0;
+    if (!expect(std::string(tag) + "=") || !read_decimal(len) ||
+        !expect(":")) {
+      return false;
+    }
+    if (len > text.size() - pos) return false;
+    out.assign(text, pos, len);
+    pos += len;
+    return expect("\n");
+  }
+
+  bool read_f64(const char* tag, double& out) {
+    if (!expect(std::string(tag) + "=")) return false;
+    if (text.size() - pos < 17) return false;  // 16 hex digits + newline
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 16; ++i) {
+      const char c = text[pos + static_cast<std::size_t>(i)];
+      std::uint64_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint64_t>(c - 'a') + 10;
+      } else {
+        return false;
+      }
+      bits = (bits << 4) | digit;
+    }
+    pos += 16;
+    out = std::bit_cast<double>(bits);
+    return expect("\n");
+  }
+};
+
+std::optional<exec::CellResult> parse_payload(const std::string& payload,
+                                              const CellKey& key) {
+  Cursor cur{payload};
+  exec::CellResult cell;
+  std::string stored_key;
+  std::uint64_t seed = 0, apps = 0, evaluations = 0, count = 0;
+  if (!cur.read_str("key", stored_key) || stored_key != key.hex()) {
+    return std::nullopt;
+  }
+  if (!cur.read_str("scenario", cell.scenario) ||
+      !cur.read_str("platform", cell.platform) ||
+      !cur.read_str("method", cell.method) ||
+      !cur.read_u64("seed", seed) || !cur.read_u64("apps", apps) ||
+      !cur.read_u64("evaluations", evaluations) ||
+      !cur.read_u64("objective_names", count)) {
+    return std::nullopt;
+  }
+  cell.seed = seed;
+  cell.num_apps = apps;
+  cell.evaluations = evaluations;
+  if (count > payload.size()) return std::nullopt;  // bounded by input
+  cell.objective_names.resize(count);
+  for (auto& name : cell.objective_names) {
+    if (!cur.read_str("name", name)) return std::nullopt;
+  }
+  if (!cur.read_u64("front", count) || count > payload.size()) {
+    return std::nullopt;
+  }
+  cell.front.resize(count);
+  for (auto& point : cell.front) {
+    std::uint64_t dim = 0;
+    if (!cur.read_u64("point", dim) || dim > payload.size()) {
+      return std::nullopt;
+    }
+    point.resize(dim);
+    for (double& v : point) {
+      if (!cur.read_f64("f", v)) return std::nullopt;
+    }
+  }
+  if (!cur.read_u64("best_raw", count) || count > payload.size()) {
+    return std::nullopt;
+  }
+  cell.best_raw.resize(count);
+  for (double& v : cell.best_raw) {
+    if (!cur.read_f64("f", v)) return std::nullopt;
+  }
+  if (!cur.read_f64("wall_s", cell.wall_s) ||
+      !cur.read_f64("overhead_us", cell.decision_overhead_us) ||
+      !cur.read_str("error", cell.error)) {
+    return std::nullopt;
+  }
+  if (cur.pos != payload.size()) return std::nullopt;  // trailing junk
+  return cell;
+}
+
+/// Entry = magic line, digest line over the payload, payload.
+std::string serialize_entry(const CellKey& key,
+                            const exec::CellResult& cell) {
+  const std::string payload = serialize_payload(key, cell);
+  std::string out = kEntryMagic;
+  out += "digest=" + hex64(fnv1a64(payload)) + "\n";
+  out += payload;
+  return out;
+}
+
+std::optional<exec::CellResult> parse_entry(const std::string& entry,
+                                            const CellKey& key) {
+  Cursor cur{entry};
+  std::string digest_hex;
+  if (!cur.expect(kEntryMagic)) return std::nullopt;
+  if (!cur.expect("digest=")) return std::nullopt;
+  if (entry.size() - cur.pos < 17) return std::nullopt;
+  digest_hex = entry.substr(cur.pos, 16);
+  cur.pos += 16;
+  if (!cur.expect("\n")) return std::nullopt;
+  const std::string payload = entry.substr(cur.pos);
+  if (hex64(fnv1a64(payload)) != digest_hex) return std::nullopt;
+  return parse_payload(payload, key);
+}
+
+}  // namespace
+
+CellKey cell_key(const scenario::ScenarioSpec& spec,
+                 const std::string& method, std::uint64_t seed,
+                 std::size_t anchor_limit) {
+  std::string bytes;
+  bytes.reserve(2048);
+  put_u64(bytes, "cache_schema_version", kCacheSchemaVersion);
+  put_str(bytes, "spec", scenario::canonical_serialize(spec));
+  put_str(bytes, "method", method);
+  put_u64(bytes, "seed", seed);
+  put_u64(bytes, "anchor_limit", anchor_limit);
+  return CellKey{hash128(bytes)};
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  require(!dir_.empty(), "cache: empty directory");
+  make_directories(dir_);
+}
+
+std::string ResultCache::entry_path(const CellKey& key) const {
+  return dir_ + "/" + key.hex() + kEntrySuffix;
+}
+
+std::optional<exec::CellResult> ResultCache::lookup(const CellKey& key) {
+  const std::string path = entry_path(key);
+  const std::optional<std::string> raw = read_file(path);
+  if (!raw.has_value()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::optional<exec::CellResult> cell = parse_entry(*raw, key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!cell.has_value()) {
+    // Digest or parse failure: bit rot or a foreign/stale format.
+    // Report a miss so the cell re-runs; the subsequent store()
+    // atomically renames a fresh entry over this path, which heals the
+    // slot.  Deliberately NOT deleted here: with concurrent runners a
+    // reader holding stale corrupt bytes could otherwise unlink an
+    // entry a peer just re-wrote validly (read-then-remove race).
+    ++stats_.corrupt;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return cell;
+}
+
+void ResultCache::store(const CellKey& key, const exec::CellResult& cell) {
+  if (!cell.error.empty()) return;
+  try {
+    atomic_write_file(entry_path(key), serialize_entry(key, cell));
+  } catch (const std::exception&) {
+    // Caching is strictly best-effort: a full disk or permission change
+    // must degrade to "cell not cached", never abort a campaign whose
+    // results were computed successfully.
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.stores;
+}
+
+bool ResultCache::contains(const CellKey& key) const {
+  // Existence only — no read or parse.  The probe is informational (an
+  // upper bound): lookup() fully validates at use time, and an entry
+  // that turns out corrupt simply re-runs.  Reading every entry here
+  // would double a resumed campaign's cache I/O for no benefit.
+  std::error_code ec;
+  return std::filesystem::is_regular_file(entry_path(key), ec) && !ec;
+}
+
+std::size_t ResultCache::gc(std::uintmax_t max_bytes) {
+  // Crash leftovers: temp files are never valid entries, but a young
+  // one may be a concurrent runner's in-flight write (the shared-dir
+  // design explicitly supports that), so only stale ones are swept.
+  constexpr std::int64_t kStaleTempNs = 3600LL * 1000000000LL;  // 1 hour
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::filesystem::file_time_type::clock::now().time_since_epoch())
+          .count();
+  for (const auto& tmp : list_files(dir_)) {
+    // Match the marker in the filename only — the cache *directory*
+    // path may legitimately contain ".tmp." without being a leftover.
+    const std::string name =
+        std::filesystem::path(tmp.path).filename().string();
+    if (name.find(".tmp.") != std::string::npos &&
+        now_ns - tmp.mtime_ns > kStaleTempNs) {
+      remove_file(tmp.path);
+    }
+  }
+  std::vector<FileInfo> entries = list_files(dir_, kEntrySuffix);
+  std::uintmax_t total = 0;
+  for (const auto& e : entries) total += e.size;
+  std::size_t removed = 0;
+  for (const auto& e : entries) {  // oldest first
+    if (total <= max_bytes) break;
+    if (remove_file(e.path)) {
+      total -= e.size;
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ResultCache::num_entries() const {
+  return list_files(dir_, kEntrySuffix).size();
+}
+
+std::uintmax_t ResultCache::total_bytes() const {
+  std::uintmax_t total = 0;
+  for (const auto& e : list_files(dir_, kEntrySuffix)) total += e.size;
+  return total;
+}
+
+}  // namespace parmis::cache

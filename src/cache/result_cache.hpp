@@ -1,0 +1,107 @@
+// Content-addressed, on-disk cache of campaign cell results.
+//
+// A campaign cell is a pure function of (ScenarioSpec, method, seed,
+// anchor_limit) — PR 1's bitwise 1-vs-N-thread determinism is exactly
+// the property that makes its result safe to memoize.  The cache keys
+// each cell by a 128-bit fingerprint of the versioned canonical spec
+// serialization plus the method, seed, anchor limit, and the cache
+// schema version; any change to the spec schema, the serialization, or
+// the stored-entry format bumps a version and cleanly invalidates every
+// old entry (stale keys simply never match again).
+//
+// Storage is one file per entry, named by the key's hex digits, written
+// via write-to-temp + atomic rename so concurrent CampaignRunners (or
+// separate processes, e.g. sharded CI jobs) can share one directory:
+// readers see either a complete old entry or a complete new one, never
+// a torn write.  Every entry carries a digest of its own payload;
+// entries that fail the digest (bit rot, truncation) or fail parsing
+// are treated as misses, so the cell transparently re-runs and its
+// store() atomically overwrites the bad entry.
+// Doubles are stored as IEEE-754 bit patterns, so a cache hit
+// reproduces the original CellResult bit for bit — campaign digests are
+// identical whether cells were computed or replayed.
+#ifndef PARMIS_CACHE_RESULT_CACHE_HPP
+#define PARMIS_CACHE_RESULT_CACHE_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/hash.hpp"
+#include "exec/campaign.hpp"
+#include "scenario/scenario.hpp"
+
+namespace parmis::cache {
+
+/// Bump to invalidate every existing cache entry (schema or semantics
+/// change in the evaluator, spec serialization, or entry format).
+inline constexpr std::uint32_t kCacheSchemaVersion = 1;
+
+/// Content address of one campaign cell.
+struct CellKey {
+  Hash128 hash;
+  bool operator==(const CellKey&) const = default;
+  /// 32 hex chars; also the entry's file stem.
+  std::string hex() const { return hash.hex(); }
+};
+
+/// Fingerprints one cell: canonical spec serialization + method + seed
+/// + anchor_limit + kCacheSchemaVersion.  Fields that cannot affect the
+/// cell's outputs (spec description, the spec's method *list*) do not
+/// contribute — see scenario::canonical_serialize.
+CellKey cell_key(const scenario::ScenarioSpec& spec,
+                 const std::string& method, std::uint64_t seed,
+                 std::size_t anchor_limit);
+
+/// In-process counters (one ResultCache instance's view, not the dir's).
+struct CacheStats {
+  std::size_t hits = 0;     ///< lookups served from disk
+  std::size_t misses = 0;   ///< lookups with no (valid) entry
+  std::size_t stores = 0;   ///< entries written
+  std::size_t corrupt = 0;  ///< entries rejected by digest/parse checks
+};
+
+/// Thread-safe handle on one cache directory.
+class ResultCache {
+ public:
+  /// Creates `dir` if needed; throws parmis::Error if that fails.
+  explicit ResultCache(std::string dir);
+
+  /// Returns the stored result, or nullopt (counted as a miss).  A
+  /// corrupt entry is counted and reported as a miss; the re-run
+  /// cell's store() then atomically overwrites it (it is not deleted
+  /// here — with shared directories a stale reader must never unlink
+  /// an entry a concurrent runner just re-wrote).
+  std::optional<exec::CellResult> lookup(const CellKey& key);
+
+  /// Persists a cell result atomically.  Failed cells (non-empty
+  /// `error`) are never stored: failures may be environmental, and
+  /// resume semantics are "re-run anything not known good".
+  void store(const CellKey& key, const exec::CellResult& cell);
+
+  /// True if an entry file exists (existence only, not validity — an
+  /// entry that later fails lookup()'s digest check just re-runs).  No
+  /// stats side effects; used by the --resume pre-run probe.
+  bool contains(const CellKey& key) const;
+
+  /// Removes oldest entries (by mtime) until the directory holds at
+  /// most `max_bytes` of entries; also sweeps leftover temp files.
+  /// Returns the number of entries removed.
+  std::size_t gc(std::uintmax_t max_bytes);
+
+  CacheStats stats() const;
+  std::size_t num_entries() const;
+  std::uintmax_t total_bytes() const;
+  const std::string& dir() const { return dir_; }
+  std::string entry_path(const CellKey& key) const;
+
+ private:
+  std::string dir_;
+  mutable std::mutex mutex_;
+  CacheStats stats_;
+};
+
+}  // namespace parmis::cache
+
+#endif  // PARMIS_CACHE_RESULT_CACHE_HPP

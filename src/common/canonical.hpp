@@ -1,0 +1,49 @@
+// Tagged canonical field emitters shared by every content-addressed
+// serialization (scenario::canonical_serialize, the result cache's
+// entry payloads).  One definition keeps the encodings from drifting
+// apart: every field is `tag=payload\n`; strings are `<len>:<bytes>` so
+// any byte value (including newlines) round-trips unambiguously;
+// doubles are IEEE-754 bit patterns in hex — exact, locale-independent,
+// and stable across platforms.
+#ifndef PARMIS_COMMON_CANONICAL_HPP
+#define PARMIS_COMMON_CANONICAL_HPP
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/hash.hpp"
+
+namespace parmis::canonical {
+
+inline void put_str(std::string& out, const char* tag,
+                    const std::string& v) {
+  out += tag;
+  out += '=';
+  out += std::to_string(v.size());
+  out += ':';
+  out += v;
+  out += '\n';
+}
+
+inline void put_u64(std::string& out, const char* tag, std::uint64_t v) {
+  out += tag;
+  out += '=';
+  out += std::to_string(v);
+  out += '\n';
+}
+
+inline void put_bool(std::string& out, const char* tag, bool v) {
+  put_u64(out, tag, v ? 1 : 0);
+}
+
+inline void put_f64(std::string& out, const char* tag, double v) {
+  out += tag;
+  out += '=';
+  out += hex64(std::bit_cast<std::uint64_t>(v));
+  out += '\n';
+}
+
+}  // namespace parmis::canonical
+
+#endif  // PARMIS_COMMON_CANONICAL_HPP

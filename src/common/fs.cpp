@@ -1,0 +1,102 @@
+#include "common/fs.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace parmis {
+
+namespace fs = std::filesystem;
+
+void make_directories(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  require(!ec && fs::is_directory(dir),
+          "fs: cannot create directory: " + dir + " (" + ec.message() + ")");
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (is.bad()) return std::nullopt;
+  return buffer.str();
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::string& contents) {
+  // Unique per process *and* per thread: concurrent CampaignRunners —
+  // in-process or separate processes — sharing one cache directory must
+  // never share a temporary name.
+  static std::atomic<std::uint64_t> counter{0};
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << ::getpid() << "."
+           << std::hash<std::thread::id>{}(std::this_thread::get_id()) << "."
+           << counter.fetch_add(1);
+  const std::string tmp = tmp_name.str();
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    require(os.good(), "fs: cannot open for writing: " + tmp);
+    os.write(contents.data(),
+             static_cast<std::streamsize>(contents.size()));
+    os.flush();
+    require(os.good(), "fs: write failed: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    require(false, "fs: rename failed: " + tmp + " -> " + path);
+  }
+}
+
+bool remove_file(const std::string& path) {
+  std::error_code ec;
+  return fs::remove(path, ec) && !ec;
+}
+
+std::vector<FileInfo> list_files(const std::string& dir,
+                                 const std::string& suffix) {
+  std::vector<FileInfo> out;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return out;
+  for (const auto& entry : it) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec) || entry_ec) continue;
+    const std::string name = entry.path().filename().string();
+    if (!suffix.empty() &&
+        (name.size() < suffix.size() ||
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+             0)) {
+      continue;
+    }
+    FileInfo info;
+    info.path = entry.path().string();
+    info.size = entry.file_size(entry_ec);
+    if (entry_ec) info.size = 0;
+    const auto mtime = entry.last_write_time(entry_ec);
+    info.mtime_ns =
+        entry_ec ? 0
+                 : std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       mtime.time_since_epoch())
+                       .count();
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(), [](const FileInfo& a, const FileInfo& b) {
+    return a.mtime_ns != b.mtime_ns ? a.mtime_ns < b.mtime_ns
+                                    : a.path < b.path;
+  });
+  return out;
+}
+
+}  // namespace parmis

@@ -1,0 +1,53 @@
+#include "common/hash.hpp"
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace parmis {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+}  // namespace
+
+std::string Hash128::hex() const { return hex64(hi) + hex64(lo); }
+
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(const std::string& s, std::uint64_t seed) {
+  return fnv1a64(s.data(), s.size(), seed);
+}
+
+Hash128 hash128(const void* data, std::size_t size) {
+  // Two lanes with distinct bases; the second base is the standard FNV
+  // offset basis scrambled once, so the lanes never start correlated.
+  std::uint64_t a = fnv1a64(data, size, 0xCBF29CE484222325ULL);
+  std::uint64_t b = fnv1a64(data, size, 0x6C62272E07BB0142ULL);
+  // FNV mixes low bits weakly; finalize through splitmix64 so every
+  // output bit depends on every input byte.
+  std::uint64_t sa = a ^ (size * kFnvPrime);
+  std::uint64_t sb = b ^ size;
+  return {splitmix64(sa), splitmix64(sb)};
+}
+
+Hash128 hash128(const std::string& s) { return hash128(s.data(), s.size()); }
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+}  // namespace parmis

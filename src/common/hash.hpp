@@ -1,0 +1,49 @@
+// Stable, seedable byte-stream hashing for content addressing.
+//
+// The campaign result cache addresses entries by the hash of a
+// canonical serialization, so the hash must be (1) stable across
+// platforms, compilers, and process runs — std::hash guarantees none of
+// that — and (2) wide enough that accidental collisions are not a
+// practical concern for millions of entries.  Hash128 is two
+// independently seeded FNV-1a-style lanes finalized through the
+// splitmix64 scrambler: 128 bits of well-mixed state from one pass over
+// the input.  This is a fingerprint, not a cryptographic MAC; the cache
+// threat model is bit rot and torn writes, not adversaries.
+#ifndef PARMIS_COMMON_HASH_HPP
+#define PARMIS_COMMON_HASH_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace parmis {
+
+/// 128-bit content fingerprint with value semantics.
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Hash128&) const = default;
+
+  /// 32 lowercase hex characters, hi word first (filename-safe).
+  std::string hex() const;
+};
+
+/// FNV-1a 64-bit over `size` bytes starting at `data`, from `seed`
+/// (pass the previous digest to chain buffers).
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed = 0xCBF29CE484222325ULL);
+
+/// Convenience overload over a string's bytes.
+std::uint64_t fnv1a64(const std::string& s,
+                      std::uint64_t seed = 0xCBF29CE484222325ULL);
+
+/// One-pass 128-bit fingerprint of a byte buffer.
+Hash128 hash128(const void* data, std::size_t size);
+Hash128 hash128(const std::string& s);
+
+/// 16 lowercase hex characters of a 64-bit value.
+std::string hex64(std::uint64_t v);
+
+}  // namespace parmis
+
+#endif  // PARMIS_COMMON_HASH_HPP

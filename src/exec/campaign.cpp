@@ -1,13 +1,16 @@
 #include "exec/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <sstream>
 
+#include "cache/result_cache.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -198,12 +201,7 @@ CampaignRunner::CampaignRunner(CampaignConfig config)
   for (const auto& s : config_.scenarios) s.validate();
 }
 
-CampaignReport CampaignRunner::run() {
-  struct CellSpec {
-    const scenario::ScenarioSpec* scenario;
-    std::string method;
-    std::uint64_t seed;
-  };
+std::vector<CampaignRunner::CellSpec> CampaignRunner::build_cells() const {
   std::vector<CellSpec> cells;
   for (const auto& spec : config_.scenarios) {
     for (const auto& method : spec.methods) {
@@ -213,6 +211,37 @@ CampaignReport CampaignRunner::run() {
       }
     }
   }
+  return cells;
+}
+
+std::pair<std::size_t, std::size_t> CampaignRunner::probe_cache() const {
+  const std::vector<CellSpec> cells = build_cells();
+  if (config_.cache == nullptr) return {0, cells.size()};
+  std::size_t cached = 0;
+  for (const auto& cell : cells) {
+    if (config_.cache->contains(cache::cell_key(
+            *cell.scenario, cell.method, cell.seed, config_.anchor_limit))) {
+      ++cached;
+    }
+  }
+  return {cached, cells.size()};
+}
+
+CampaignReport CampaignRunner::run() {
+  const std::vector<CellSpec> cells = build_cells();
+
+  // Content addresses are computed serially up front (cheap: one spec
+  // serialization + hash per cell); only lookups and stores run inside
+  // the parallel loop.
+  cache::ResultCache* cache = config_.cache;
+  std::vector<cache::CellKey> keys;
+  if (cache != nullptr) {
+    keys.reserve(cells.size());
+    for (const auto& cell : cells) {
+      keys.push_back(cache::cell_key(*cell.scenario, cell.method, cell.seed,
+                                     config_.anchor_limit));
+    }
+  }
 
   CampaignReport report;
   report.cells.resize(cells.size());
@@ -220,15 +249,29 @@ CampaignReport CampaignRunner::run() {
   report.num_threads = pool.num_threads();
   log_info() << "campaign: " << cells.size() << " cells over "
              << config_.scenarios.size() << " scenarios on "
-             << pool.num_threads() << " thread(s)";
+             << pool.num_threads() << " thread(s)"
+             << (cache != nullptr ? ", cache: " + cache->dir() : "");
 
   const Stopwatch wall;
   const std::size_t anchor_limit = config_.anchor_limit;
   std::vector<CellResult>& results = report.cells;
+  std::atomic<std::size_t> hits{0}, misses{0};
   pool.parallel_for(cells.size(), [&](std::size_t i) {
+    if (cache != nullptr) {
+      if (std::optional<CellResult> cached = cache->lookup(keys[i])) {
+        results[i] = std::move(*cached);
+        results[i].from_cache = true;
+        hits.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      misses.fetch_add(1, std::memory_order_relaxed);
+    }
     results[i] = run_cell(*cells[i].scenario, cells[i].method, cells[i].seed,
                           anchor_limit);
+    if (cache != nullptr) cache->store(keys[i], results[i]);
   });
+  report.cache_hits = hits.load();
+  report.cache_misses = misses.load();
   report.wall_s = wall.seconds();
 
   // Serial aggregation: one shared PHV reference per scenario across all
@@ -277,7 +320,7 @@ void CampaignReport::write_csv(std::ostream& os) const {
     max_objectives = std::max(max_objectives, cell.objective_names.size());
   }
   os << "scenario,platform,method,seed,apps,evaluations,front_size,phv,"
-        "wall_s,decision_overhead_us,error";
+        "wall_s,decision_overhead_us,cached,error";
   for (std::size_t j = 0; j < max_objectives; ++j) {
     os << ",objective_" << j << ",best_" << j;
   }
@@ -289,7 +332,7 @@ void CampaignReport::write_csv(std::ostream& os) const {
        << cell.front.size() << ',' << json_double(cell.phv) << ','
        << json_double(cell.wall_s) << ','
        << json_double(cell.decision_overhead_us) << ','
-       << csv_escape(cell.error);
+       << (cell.from_cache ? 1 : 0) << ',' << csv_escape(cell.error);
     for (std::size_t j = 0; j < max_objectives; ++j) {
       // Failed cells have objective names but no best_raw values.
       if (j < cell.objective_names.size() && j < cell.best_raw.size()) {
@@ -315,6 +358,8 @@ void CampaignReport::save_csv(const std::string& path) const {
 void CampaignReport::write_json(std::ostream& os) const {
   os << "{\n  \"num_threads\": " << num_threads
      << ",\n  \"wall_s\": " << json_double(wall_s)
+     << ",\n  \"cache_hits\": " << cache_hits
+     << ",\n  \"cache_misses\": " << cache_misses
      << ",\n  \"objectives_digest\": \"" << std::hex << objectives_digest()
      << std::dec << "\",\n  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -327,7 +372,9 @@ void CampaignReport::write_json(std::ostream& os) const {
        << ", \"phv\": " << json_double(cell.phv)
        << ", \"wall_s\": " << json_double(cell.wall_s)
        << ", \"decision_overhead_us\": "
-       << json_double(cell.decision_overhead_us) << ",\n     \"objectives\": [";
+       << json_double(cell.decision_overhead_us) << ", \"from_cache\": "
+       << (cell.from_cache ? "true" : "false")
+       << ",\n     \"objectives\": [";
     for (std::size_t j = 0; j < cell.objective_names.size(); ++j) {
       os << (j ? ", " : "") << '"' << json_escape(cell.objective_names[j])
          << '"';

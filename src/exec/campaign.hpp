@@ -14,16 +14,27 @@
 // PHV is assigned at (serial) aggregation time with one shared
 // reference point per scenario across all its cells — the paper's
 // "same reference point for all DRM approaches" convention.
+//
+// Because cells are pure functions of their inputs, the runner can
+// optionally consult a content-addressed cache::ResultCache before
+// executing each cell and persist fresh results after — repeated
+// suites, CI runs, and resumed campaigns then cost O(changed cells)
+// instead of O(all cells), with bit-identical reports either way.
 #ifndef PARMIS_EXEC_CAMPAIGN_HPP
 #define PARMIS_EXEC_CAMPAIGN_HPP
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "numerics/vec.hpp"
 #include "scenario/scenario.hpp"
+
+namespace parmis::cache {
+class ResultCache;
+}
 
 namespace parmis::exec {
 
@@ -42,6 +53,10 @@ struct CellResult {
   double wall_s = 0.0;                    ///< cell wall clock (not in digest)
   double decision_overhead_us = 0.0;      ///< mean decide() wall clock
   std::string error;                      ///< non-empty: the cell failed
+  /// True when the result was replayed from the content-addressed
+  /// cache instead of executed (not in digest; `wall_s` then reports
+  /// the original computation's wall clock).
+  bool from_cache = false;
 };
 
 /// Campaign-wide options.
@@ -53,6 +68,11 @@ struct CampaignConfig {
   /// Constant-decision anchors given to PaRMIS's initial design (0 = all
   /// of DrmPolicyProblem::anchor_thetas(); small values keep cells fast).
   std::size_t anchor_limit = 3;
+  /// Optional content-addressed result cache (non-owning).  When set,
+  /// each cell is looked up before execution and stored after; cached
+  /// cells are bit-identical replays, so the campaign digest does not
+  /// depend on which cells were cached.  nullptr = always execute.
+  cache::ResultCache* cache = nullptr;
 };
 
 /// Everything one campaign run produces.
@@ -60,6 +80,8 @@ struct CampaignReport {
   std::vector<CellResult> cells;  ///< scenario-major deterministic order
   std::size_t num_threads = 1;
   double wall_s = 0.0;
+  std::size_t cache_hits = 0;    ///< cells replayed from the result cache
+  std::size_t cache_misses = 0;  ///< cells executed despite an enabled cache
 
   /// Order-sensitive hash over every cell's objective bit patterns;
   /// equal digests mean bitwise-identical campaign results.  Timing
@@ -90,9 +112,20 @@ class CampaignRunner {
                              const std::string& method, std::uint64_t seed,
                              std::size_t anchor_limit);
 
+  /// With a cache configured: (cells already cached, total cells) —
+  /// what a resumed run would replay vs execute.  (0, total) otherwise.
+  std::pair<std::size_t, std::size_t> probe_cache() const;
+
   const CampaignConfig& config() const { return config_; }
 
  private:
+  struct CellSpec {
+    const scenario::ScenarioSpec* scenario;
+    std::string method;
+    std::uint64_t seed;
+  };
+  std::vector<CellSpec> build_cells() const;
+
   CampaignConfig config_;
 };
 

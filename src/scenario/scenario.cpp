@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "apps/benchmarks.hpp"
+#include "common/canonical.hpp"
 #include "common/error.hpp"
 
 namespace parmis::scenario {
@@ -41,6 +42,111 @@ void ScenarioSpec::validate() const {
                 known_methods().end(),
             "scenario " + name + ": unknown method: " + m);
   }
+}
+
+namespace {
+
+using canonical::put_bool;
+using canonical::put_f64;
+using canonical::put_str;
+using canonical::put_u64;
+
+void put_epoch_distribution(std::string& out, const EpochDistribution& d) {
+  put_str(out, "arch.label", d.label);
+  put_f64(out, "arch.instr_min", d.instructions_g_min);
+  put_f64(out, "arch.instr_max", d.instructions_g_max);
+  put_f64(out, "arch.par_min", d.parallel_fraction_min);
+  put_f64(out, "arch.par_max", d.parallel_fraction_max);
+  put_f64(out, "arch.mem_min", d.mem_bytes_per_instr_min);
+  put_f64(out, "arch.mem_max", d.mem_bytes_per_instr_max);
+  put_f64(out, "arch.branch_min", d.branch_miss_rate_min);
+  put_f64(out, "arch.branch_max", d.branch_miss_rate_max);
+  put_f64(out, "arch.ilp_min", d.ilp_min);
+  put_f64(out, "arch.ilp_max", d.ilp_max);
+  put_f64(out, "arch.big_min", d.big_affinity_min);
+  put_f64(out, "arch.big_max", d.big_affinity_max);
+  put_f64(out, "arch.duty_min", d.duty_min);
+  put_f64(out, "arch.duty_max", d.duty_max);
+}
+
+void put_parmis_config(std::string& out, const core::ParmisConfig& c) {
+  // parmis.seed, initial_thetas, pool, track_convergence, and
+  // phv_reference are excluded: run_cell overrides the seed and the
+  // initial thetas (anchor_thetas truncated to the keyed anchor_limit)
+  // for every cell, and the rest cannot change the returned
+  // thetas/objectives.
+  put_u64(out, "parmis.num_initial", c.num_initial);
+  put_u64(out, "parmis.max_iterations", c.max_iterations);
+  put_f64(out, "parmis.theta_bound", c.theta_bound);
+  put_str(out, "parmis.kernel", c.kernel);
+  put_f64(out, "parmis.noise_variance", c.noise_variance);
+  put_u64(out, "parmis.hyperopt_interval", c.hyperopt_interval);
+  put_u64(out, "parmis.hyperopt_candidates", c.hyperopt_candidates);
+  put_u64(out, "parmis.acq_pool_size", c.acq_pool_size);
+  put_u64(out, "parmis.acq_refine_steps", c.acq_refine_steps);
+  put_f64(out, "parmis.perturbation_sd", c.perturbation_sd);
+  put_u64(out, "acq.num_mc_samples", c.acquisition.num_mc_samples);
+  put_u64(out, "acq.rff_features", c.acquisition.rff_features);
+  const moo::Nsga2Config& fs = c.acquisition.front_sampler;
+  put_u64(out, "acq.fs.population_size", fs.population_size);
+  put_u64(out, "acq.fs.generations", fs.generations);
+  put_f64(out, "acq.fs.crossover_probability", fs.crossover_probability);
+  put_f64(out, "acq.fs.sbx_eta", fs.sbx_eta);
+  put_f64(out, "acq.fs.mutation_probability", fs.mutation_probability);
+  put_f64(out, "acq.fs.mutation_eta", fs.mutation_eta);
+  put_u64(out, "acq.fs.seed", fs.seed);
+}
+
+}  // namespace
+
+std::string canonical_serialize(const ScenarioSpec& spec) {
+  std::string out;
+  out.reserve(2048);
+  // Version tag: bump whenever the spec schema, this encoding, or the
+  // semantics of cell evaluation change, so content-addressed cache
+  // keys derived from old serializations can never alias new results.
+  out += "parmis-scenario-canonical v1\n";
+  put_str(out, "name", spec.name);
+  put_str(out, "platform", spec.platform);
+  put_f64(out, "platform.sensor_noise_sd",
+          spec.platform_config.sensor_noise_sd);
+  put_u64(out, "platform.noise_seed", spec.platform_config.noise_seed);
+  put_bool(out, "platform.charge_dvfs_transitions",
+           spec.platform_config.charge_dvfs_transitions);
+  put_u64(out, "benchmark_apps", spec.benchmark_apps.size());
+  for (const auto& app : spec.benchmark_apps) put_str(out, "app", app);
+  put_bool(out, "generated", spec.generated.has_value());
+  if (spec.generated.has_value()) {
+    const WorkloadGenConfig& g = *spec.generated;
+    put_u64(out, "gen.num_apps", g.num_apps);
+    put_u64(out, "gen.min_phases", g.min_phases);
+    put_u64(out, "gen.max_phases", g.max_phases);
+    put_u64(out, "gen.min_run_length", g.min_run_length);
+    put_u64(out, "gen.max_run_length", g.max_run_length);
+    put_f64(out, "gen.jitter", g.jitter);
+    put_str(out, "gen.name_prefix", g.name_prefix);
+    put_u64(out, "gen.archetypes", g.archetypes.size());
+    for (const auto& arch : g.archetypes) put_epoch_distribution(out, arch);
+  }
+  put_u64(out, "workload_seed", spec.workload_seed);
+  put_u64(out, "objectives", spec.objectives.size());
+  for (runtime::ObjectiveKind kind : spec.objectives) {
+    put_u64(out, "objective",
+            static_cast<std::uint64_t>(static_cast<int>(kind)));
+  }
+  put_bool(out, "thermal", spec.thermal);
+  if (spec.thermal) {
+    put_f64(out, "thermal.ambient_c", spec.thermal_params.ambient_c);
+    put_f64(out, "thermal.resistance_c_per_w",
+            spec.thermal_params.resistance_c_per_w);
+    put_f64(out, "thermal.capacitance_j_per_c",
+            spec.thermal_params.capacitance_j_per_c);
+    put_f64(out, "thermal.trip_point_c", spec.thermal_params.trip_point_c);
+    put_f64(out, "thermal.release_point_c",
+            spec.thermal_params.release_point_c);
+  }
+  put_parmis_config(out, spec.parmis);
+  return out;
 }
 
 soc::SocSpec make_platform_spec(const ScenarioSpec& spec) {

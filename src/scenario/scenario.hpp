@@ -62,6 +62,24 @@ struct ScenarioSpec {
   void validate() const;
 };
 
+/// Versioned canonical byte serialization of every ScenarioSpec field
+/// that can influence cell results.  Two specs serialize identically
+/// iff campaign cells built from them are guaranteed bitwise-identical
+/// — this is what the content-addressed result cache hashes, so the
+/// encoding is explicitly layout-independent: fields are emitted in a
+/// fixed tagged order, strings are length-prefixed, and doubles are
+/// written as their IEEE-754 bit patterns (never via locale- or
+/// precision-dependent decimal formatting).
+///
+/// Deliberately excluded (they cannot change what one cell computes):
+/// `description`, `methods` (the cell's own method is keyed separately),
+/// and the per-cell-overridden `parmis.seed` / `parmis.initial_thetas`
+/// (run_cell always rebuilds them from anchor_thetas and the keyed
+/// anchor limit) / `parmis.pool` / convergence-tracking knobs.  Bump the embedded version string when
+/// the spec schema or evaluator semantics change so stale cache entries
+/// invalidate cleanly.
+std::string canonical_serialize(const ScenarioSpec& spec);
+
 /// Materialization helpers (each cell builds its own copies from these).
 soc::SocSpec make_platform_spec(const ScenarioSpec& spec);
 std::vector<soc::Application> make_applications(const ScenarioSpec& spec);

@@ -1,0 +1,397 @@
+// Tests for src/cache: content-addressed cell keys (canonical spec
+// serialization), result round-trips, corruption handling, bypass, GC,
+// and concurrent writers sharing one cache directory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "cache/result_cache.hpp"
+#include "common/fs.hpp"
+#include "common/hash.hpp"
+#include "exec/campaign.hpp"
+#include "scenario/scenario.hpp"
+
+namespace parmis::cache {
+namespace {
+
+/// Fresh unique directory under the test temp root.
+std::string temp_cache_dir(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  const std::string dir = ::testing::TempDir() + "parmis_cache_" + tag + "_" +
+                          std::to_string(counter.fetch_add(1));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+scenario::ScenarioSpec small_spec() {
+  scenario::ScenarioSpec spec = scenario::make_scenario("xu3-mibench-te");
+  spec.benchmark_apps = {"qsort", "sha"};
+  return spec;
+}
+
+exec::CampaignConfig small_campaign(ResultCache* cache) {
+  exec::CampaignConfig config;
+  config.scenarios = {scenario::make_scenario("xu3-mibench-te"),
+                      scenario::make_scenario("mobile3-edp")};
+  for (auto& s : config.scenarios) {
+    s.methods = {"parmis", "performance", "random"};
+  }
+  config.num_threads = 2;
+  config.seeds_per_cell = 2;
+  config.cache = cache;
+  return config;
+}
+
+// ----------------------------------------------------------------- keys
+
+TEST(CellKey, StableAcrossCallsAndLayoutIndependentFields) {
+  const scenario::ScenarioSpec a = small_spec();
+  scenario::ScenarioSpec b = small_spec();
+  EXPECT_EQ(cell_key(a, "parmis", 1, 3), cell_key(b, "parmis", 1, 3));
+
+  // Fields that cannot affect cell results must not affect the key:
+  // the description and the order/content of the method *list* (the
+  // cell's own method is keyed separately).
+  b.description = "a completely different description";
+  std::reverse(b.methods.begin(), b.methods.end());
+  b.methods.push_back("random");
+  // run_cell rebuilds initial_thetas from anchor_thetas + the keyed
+  // anchor limit, so spec-level values must not invalidate the key.
+  b.parmis.initial_thetas = {num::Vec{1.0, 2.0}};
+  b.parmis.seed = 999;
+  EXPECT_EQ(cell_key(a, "parmis", 1, 3), cell_key(b, "parmis", 1, 3));
+}
+
+TEST(CellKey, SensitiveToEveryCellInput) {
+  const scenario::ScenarioSpec spec = small_spec();
+  const CellKey base = cell_key(spec, "parmis", 1, 3);
+  EXPECT_NE(base, cell_key(spec, "performance", 1, 3));  // method
+  EXPECT_NE(base, cell_key(spec, "parmis", 2, 3));       // seed
+  EXPECT_NE(base, cell_key(spec, "parmis", 1, 2));       // anchor limit
+
+  scenario::ScenarioSpec changed = small_spec();
+  changed.workload_seed += 1;
+  EXPECT_NE(base, cell_key(changed, "parmis", 1, 3));
+
+  changed = small_spec();
+  changed.platform = "mobile3";
+  EXPECT_NE(base, cell_key(changed, "parmis", 1, 3));
+
+  changed = small_spec();
+  changed.platform_config.sensor_noise_sd = 0.25;
+  EXPECT_NE(base, cell_key(changed, "parmis", 1, 3));
+
+  changed = small_spec();
+  changed.parmis.max_iterations += 1;
+  EXPECT_NE(base, cell_key(changed, "parmis", 1, 3));
+
+  changed = small_spec();
+  changed.objectives = {runtime::ObjectiveKind::ExecutionTime,
+                        runtime::ObjectiveKind::PPW};
+  EXPECT_NE(base, cell_key(changed, "parmis", 1, 3));
+}
+
+TEST(CellKey, CanonicalSerializationIsNotLayoutDumping) {
+  // Same spec serialized twice is byte-identical, and the serialization
+  // embeds a version tag so schema changes invalidate cleanly.
+  const std::string bytes = scenario::canonical_serialize(small_spec());
+  EXPECT_EQ(bytes, scenario::canonical_serialize(small_spec()));
+  EXPECT_NE(bytes.find("parmis-scenario-canonical v1"), std::string::npos);
+  // Strings are length-prefixed: a name containing the tag separator
+  // or newlines cannot confuse the encoding.
+  scenario::ScenarioSpec tricky = small_spec();
+  tricky.name = "evil\nname=7:with\ntags";
+  EXPECT_NE(scenario::canonical_serialize(tricky), bytes);
+}
+
+// ----------------------------------------------------------- round trips
+
+TEST(ResultCache, RoundTripPreservesEveryFieldBitwise) {
+  ResultCache cache(temp_cache_dir("roundtrip"));
+  const scenario::ScenarioSpec spec = small_spec();
+  const CellKey key = cell_key(spec, "parmis", 5, 2);
+
+  const exec::CellResult fresh =
+      exec::CampaignRunner::run_cell(spec, "parmis", 5, 2);
+  ASSERT_TRUE(fresh.error.empty()) << fresh.error;
+  cache.store(key, fresh);
+
+  const auto cached = cache.lookup(key);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(cached->scenario, fresh.scenario);
+  EXPECT_EQ(cached->platform, fresh.platform);
+  EXPECT_EQ(cached->method, fresh.method);
+  EXPECT_EQ(cached->seed, fresh.seed);
+  EXPECT_EQ(cached->num_apps, fresh.num_apps);
+  EXPECT_EQ(cached->evaluations, fresh.evaluations);
+  EXPECT_EQ(cached->objective_names, fresh.objective_names);
+  ASSERT_EQ(cached->front.size(), fresh.front.size());
+  for (std::size_t p = 0; p < fresh.front.size(); ++p) {
+    ASSERT_EQ(cached->front[p].size(), fresh.front[p].size());
+    for (std::size_t j = 0; j < fresh.front[p].size(); ++j) {
+      EXPECT_EQ(cached->front[p][j], fresh.front[p][j]);
+    }
+  }
+  ASSERT_EQ(cached->best_raw.size(), fresh.best_raw.size());
+  for (std::size_t j = 0; j < fresh.best_raw.size(); ++j) {
+    EXPECT_EQ(cached->best_raw[j], fresh.best_raw[j]);
+  }
+  EXPECT_EQ(cached->wall_s, fresh.wall_s);
+  EXPECT_EQ(cached->decision_overhead_us, fresh.decision_overhead_us);
+  EXPECT_TRUE(cached->error.empty());
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.corrupt, 0u);
+}
+
+TEST(ResultCache, SpecialDoublesSurviveTheTrip) {
+  ResultCache cache(temp_cache_dir("specials"));
+  exec::CellResult cell;
+  cell.scenario = "synthetic";
+  cell.method = "unit";
+  cell.front = {{0.0, -0.0},
+                {std::numeric_limits<double>::infinity(),
+                 std::numeric_limits<double>::denorm_min()},
+                {1e-300, -1.7976931348623157e308}};
+  cell.best_raw = {0.1 + 0.2};  // famously not 0.3
+  const CellKey key{hash128("specials")};
+  cache.store(key, cell);
+  const auto back = cache.lookup(key);
+  ASSERT_TRUE(back.has_value());
+  for (std::size_t p = 0; p < cell.front.size(); ++p) {
+    for (std::size_t j = 0; j < cell.front[p].size(); ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(back->front[p][j]),
+                std::bit_cast<std::uint64_t>(cell.front[p][j]));
+    }
+  }
+  EXPECT_EQ(back->best_raw[0], 0.1 + 0.2);
+}
+
+TEST(ResultCache, ExtremeIntegerFieldsRoundTrip) {
+  // The decimal parser must accept everything the serializer writes,
+  // including the top decade of uint64 (a perfectly legal seed).
+  ResultCache cache(temp_cache_dir("extremes"));
+  exec::CellResult cell;
+  cell.scenario = "extremes";
+  cell.method = "unit";
+  cell.seed = UINT64_MAX;
+  cell.evaluations = UINT64_MAX - 1;
+  cell.front = {{1.0}};
+  const CellKey key{hash128("extremes")};
+  cache.store(key, cell);
+  const auto back = cache.lookup(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seed, UINT64_MAX);
+  EXPECT_EQ(back->evaluations, UINT64_MAX - 1);
+  EXPECT_EQ(cache.stats().corrupt, 0u);
+}
+
+TEST(ResultCache, FailedCellsAreNeverStored) {
+  ResultCache cache(temp_cache_dir("failed"));
+  exec::CellResult cell;
+  cell.error = "simulated failure";
+  const CellKey key{hash128("failed-cell")};
+  cache.store(key, cell);
+  EXPECT_FALSE(cache.contains(key));
+  EXPECT_EQ(cache.num_entries(), 0u);
+}
+
+// ----------------------------------------------------- campaign wiring
+
+TEST(ResultCache, SecondCampaignRunHitsEverythingWithIdenticalDigest) {
+  ResultCache cache(temp_cache_dir("campaign"));
+
+  exec::CampaignReport first =
+      exec::CampaignRunner(small_campaign(&cache)).run();
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(first.cache_misses, first.cells.size());
+  for (const auto& cell : first.cells) {
+    EXPECT_TRUE(cell.error.empty()) << cell.error;
+    EXPECT_FALSE(cell.from_cache);
+  }
+
+  exec::CampaignReport second =
+      exec::CampaignRunner(small_campaign(&cache)).run();
+  EXPECT_EQ(second.cache_hits, second.cells.size());
+  EXPECT_EQ(second.cache_misses, 0u);
+  for (const auto& cell : second.cells) EXPECT_TRUE(cell.from_cache);
+
+  // The acceptance property: a replayed campaign is bit-identical,
+  // including the serially recomputed shared-reference PHV.
+  EXPECT_EQ(first.objectives_digest(), second.objectives_digest());
+  ASSERT_EQ(first.cells.size(), second.cells.size());
+  for (std::size_t i = 0; i < first.cells.size(); ++i) {
+    EXPECT_EQ(first.cells[i].phv, second.cells[i].phv);
+  }
+}
+
+TEST(ResultCache, ResumeExecutesOnlyMissingCells) {
+  ResultCache cache(temp_cache_dir("resume"));
+  exec::CampaignConfig config = small_campaign(&cache);
+  exec::CampaignRunner runner(config);
+  auto [cached_before, total] = runner.probe_cache();
+  EXPECT_EQ(cached_before, 0u);
+  EXPECT_EQ(total, 2u * 3u * 2u);
+  runner.run();
+
+  // Invalidate a single cell by deleting its entry: a resumed run must
+  // re-execute exactly that cell.
+  const CellKey victim =
+      cell_key(config.scenarios[0], "performance", config.base_seed,
+               config.anchor_limit);
+  ASSERT_TRUE(cache.contains(victim));
+  ASSERT_TRUE(remove_file(cache.entry_path(victim)));
+
+  auto [cached_after, total_after] = runner.probe_cache();
+  EXPECT_EQ(total_after, total);
+  EXPECT_EQ(cached_after, total - 1);
+  const exec::CampaignReport resumed = runner.run();
+  EXPECT_EQ(resumed.cache_hits, total - 1);
+  EXPECT_EQ(resumed.cache_misses, 1u);
+}
+
+TEST(ResultCache, NullCacheBypassExecutesEverything) {
+  // --no-cache maps to a null cache pointer: every cell executes and
+  // no cache counters move.
+  exec::CampaignConfig config = small_campaign(nullptr);
+  config.scenarios.resize(1);
+  const exec::CampaignReport report = exec::CampaignRunner(config).run();
+  EXPECT_EQ(report.cache_hits, 0u);
+  EXPECT_EQ(report.cache_misses, 0u);
+  for (const auto& cell : report.cells) EXPECT_FALSE(cell.from_cache);
+}
+
+// ------------------------------------------------------------ corruption
+
+TEST(ResultCache, CorruptedEntryIsDetectedAndHealsOnRestore) {
+  ResultCache cache(temp_cache_dir("corrupt"));
+  const scenario::ScenarioSpec spec = small_spec();
+  const CellKey key = cell_key(spec, "performance", 1, 3);
+  cache.store(key, exec::CampaignRunner::run_cell(spec, "performance", 1, 3));
+  ASSERT_TRUE(cache.contains(key));
+
+  // Flip one byte in the middle of the payload.
+  const std::string path = cache.entry_path(key);
+  auto contents = read_file(path);
+  ASSERT_TRUE(contents.has_value());
+  (*contents)[contents->size() / 2] ^= 0x20;
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << *contents;
+  }
+
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+  // The corrupt entry is NOT unlinked by lookup (a stale reader must
+  // never delete a peer's fresh rewrite); the re-run cell's store()
+  // atomically overwrites it, which heals the slot.
+  EXPECT_TRUE(std::filesystem::exists(path));
+  cache.store(key, exec::CampaignRunner::run_cell(spec, "performance", 1, 3));
+  EXPECT_TRUE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);  // no further corruption seen
+}
+
+TEST(ResultCache, TruncatedAndGarbageEntriesAreMisses) {
+  ResultCache cache(temp_cache_dir("garbage"));
+  const CellKey key{hash128("garbage-entry")};
+  exec::CellResult cell;
+  cell.scenario = "s";
+  cell.front = {{1.0, 2.0}};
+  cache.store(key, cell);
+
+  const std::string path = cache.entry_path(key);
+  auto contents = read_file(path);
+  ASSERT_TRUE(contents.has_value());
+  {
+    // Truncate mid-payload: digest check must reject it.
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << contents->substr(0, contents->size() / 2);
+  }
+  EXPECT_FALSE(cache.lookup(key).has_value());
+
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << "not a cache entry at all";
+  }
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 2u);
+}
+
+// -------------------------------------------------------------------- gc
+
+TEST(ResultCache, GcRemovesOldestEntriesDownToBudget) {
+  ResultCache cache(temp_cache_dir("gc"));
+  exec::CellResult cell;
+  cell.scenario = "s";
+  cell.front = {{1.0, 2.0}};
+  for (int i = 0; i < 8; ++i) {
+    cache.store(CellKey{hash128("gc-" + std::to_string(i))}, cell);
+  }
+  ASSERT_EQ(cache.num_entries(), 8u);
+  const std::uintmax_t per_entry = cache.total_bytes() / 8;
+  const std::size_t removed = cache.gc(3 * per_entry);
+  EXPECT_EQ(removed, 5u);
+  EXPECT_EQ(cache.num_entries(), 3u);
+  EXPECT_LE(cache.total_bytes(), 3 * per_entry);
+  EXPECT_EQ(cache.gc(3 * per_entry), 0u);  // already under budget
+}
+
+TEST(ResultCache, GcSparesEntriesInADirectoryNamedLikeATempFile) {
+  // The stale-temp sweep must match filenames, not the directory path:
+  // a cache living under e.g. /scratch/job.tmp.42/ is not a leftover.
+  const std::string dir = temp_cache_dir("gcpath") + "/job.tmp.42/cache";
+  ResultCache cache(dir);
+  exec::CellResult cell;
+  cell.scenario = "s";
+  cell.front = {{1.0, 2.0}};
+  cache.store(CellKey{hash128("gcpath-entry")}, cell);
+  ASSERT_EQ(cache.num_entries(), 1u);
+  EXPECT_EQ(cache.gc(1 << 20), 0u);  // generous budget: nothing to prune
+  EXPECT_EQ(cache.num_entries(), 1u);
+}
+
+// ----------------------------------------------------------- concurrency
+
+TEST(ResultCache, ConcurrentRunnersOnOneDirectoryAgree) {
+  const std::string dir = temp_cache_dir("concurrent");
+  ResultCache cache_a(dir);
+  ResultCache cache_b(dir);
+
+  exec::CampaignReport report_a, report_b;
+  std::thread runner_a([&] {
+    report_a = exec::CampaignRunner(small_campaign(&cache_a)).run();
+  });
+  std::thread runner_b([&] {
+    report_b = exec::CampaignRunner(small_campaign(&cache_b)).run();
+  });
+  runner_a.join();
+  runner_b.join();
+
+  // Both runs finish with the same bit-exact results no matter how
+  // their lookups and stores interleaved on the shared directory.
+  EXPECT_EQ(report_a.objectives_digest(), report_b.objectives_digest());
+  for (const auto& cell : report_a.cells) {
+    EXPECT_TRUE(cell.error.empty()) << cell.error;
+  }
+  for (const auto& cell : report_b.cells) {
+    EXPECT_TRUE(cell.error.empty()) << cell.error;
+  }
+  // No torn entries remain: a third pass is served fully from cache.
+  ResultCache cache_c(dir);
+  const exec::CampaignReport replay =
+      exec::CampaignRunner(small_campaign(&cache_c)).run();
+  EXPECT_EQ(replay.cache_hits, replay.cells.size());
+  EXPECT_EQ(replay.objectives_digest(), report_a.objectives_digest());
+}
+
+}  // namespace
+}  // namespace parmis::cache

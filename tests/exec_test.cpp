@@ -7,6 +7,7 @@
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/parmis.hpp"
@@ -81,6 +82,118 @@ TEST(ThreadPool, PropagatesExceptionsAndStaysUsable) {
   std::atomic<int> count{0};
   pool.parallel_for(50, [&](std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, NestedParallelForDepthThree) {
+  // Three levels of nesting on one pool: the calling thread drains its
+  // own loop at every level, so even with every worker busy in outer
+  // iterations the innermost loops complete.
+  ThreadPool pool(3);
+  std::atomic<int> leaves{0};
+  pool.parallel_for(3, [&](std::size_t) {
+    pool.parallel_for(3, [&](std::size_t) {
+      pool.parallel_for(3, [&](std::size_t) {
+        leaves.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 27);
+
+  // Depth four with a 2-thread pool for good measure.
+  std::atomic<int> deep{0};
+  pool.parallel_for(2, [&](std::size_t) {
+    pool.parallel_for(2, [&](std::size_t) {
+      pool.parallel_for(2, [&](std::size_t) {
+        pool.parallel_for(2, [&](std::size_t) {
+          deep.fetch_add(1, std::memory_order_relaxed);
+        });
+      });
+    });
+  });
+  EXPECT_EQ(deep.load(), 16);
+}
+
+TEST(ThreadPool, ExceptionThrownOnWorkerThreadPropagatesToCaller) {
+  // The existing propagation test can rethrow an exception the calling
+  // thread itself raised while draining; this one insists the throwing
+  // thread was a genuine worker.  Iterations the *caller* drains
+  // busy-wait until some worker has picked up a task (trivial bodies
+  // would otherwise let the caller drain the whole loop before the
+  // workers' condition-variable wake), so a worker is guaranteed to
+  // participate and throw.  The wait is an atomic-flag spin with a
+  // generous bound — no sleeps, no timing assumptions, TSan-clean.
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> worker_started{false};
+  bool worker_threw = false;
+  try {
+    pool.parallel_for(256, [&](std::size_t) {
+      if (std::this_thread::get_id() != caller) {
+        worker_started.store(true, std::memory_order_release);
+        throw std::runtime_error("worker boom");
+      }
+      for (long spin = 0;
+           spin < 2000000000L &&
+           !worker_started.load(std::memory_order_acquire);
+           ++spin) {
+      }
+    });
+  } catch (const std::runtime_error& e) {
+    worker_threw = true;
+    EXPECT_STREQ(e.what(), "worker boom");
+  }
+  EXPECT_TRUE(worker_threw);
+  // No deadlock, and the pool remains fully usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionInNestedLoopPropagatesWithoutDeadlock) {
+  ThreadPool pool(3);
+  std::atomic<int> outer_done{0};
+  EXPECT_THROW(
+      pool.parallel_for(6,
+                        [&](std::size_t i) {
+                          pool.parallel_for(6, [&](std::size_t j) {
+                            if (i == 3 && j == 3) {
+                              throw std::runtime_error("nested boom");
+                            }
+                          });
+                          outer_done.fetch_add(1,
+                                               std::memory_order_relaxed);
+                        }),
+      std::runtime_error);
+  // Still alive.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ThousandTaskChurn) {
+  // 1000 back-to-back loops with small, varying iteration counts: the
+  // wake/sleep and job-retirement paths churn constantly.  All state
+  // crossing threads is atomic or index-disjoint, so the test is
+  // TSan-clean by construction — no sleeps, no timing assumptions.
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  long expected = 0;
+  for (int round = 0; round < 1000; ++round) {
+    const std::size_t n = static_cast<std::size_t>(round % 7);
+    expected += static_cast<long>(n);
+    pool.parallel_for(n, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), expected);
+
+  // And one big loop with 1000 index-disjoint writes.
+  std::vector<int> slots(1000, 0);
+  pool.parallel_for(slots.size(),
+                    [&](std::size_t i) { slots[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    ASSERT_EQ(slots[i], static_cast<int>(i));
+  }
 }
 
 // ------------------------------------------ intra-run parallel evaluation

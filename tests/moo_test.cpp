@@ -234,6 +234,86 @@ TEST(Hypervolume, EmptyFrontIsZero) {
   EXPECT_DOUBLE_EQ(hypervolume_2d({}, {1, 1}), 0.0);
 }
 
+// ---------------------------------------- analytic closed-form references
+
+TEST(Hypervolume, ThreePointStaircaseClosedForm2d) {
+  // Points (1,4), (2,3), (3,1) against ref (4,5).  Sweeping x:
+  //   x in [1,2): best y = 4 -> height 5-4 = 1
+  //   x in [2,3): best y = 3 -> height 5-3 = 2
+  //   x in [3,4): best y = 1 -> height 5-1 = 4
+  // HV = 1 + 2 + 4 = 7.
+  const std::vector<Vec> pts = {{1, 4}, {2, 3}, {3, 1}};
+  EXPECT_DOUBLE_EQ(hypervolume_2d(pts, {4, 5}), 7.0);
+  EXPECT_NEAR(hypervolume_wfg(pts, {4, 5}), 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(hypervolume(pts, {4, 5}), 7.0);
+}
+
+TEST(Hypervolume, SymmetricTriple3dInclusionExclusion) {
+  // Points (1,1,3), (1,3,1), (3,1,1) against ref (4,4,4).
+  //   each box: 3*3*1 = 9                         (sum 27)
+  //   each pairwise intersection box: 3*1*1 = 3   (sum 9)
+  //   triple intersection at (3,3,3): 1*1*1 = 1
+  // union = 27 - 9 + 1 = 19.
+  const std::vector<Vec> pts = {{1, 1, 3}, {1, 3, 1}, {3, 1, 1}};
+  EXPECT_NEAR(hypervolume_wfg(pts, {4, 4, 4}), 19.0, 1e-12);
+  EXPECT_NEAR(hypervolume(pts, {4, 4, 4}), 19.0, 1e-12);
+}
+
+TEST(Hypervolume, NestedDominated3dClosedForm) {
+  // (2,2,2) is dominated by (1,1,1): the union is just (1,1,1)'s box
+  // against ref (3,3,3) = 2^3 = 8.
+  const std::vector<Vec> pts = {{1, 1, 1}, {2, 2, 2}};
+  EXPECT_NEAR(hypervolume_wfg(pts, {3, 3, 3}), 8.0, 1e-12);
+}
+
+TEST(Hypervolume, SinglePointDegenerateCases) {
+  // A point equal to the reference contributes zero volume.
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{3, 3}}, {3, 3}), 0.0);
+  EXPECT_NEAR(hypervolume_wfg({{2, 2, 2}}, {2, 2, 2}), 0.0, 1e-12);
+  // A point matching the reference in one coordinate spans zero width
+  // there: box collapses.
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{1, 3}}, {3, 3}), 0.0);
+  EXPECT_NEAR(hypervolume_wfg({{1, 2, 3}}, {3, 3, 3}), 0.0, 1e-12);
+}
+
+TEST(Hypervolume, DuplicatedPointsAddNothing) {
+  const std::vector<Vec> once = {{1, 2}};
+  const std::vector<Vec> thrice = {{1, 2}, {1, 2}, {1, 2}};
+  EXPECT_DOUBLE_EQ(hypervolume_2d(thrice, {4, 4}),
+                   hypervolume_2d(once, {4, 4}));
+  const std::vector<Vec> once3 = {{1, 1, 2}};
+  const std::vector<Vec> twice3 = {{1, 1, 2}, {1, 1, 2}};
+  EXPECT_NEAR(hypervolume_wfg(twice3, {3, 3, 3}),
+              hypervolume_wfg(once3, {3, 3, 3}), 1e-12);
+}
+
+TEST(Hypervolume, PointsDominatedByTheReferenceIgnored3d) {
+  // Every point at or beyond the reference contributes nothing; a
+  // mixed front counts only the inside points.
+  const std::vector<Vec> outside = {{5, 5, 5}, {2, 6, 1}, {9, 0, 9}};
+  EXPECT_NEAR(hypervolume_wfg(outside, {4, 4, 4}), 0.0, 1e-12);
+  const std::vector<Vec> mixed = {{1, 1, 1}, {5, 5, 5}, {2, 6, 1}};
+  EXPECT_NEAR(hypervolume_wfg(mixed, {2, 2, 2}), 1.0, 1e-12);
+}
+
+TEST(Hypervolume, NegativeCoordinatesClosedForm) {
+  // HV is translation-invariant in the closed form: point (-1,-2)
+  // against ref (1,1) spans 2 x 3 = 6.
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{-1, -2}}, {1, 1}), 6.0);
+  // 3D: (-1,-1,-1) against (1,1,1) spans 2^3 = 8.
+  EXPECT_NEAR(hypervolume_wfg({{-1, -1, -1}}, {1, 1, 1}), 8.0, 1e-12);
+}
+
+TEST(Hypervolume, AnalyticStaircase3dClosedForm) {
+  // Mutually non-dominated staircase (1,2,3), (2,3,1), (3,1,2) vs ref
+  // (4,4,4): boxes 3*2*1 = 6 each (sum 18); pairwise intersections are
+  // the boxes of the componentwise maxima (2,3,3), (3,3,2), (3,2,3),
+  // each 2*1*1 = 2 (sum 6); triple intersection (3,3,3) = 1.
+  // union = 18 - 6 + 1 = 13.
+  const std::vector<Vec> pts = {{1, 2, 3}, {2, 3, 1}, {3, 1, 2}};
+  EXPECT_NEAR(hypervolume_wfg(pts, {4, 4, 4}), 13.0, 1e-12);
+}
+
 // --------------------------------------------------------- test problems
 
 TEST(TestProblems, Zdt1FrontValues) {
