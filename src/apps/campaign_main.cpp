@@ -4,10 +4,26 @@
 //   campaign --list
 //   campaign                              # all scenarios, all methods
 //   campaign --scenarios=xu3-mibench-te,mobile3-edp --threads=4 --seeds=2
+//   campaign --plan examples/plans/quick_smoke.json
+//   campaign --dump-plan                  # effective plan of this invocation
+//   campaign --scenario-dir=my-scenarios --scenarios=my-custom-scenario
+//   campaign --shard-index=0 --shard-count=4 --cache-dir=.parmis-cache
 //   campaign --compare-threads --threads=4 --csv=campaign.csv
-//   campaign --cache-dir=.parmis-cache --cache-stats
 //   campaign --cache-dir=.parmis-cache --resume
-//   campaign --cache-dir=.parmis-cache --cache-gc --cache-max-mb=64
+//
+// Plans: --plan loads a declarative campaign (scenarios by name or
+// inline, methods, seeds, anchor limit, cache, shard) from JSON;
+// explicit CLI flags override plan fields, and --dump-plan prints the
+// effective plan of any invocation (flags, plan file, or both) so every
+// flag-driven run is one redirect away from a reproducible plan file.
+// --dump-scenarios prints every registered scenario (built-ins plus
+// --scenario-dir files) as JSON documents for editing into scenario
+// files of your own.
+//
+// Sharding: --shard-index/--shard-count (or the plan's shard block)
+// runs one deterministic contiguous slice of the ordered cell list;
+// slices partition the campaign, so N processes sharing one cache
+// directory compute it exactly once and reports merge without overlap.
 //
 // --compare-threads runs the identical campaign once on 1 thread and
 // once on --threads threads, asserts the per-cell objectives are
@@ -18,11 +34,12 @@
 // --cache-dir enables the content-addressed result cache: each cell is
 // looked up before execution and stored after, so repeated suites cost
 // O(changed cells).  --resume prints how much of the campaign will be
-// replayed before running (and requires --cache-dir); --no-cache
-// bypasses a configured cache; --cache-stats reports entry counts and
-// hit/miss totals; --cache-gc prunes oldest entries down to
-// --cache-max-mb and exits; --require-cached exits non-zero unless
-// every cell was a cache hit (CI effectiveness check).
+// replayed before running; --no-cache bypasses a configured cache
+// (flag or plan); --cache-stats reports entry counts and hit/miss
+// totals; --cache-gc prunes oldest entries down to --cache-max-mb and
+// exits; --require-cached exits non-zero unless every cell was a cache
+// hit (CI effectiveness check).
+#include <cstdint>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -32,21 +49,58 @@
 #include "cache/result_cache.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/fs.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "exec/campaign.hpp"
 #include "exec/thread_pool.hpp"
 #include "scenario/scenario.hpp"
+#include "serde/plan.hpp"
+#include "serde/scenario_json.hpp"
 
 namespace {
 
 using parmis::exec::CampaignConfig;
 using parmis::exec::CampaignReport;
 using parmis::exec::CampaignRunner;
+using parmis::serde::CampaignPlan;
+using parmis::serde::ScenarioCatalogue;
+using parmis::serde::ScenarioRef;
 
-void print_catalogue() {
+/// u64 flag accessor: plan fields like base_seed span the full uint64
+/// range (the serde layer string-encodes values above 2^53), so their
+/// flag overrides must not squeeze through 32-bit get_int.
+std::uint64_t get_u64_flag(const parmis::CliArgs& args,
+                           const std::string& key, std::uint64_t fallback) {
+  if (!args.has(key)) return fallback;
+  const std::string v = args.get(key, "");
+  parmis::require(!v.empty() && v.find_first_not_of("0123456789") ==
+                                    std::string::npos,
+                  "flag --" + key + " expects an unsigned integer, got '" +
+                      v + "'");
+  try {
+    return std::stoull(v);
+  } catch (const std::exception&) {
+    parmis::require(false, "flag --" + key + " value out of range: " + v);
+  }
+  return fallback;  // unreachable
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void print_catalogue(const ScenarioCatalogue& catalogue) {
   parmis::Table table({"scenario", "platform", "apps", "objectives",
                        "thermal", "methods"});
-  for (const auto& spec : parmis::scenario::all_scenarios()) {
+  for (const auto& name : catalogue.names()) {
+    const parmis::scenario::ScenarioSpec spec = catalogue.get(name);
     std::size_t napps = spec.benchmark_apps.size();
     if (spec.generated.has_value()) napps += spec.generated->num_apps;
     std::string objectives;
@@ -87,10 +141,24 @@ void print_report(const CampaignReport& report) {
   table.print(std::cout);
   std::ostringstream digest;
   digest << std::hex << report.objectives_digest();
-  std::cout << "\ncells: " << report.cells.size()
-            << "  threads: " << report.num_threads
+  std::cout << "\ncells: " << report.cells.size();
+  if (report.shard.count > 1) {
+    std::cout << " (shard " << report.shard.index << "/"
+              << report.shard.count << " of " << report.total_cells
+              << " total)";
+  }
+  std::cout << "  threads: " << report.num_threads
             << "  wall: " << parmis::format_double(report.wall_s, 3)
             << " s  digest: " << digest.str() << "\n";
+}
+
+/// Writes `text` to `path`, or stdout when path is empty/"-".
+void emit_text(const std::string& path, const std::string& text) {
+  if (path.empty() || path == "-") {
+    std::cout << text;
+    return;
+  }
+  parmis::atomic_write_file(path, text);
 }
 
 }  // namespace
@@ -101,50 +169,124 @@ int main(int argc, char** argv) {
     if (args.has("help")) {
       std::cout
           << "usage: campaign [--list] [--scenarios=a,b|all] [--threads=N]\n"
-             "                [--seeds=K] [--seed=S] [--csv=path] "
-             "[--json=path]\n"
+             "                [--plan=file.json] [--dump-plan[=path]]\n"
+             "                [--dump-scenarios[=path]]\n"
+             "                [--scenario-dir=dir] [--methods=a,b]\n"
+             "                [--seeds=K] [--seed=S] [--anchor-limit=A]\n"
+             "                [--shard-index=I --shard-count=N]\n"
+             "                [--csv=path] [--json=path]\n"
              "                [--compare-threads] [--full]\n"
              "                [--cache-dir=path] [--no-cache] [--resume]\n"
              "                [--cache-stats] [--require-cached]\n"
              "                [--cache-gc] [--cache-max-mb=N]\n";
       return 0;
     }
+
+    // ------------------------------------------------- scenario catalogue
+    ScenarioCatalogue catalogue;
+    if (args.has("scenario-dir")) {
+      const std::string dir = args.get("scenario-dir", "");
+      const std::size_t added = catalogue.add_directory(dir);
+      parmis::require(added > 0,
+                      "campaign: --scenario-dir: no *.json scenario files "
+                      "in " + dir);
+    }
     if (args.has("list")) {
-      print_catalogue();
+      print_catalogue(catalogue);
+      return 0;
+    }
+    if (args.has("dump-scenarios")) {
+      parmis::json::Value all = parmis::json::Value::array();
+      for (const auto& name : catalogue.names()) {
+        all.push_back(parmis::serde::scenario_to_json(catalogue.get(name)));
+      }
+      emit_text(args.get("dump-scenarios", ""), parmis::json::dump(all));
       return 0;
     }
 
-    CampaignConfig config;
-    const std::string which = args.get("scenarios", "all");
-    if (which == "all") {
-      config.scenarios = parmis::scenario::all_scenarios();
+    // -------------------------------------------- plan + flag overrides
+    // A plan file provides the baseline; explicit CLI flags then win, so
+    // one plan serves many shards/seeds via `--plan p.json --shard-index=K`.
+    CampaignPlan plan;
+    if (args.has("plan")) {
+      plan = parmis::serde::load_plan(args.get("plan", ""));
+      // Inline plan scenarios join the catalogue so --scenarios=name (or
+      // =all) can select them just like built-ins and --scenario-dir files.
+      for (const auto& ref : plan.scenarios) {
+        if (ref.inline_spec.has_value()) catalogue.add(*ref.inline_spec);
+      }
     } else {
-      std::stringstream ss(which);
-      std::string name;
-      while (std::getline(ss, name, ',')) {
-        if (!name.empty()) {
-          config.scenarios.push_back(parmis::scenario::make_scenario(name));
+      plan = parmis::serde::default_campaign_plan();
+      // With --scenario-dir but no --plan/--scenarios, the default
+      // campaign spans the whole catalogue: registering a directory and
+      // launching a full run must cover the user's scenarios too.
+      if (catalogue.num_user_scenarios() > 0) {
+        plan.scenarios.clear();
+        for (const auto& name : catalogue.names()) {
+          plan.scenarios.push_back(ScenarioRef::by_name(name));
         }
       }
     }
-    if (args.get_bool("full", false)) {
-      for (auto& s : config.scenarios) {
-        s.parmis = parmis::scenario::campaign_parmis_budget(true);
+    if (args.has("scenarios")) {
+      const std::string which = args.get("scenarios", "all");
+      plan.scenarios.clear();
+      if (which == "all") {
+        for (const auto& name : catalogue.names()) {
+          plan.scenarios.push_back(ScenarioRef::by_name(name));
+        }
+      } else {
+        for (const auto& name : split_csv(which)) {
+          plan.scenarios.push_back(ScenarioRef::by_name(name));
+        }
       }
+      if (!args.has("plan")) plan.name = "cli-campaign";
     }
+    if (args.has("methods")) {
+      plan.methods = split_csv(args.get("methods", ""));
+    }
+    if (args.has("seeds")) {
+      plan.seeds_per_cell =
+          static_cast<std::size_t>(get_u64_flag(args, "seeds", 1));
+    }
+    plan.base_seed = get_u64_flag(args, "seed", plan.base_seed);
+    if (args.has("anchor-limit")) {
+      plan.anchor_limit =
+          static_cast<std::size_t>(get_u64_flag(args, "anchor-limit", 3));
+    }
+    if (parmis::full_scale_requested(args)) plan.full_budget = true;
+    if (args.has("shard-index") || args.has("shard-count")) {
+      parmis::exec::ShardSpec shard = plan.shard.value_or(
+          parmis::exec::ShardSpec{});
+      shard.index = static_cast<std::size_t>(
+          get_u64_flag(args, "shard-index", shard.index));
+      shard.count = static_cast<std::size_t>(
+          get_u64_flag(args, "shard-count", shard.count));
+      plan.shard = shard;
+    }
+    if (args.has("cache-dir")) {
+      plan.cache.dir = args.get("cache-dir", ".parmis-cache");
+    }
+    plan.validate();
+
+    if (args.has("dump-plan")) {
+      emit_text(args.get("dump-plan", ""),
+                parmis::json::dump(parmis::serde::plan_to_json(plan)));
+      return 0;
+    }
+
+    CampaignConfig config = parmis::serde::to_campaign_config(plan,
+                                                              catalogue);
     config.num_threads = static_cast<std::size_t>(args.get_int(
         "threads", static_cast<int>(parmis::exec::default_num_threads())));
-    config.seeds_per_cell =
-        static_cast<std::size_t>(args.get_int("seeds", 1));
-    config.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
     // ------------------------------------------------------ result cache
+    const std::string cache_dir =
+        args.get_bool("no-cache", false) ? "" : plan.cache.dir;
     const bool resume = args.get_bool("resume", false);
     const bool compare_threads = args.get_bool("compare-threads", false);
-    parmis::require(!resume || (args.has("cache-dir") &&
-                               !args.get_bool("no-cache", false)),
-                    "campaign: --resume requires --cache-dir (and is "
-                    "incompatible with --no-cache)");
+    parmis::require(!resume || !cache_dir.empty(),
+                    "campaign: --resume requires a cache (--cache-dir or "
+                    "the plan's cache.dir, and no --no-cache)");
     const bool require_cached = args.get_bool("require-cached", false);
     parmis::require(!(compare_threads && require_cached),
                     "campaign: --require-cached is incompatible with "
@@ -156,27 +298,28 @@ int main(int argc, char** argv) {
                     "every cell; nothing is replayed)");
     // Flag preconditions are checked before any cell runs: a campaign
     // can be hours of compute, and a typo must fail in milliseconds.
-    parmis::require(!require_cached || (args.has("cache-dir") &&
-                                        !args.get_bool("no-cache", false)),
-                    "campaign: --require-cached requires --cache-dir "
-                    "(and is incompatible with --no-cache)");
+    parmis::require(!require_cached || !cache_dir.empty(),
+                    "campaign: --require-cached requires a cache "
+                    "(--cache-dir or the plan's cache.dir, and no "
+                    "--no-cache)");
     parmis::require(!args.get_bool("cache-stats", false) ||
-                        args.has("cache-dir"),
-                    "campaign: --cache-stats requires --cache-dir");
+                        !cache_dir.empty(),
+                    "campaign: --cache-stats requires a cache");
     parmis::require(!args.has("cache-max-mb") ||
                         args.get_bool("cache-gc", false),
                     "campaign: --cache-max-mb only applies to --cache-gc");
     if (args.get_bool("cache-gc", false)) {
       // Offline maintenance: prune and exit.  Independent of --no-cache
-      // (which only controls whether *this run* would consult entries).
-      parmis::require(args.has("cache-dir"),
-                      "campaign: --cache-gc requires --cache-dir");
+      // (which only controls whether *this run* would consult entries);
+      // --cache-dir was already folded into plan.cache.dir above.
+      parmis::require(!plan.cache.dir.empty(),
+                      "campaign: --cache-gc requires a cache dir "
+                      "(--cache-dir or the plan's cache.dir)");
       const int max_mb = args.get_int("cache-max-mb", 256);
       parmis::require(max_mb >= 0, "campaign: --cache-max-mb must be >= 0");
       const std::uintmax_t max_bytes =
           static_cast<std::uintmax_t>(max_mb) * 1024u * 1024u;
-      parmis::cache::ResultCache gc_cache(
-          args.get("cache-dir", ".parmis-cache"));
+      parmis::cache::ResultCache gc_cache(plan.cache.dir);
       const std::size_t removed = gc_cache.gc(max_bytes);
       std::cout << "cache-gc: removed " << removed << " entries; "
                 << gc_cache.num_entries() << " entries ("
@@ -185,9 +328,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     std::unique_ptr<parmis::cache::ResultCache> cache;
-    if (args.has("cache-dir") && !args.get_bool("no-cache", false)) {
-      cache = std::make_unique<parmis::cache::ResultCache>(
-          args.get("cache-dir", ".parmis-cache"));
+    if (!cache_dir.empty()) {
+      cache = std::make_unique<parmis::cache::ResultCache>(cache_dir);
     }
     config.cache = cache.get();
     if (resume) {

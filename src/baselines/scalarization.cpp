@@ -1,6 +1,10 @@
 #include "baselines/scalarization.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "moo/pareto.hpp"
 
 namespace parmis::baselines {
@@ -45,6 +49,110 @@ std::vector<num::Vec> BaselineFrontResult::pareto_front() const {
   out.reserve(pareto_indices.size());
   for (std::size_t i : pareto_indices) out.push_back(objectives[i]);
   return out;
+}
+
+std::vector<num::Vec> BaselineFrontResult::pareto_thetas() const {
+  std::vector<num::Vec> out;
+  out.reserve(pareto_indices.size());
+  for (std::size_t i : pareto_indices) out.push_back(thetas[i]);
+  return out;
+}
+
+namespace {
+
+num::Vec clamp_to_box(num::Vec theta, double bound) {
+  for (double& v : theta) v = std::clamp(v, -bound, bound);
+  return theta;
+}
+
+}  // namespace
+
+BaselineFrontResult scalarized_search(
+    const std::function<num::Vec(const num::Vec&)>& evaluate,
+    std::size_t theta_dim, std::size_t num_objectives,
+    const ScalarizedSearchConfig& config) {
+  require(theta_dim >= 1, "scalarized search: theta_dim must be >= 1");
+  require(num_objectives >= 2,
+          "scalarized search: need at least 2 objectives");
+  require(config.theta_bound > 0.0,
+          "scalarized search: theta_bound must be > 0");
+
+  BaselineFrontResult result;
+  Rng rng(config.seed);
+  const auto record = [&](num::Vec theta) -> const num::Vec& {
+    num::Vec objs = evaluate(theta);
+    ensure(objs.size() == num_objectives,
+           "scalarized search: evaluation returned wrong dimension");
+    result.thetas.push_back(std::move(theta));
+    result.objectives.push_back(std::move(objs));
+    ++result.total_evaluations;
+    return result.objectives.back();
+  };
+
+  // Starting pool: the supplied anchors (or one random theta).
+  if (config.initial_thetas.empty()) {
+    num::Vec theta(theta_dim, 0.0);
+    for (double& v : theta) {
+      v = rng.uniform(-config.theta_bound, config.theta_bound);
+    }
+    record(std::move(theta));
+  } else {
+    for (const num::Vec& theta : config.initial_thetas) {
+      require(theta.size() == theta_dim,
+              "scalarized search: initial theta has wrong dimension");
+      record(clamp_to_box(theta, config.theta_bound));
+    }
+  }
+
+  // Per-objective normalization from the starting pool: weights then act
+  // on comparable unit ranges, not raw seconds-vs-joules magnitudes.
+  num::Vec lo(num_objectives, 0.0), range(num_objectives, 1.0);
+  for (std::size_t j = 0; j < num_objectives; ++j) {
+    double mn = result.objectives.front()[j], mx = mn;
+    for (const auto& o : result.objectives) {
+      mn = std::min(mn, o[j]);
+      mx = std::max(mx, o[j]);
+    }
+    lo[j] = mn;
+    range[j] = (mx > mn && std::isfinite(mx - mn)) ? mx - mn : 1.0;
+  }
+  const auto scalarized = [&](const num::Vec& weights, const num::Vec& objs) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < num_objectives; ++j) {
+      sum += weights[j] * (objs[j] - lo[j]) / range[j];
+    }
+    return sum;
+  };
+
+  const double sd = config.perturbation_sd * config.theta_bound;
+  for (const num::Vec& weights :
+       scalarization_grid(num_objectives, config.grid_divisions)) {
+    // Warm-start each weight from the best already-evaluated point
+    // under it (anchors included), then hill-climb.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < result.objectives.size(); ++i) {
+      if (scalarized(weights, result.objectives[i]) <
+          scalarized(weights, result.objectives[best])) {
+        best = i;
+      }
+    }
+    num::Vec incumbent = result.thetas[best];
+    double incumbent_value = scalarized(weights, result.objectives[best]);
+    for (std::size_t step = 0; step < config.steps_per_weight; ++step) {
+      num::Vec candidate = incumbent;
+      for (double& v : candidate) v += rng.normal(0.0, sd);
+      candidate = clamp_to_box(std::move(candidate), config.theta_bound);
+      const num::Vec& objs = record(std::move(candidate));
+      const double value = scalarized(weights, objs);
+      if (value < incumbent_value) {
+        incumbent = result.thetas.back();
+        incumbent_value = value;
+      }
+    }
+  }
+
+  result.pareto_indices = moo::non_dominated_indices(result.objectives);
+  return result;
 }
 
 }  // namespace parmis::baselines

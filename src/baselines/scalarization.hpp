@@ -9,6 +9,8 @@
 #define PARMIS_BASELINES_SCALARIZATION_HPP
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "numerics/vec.hpp"
@@ -32,7 +34,37 @@ struct BaselineFrontResult {
   std::size_t total_evaluations = 0;  ///< platform runs consumed
 
   std::vector<num::Vec> pareto_front() const;
+  /// Theta vectors of the non-dominated subset (same order as
+  /// pareto_front()).
+  std::vector<num::Vec> pareto_thetas() const;
 };
+
+/// Configuration for scalarized_search().
+struct ScalarizedSearchConfig {
+  std::size_t grid_divisions = 5;    ///< weights per sweep (k = 2: 5)
+  std::size_t steps_per_weight = 8;  ///< hill-climb evaluations per weight
+  double theta_bound = 2.0;          ///< box [-b, b]^d, as in ParmisConfig
+  double perturbation_sd = 0.15;     ///< relative to the box half-width
+  std::uint64_t seed = 7;
+  /// Evaluated first (clamped to the box); the canonical anchors make
+  /// good hill-climb starts.  Empty = one uniform random start.
+  std::vector<num::Vec> initial_thetas;
+};
+
+/// The classic scalarization DRM baseline as a black-box optimizer: for
+/// every weight vector on the simplex grid, hill-climb the weighted sum
+/// of (anchor-range-normalized) objectives from the best point seen so
+/// far, then return every evaluation with its non-dominated subset.
+/// Deterministic: the same (evaluate, config) pair reproduces results
+/// bit for bit — the property campaign cells require.  This is the
+/// method the campaign registry exposes as "scalarization"; its front
+/// inherits linear scalarization's known inability to reach non-convex
+/// front regions (paper Sec. III), which is exactly what comparing it
+/// against PaRMIS in a campaign is meant to show.
+BaselineFrontResult scalarized_search(
+    const std::function<num::Vec(const num::Vec&)>& evaluate,
+    std::size_t theta_dim, std::size_t num_objectives,
+    const ScalarizedSearchConfig& config = {});
 
 }  // namespace parmis::baselines
 

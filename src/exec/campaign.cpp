@@ -10,6 +10,7 @@
 #include <optional>
 #include <sstream>
 
+#include "baselines/scalarization.hpp"
 #include "cache/result_cache.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -101,6 +102,25 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
+std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
+                                                const ShardSpec& shard) {
+  require(shard.count >= 1, "campaign: shard count must be >= 1");
+  require(shard.index < shard.count,
+          "campaign: shard index " + std::to_string(shard.index) +
+              " out of range (count " + std::to_string(shard.count) + ")");
+  // Balanced contiguous partition, overflow-free for any index/count:
+  // every shard gets floor(total/count) cells and the first
+  // (total mod count) shards one extra, so the slices for
+  // i = 0..count-1 tile [0, total) exactly.  (A naive total*i/count
+  // would overflow size_t for large shard indices.)
+  const std::size_t quot = total / shard.count;
+  const std::size_t rem = total % shard.count;
+  const std::size_t extra = std::min(shard.index, rem);
+  const std::size_t begin = quot * shard.index + extra;
+  const std::size_t end = begin + quot + (shard.index < rem ? 1 : 0);
+  return {begin, end};
+}
+
 CellResult CampaignRunner::run_cell(const scenario::ScenarioSpec& spec,
                                     const std::string& method,
                                     std::uint64_t seed,
@@ -136,27 +156,49 @@ CellResult CampaignRunner::run_cell(const scenario::ScenarioSpec& spec,
     cell.num_apps = apps.size();
     for (const auto& o : objectives) cell.objective_names.push_back(o.name());
 
-    if (method == "parmis") {
+    if (method == "parmis" || method == "scalarization") {
       core::DrmPolicyProblem problem(platform, apps, objectives, {},
                                      eval_config);
-      core::ParmisConfig config = spec.parmis;
-      config.seed = seed;
       std::vector<num::Vec> anchors = problem.anchor_thetas();
       if (anchor_limit > 0 && anchors.size() > anchor_limit) {
         anchors.resize(anchor_limit);
       }
-      config.initial_thetas = std::move(anchors);
-      core::Parmis parmis(problem.evaluation_fn(), problem.theta_dim(),
-                          objectives.size(), config);
-      const core::ParmisResult result = parmis.run();
-      cell.front = result.pareto_front();
-      cell.evaluations = result.thetas.size();
+      std::vector<num::Vec> pareto_thetas;
+      if (method == "parmis") {
+        core::ParmisConfig config = spec.parmis;
+        config.seed = seed;
+        config.initial_thetas = std::move(anchors);
+        core::Parmis parmis(problem.evaluation_fn(), problem.theta_dim(),
+                            objectives.size(), config);
+        const core::ParmisResult result = parmis.run();
+        cell.front = result.pareto_front();
+        cell.evaluations = result.thetas.size();
+        pareto_thetas = result.pareto_thetas();
+      } else {
+        // Linear-scalarization baseline over the same policy problem:
+        // the lambda sweep's budget knobs reuse the spec's PaRMIS
+        // budget so plan files tune both methods with one dial.
+        baselines::ScalarizedSearchConfig config;
+        config.steps_per_weight = std::max<std::size_t>(
+            1, spec.parmis.max_iterations);
+        config.theta_bound = spec.parmis.theta_bound;
+        config.perturbation_sd = spec.parmis.perturbation_sd;
+        config.seed = seed;
+        config.initial_thetas = std::move(anchors);
+        const baselines::BaselineFrontResult result =
+            baselines::scalarized_search(problem.evaluation_fn(),
+                                         problem.theta_dim(),
+                                         objectives.size(), config);
+        cell.front = result.pareto_front();
+        cell.evaluations = result.total_evaluations;
+        pareto_thetas = result.pareto_thetas();
+      }
 
       // Deployed-policy decision overhead (Table II protocol): timed on
       // the first application with the first Pareto-optimal policy.
-      if (!result.pareto_indices.empty()) {
-        policy::MlpPolicy deployed =
-            problem.make_policy(result.pareto_thetas().front());
+      if (!pareto_thetas.empty()) {
+        policy::MlpPolicy deployed = problem.make_policy(
+            pareto_thetas.front());
         runtime::EvaluatorConfig timed = eval_config;
         timed.measure_decision_overhead = true;
         runtime::Evaluator evaluator(platform, timed);
@@ -198,10 +240,16 @@ CampaignRunner::CampaignRunner(CampaignConfig config)
     : config_(std::move(config)) {
   require(!config_.scenarios.empty(), "campaign: no scenarios");
   require(config_.seeds_per_cell >= 1, "campaign: seeds_per_cell >= 1");
+  require(config_.shard.count >= 1 &&
+              config_.shard.index < config_.shard.count,
+          "campaign: shard index must be in [0, shard count)");
   for (const auto& s : config_.scenarios) s.validate();
 }
 
 std::vector<CampaignRunner::CellSpec> CampaignRunner::build_cells() const {
+  // The full ordered cell list is built first and sliced second, so the
+  // ordering (and with it seeds, cache keys, and merge order) is
+  // identical no matter how the campaign is sharded.
   std::vector<CellSpec> cells;
   for (const auto& spec : config_.scenarios) {
     for (const auto& method : spec.methods) {
@@ -210,6 +258,11 @@ std::vector<CampaignRunner::CellSpec> CampaignRunner::build_cells() const {
             {&spec, method, config_.base_seed + static_cast<std::uint64_t>(s)});
       }
     }
+  }
+  total_cells_ = cells.size();
+  const auto [begin, end] = shard_range(cells.size(), config_.shard);
+  if (begin != 0 || end != cells.size()) {
+    cells = std::vector<CellSpec>(cells.begin() + begin, cells.begin() + end);
   }
   return cells;
 }
@@ -245,10 +298,17 @@ CampaignReport CampaignRunner::run() {
 
   CampaignReport report;
   report.cells.resize(cells.size());
+  report.shard = config_.shard;
+  report.total_cells = total_cells_;
   ThreadPool pool(config_.num_threads);
   report.num_threads = pool.num_threads();
-  log_info() << "campaign: " << cells.size() << " cells over "
-             << config_.scenarios.size() << " scenarios on "
+  log_info() << "campaign: " << cells.size() << " cells"
+             << (config_.shard.count > 1
+                     ? " (shard " + std::to_string(config_.shard.index) +
+                           "/" + std::to_string(config_.shard.count) +
+                           " of " + std::to_string(total_cells_) + ")"
+                     : "")
+             << " over " << config_.scenarios.size() << " scenarios on "
              << pool.num_threads() << " thread(s)"
              << (cache != nullptr ? ", cache: " + cache->dir() : "");
 
@@ -319,7 +379,10 @@ void CampaignReport::write_csv(std::ostream& os) const {
   for (const auto& cell : cells) {
     max_objectives = std::max(max_objectives, cell.objective_names.size());
   }
-  os << "scenario,platform,method,seed,apps,evaluations,front_size,phv,"
+  // shard_index/shard_count ride on every row (not just a file header)
+  // so concatenated per-shard CSVs remain row-wise auditable.
+  os << "scenario,platform,method,seed,shard_index,shard_count,apps,"
+        "evaluations,front_size,phv,"
         "wall_s,decision_overhead_us,cached,error";
   for (std::size_t j = 0; j < max_objectives; ++j) {
     os << ",objective_" << j << ",best_" << j;
@@ -328,6 +391,7 @@ void CampaignReport::write_csv(std::ostream& os) const {
   for (const auto& cell : cells) {
     os << csv_escape(cell.scenario) << ',' << csv_escape(cell.platform)
        << ',' << csv_escape(cell.method) << ',' << cell.seed << ','
+       << shard.index << ',' << shard.count << ','
        << cell.num_apps << ',' << cell.evaluations << ','
        << cell.front.size() << ',' << json_double(cell.phv) << ','
        << json_double(cell.wall_s) << ','
@@ -358,6 +422,9 @@ void CampaignReport::save_csv(const std::string& path) const {
 void CampaignReport::write_json(std::ostream& os) const {
   os << "{\n  \"num_threads\": " << num_threads
      << ",\n  \"wall_s\": " << json_double(wall_s)
+     << ",\n  \"shard_index\": " << shard.index
+     << ",\n  \"shard_count\": " << shard.count
+     << ",\n  \"total_cells\": " << total_cells
      << ",\n  \"cache_hits\": " << cache_hits
      << ",\n  \"cache_misses\": " << cache_misses
      << ",\n  \"objectives_digest\": \"" << std::hex << objectives_digest()

@@ -59,12 +59,31 @@ struct CellResult {
   bool from_cache = false;
 };
 
+/// One shard of a campaign: a deterministic contiguous slice of the
+/// ordered cell list.  Slices with the same `count` partition the cells
+/// (every cell in exactly one shard), which is what lets N processes or
+/// hosts split one campaign and merge reports without overlap.
+struct ShardSpec {
+  std::size_t index = 0;  ///< this process's slice, in [0, count)
+  std::size_t count = 1;  ///< total shards; 1 = unsharded
+};
+
+/// Half-open [begin, end) of shard `shard` over `total` ordered cells.
+/// Balanced to within one cell; the union over all indices is exactly
+/// [0, total).
+std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
+                                                const ShardSpec& shard);
+
 /// Campaign-wide options.
 struct CampaignConfig {
   std::vector<scenario::ScenarioSpec> scenarios;
   std::size_t num_threads = 1;   ///< 0 = hardware concurrency
   std::size_t seeds_per_cell = 1;
   std::uint64_t base_seed = 1;
+  /// Slice of the ordered cell list this runner executes.  Cell order,
+  /// seeds, and cache keys are shard-independent, so sharded results
+  /// are bit-identical to the same cells run unsharded.
+  ShardSpec shard;
   /// Constant-decision anchors given to PaRMIS's initial design (0 = all
   /// of DrmPolicyProblem::anchor_thetas(); small values keep cells fast).
   std::size_t anchor_limit = 3;
@@ -82,6 +101,10 @@ struct CampaignReport {
   double wall_s = 0.0;
   std::size_t cache_hits = 0;    ///< cells replayed from the result cache
   std::size_t cache_misses = 0;  ///< cells executed despite an enabled cache
+  /// Shard this report covers, echoed into CSV rows and the JSON header
+  /// so merged multi-process reports stay auditable.
+  ShardSpec shard;
+  std::size_t total_cells = 0;  ///< full campaign size before slicing
 
   /// Order-sensitive hash over every cell's objective bit patterns;
   /// equal digests mean bitwise-identical campaign results.  Timing
@@ -124,9 +147,12 @@ class CampaignRunner {
     std::string method;
     std::uint64_t seed;
   };
+  /// Ordered cells of this runner's shard; records the pre-slice count
+  /// in total_cells_.
   std::vector<CellSpec> build_cells() const;
 
   CampaignConfig config_;
+  mutable std::size_t total_cells_ = 0;
 };
 
 }  // namespace parmis::exec

@@ -50,6 +50,35 @@ double Objective::to_raw(double min_value) const {
   return maximize_ ? -min_value : min_value;
 }
 
+const std::string& objective_kind_name(ObjectiveKind kind) {
+  static const std::string names[] = {"time_s", "energy_j",
+                                      "ppw_gips_per_w", "edp_js",
+                                      "peak_power_w"};
+  const auto index = static_cast<std::size_t>(kind);
+  ensure(index < std::size(names), "objective: unknown kind");
+  return names[index];
+}
+
+const std::vector<ObjectiveKind>& all_objective_kinds() {
+  static const std::vector<ObjectiveKind> kinds = {
+      ObjectiveKind::ExecutionTime, ObjectiveKind::Energy, ObjectiveKind::PPW,
+      ObjectiveKind::EDP, ObjectiveKind::PeakPower};
+  return kinds;
+}
+
+ObjectiveKind objective_kind_from_name(const std::string& name) {
+  for (ObjectiveKind kind : all_objective_kinds()) {
+    if (objective_kind_name(kind) == name) return kind;
+  }
+  std::string known;
+  for (ObjectiveKind kind : all_objective_kinds()) {
+    known += (known.empty() ? "" : ", ") + objective_kind_name(kind);
+  }
+  require(false, "objective: unknown kind \"" + name + "\" (known: " + known +
+                     ")");
+  return ObjectiveKind::ExecutionTime;  // unreachable
+}
+
 std::vector<Objective> time_energy_objectives() {
   return {Objective(ObjectiveKind::ExecutionTime),
           Objective(ObjectiveKind::Energy)};

@@ -68,6 +68,18 @@ class Objective {
   std::string name_;
 };
 
+/// Stable identifier of an objective kind (matches Objective::name():
+/// "time_s", "energy_j", ...).  Used by report columns and the JSON
+/// serde layer, so renaming one is a plan-schema version bump.
+const std::string& objective_kind_name(ObjectiveKind kind);
+
+/// All kinds in declaration order (catalogue for CLIs and docs).
+const std::vector<ObjectiveKind>& all_objective_kinds();
+
+/// Inverse of objective_kind_name(); throws parmis::Error listing the
+/// known names for an unknown identifier.
+ObjectiveKind objective_kind_from_name(const std::string& name);
+
 /// The paper's two standard objective pairs.
 std::vector<Objective> time_energy_objectives();
 std::vector<Objective> time_ppw_objectives();

@@ -11,37 +11,68 @@ namespace parmis::scenario {
 
 namespace {
 
-const std::vector<std::string>& known_methods() {
+const std::vector<std::string>& known_methods_impl() {
   static const std::vector<std::string> methods = {
-      "parmis",       "performance", "powersave", "ondemand",
-      "conservative", "interactive", "schedutil", "random"};
+      "parmis",       "scalarization", "performance", "powersave",
+      "ondemand",     "conservative",  "interactive", "schedutil",
+      "random"};
   return methods;
 }
 
 }  // namespace
 
+const std::vector<std::string>& campaign_method_names() {
+  return known_methods_impl();
+}
+
+bool is_campaign_method(const std::string& method) {
+  const auto& methods = known_methods_impl();
+  return std::find(methods.begin(), methods.end(), method) != methods.end();
+}
+
 void ScenarioSpec::validate() const {
-  require(!name.empty(), "scenario: empty name");
+  // Every message leads with the offending scenario's name: a failing
+  // spec inside a multi-scenario campaign or plan file must identify
+  // itself, not just the bad field.
+  const std::string who =
+      "scenario \"" + (name.empty() ? "(unnamed)" : name) + "\": ";
+  require(!name.empty(), who + "empty name");
   const auto& variants = soc::SocSpec::variant_names();
   require(std::find(variants.begin(), variants.end(), platform) !=
               variants.end(),
-          "scenario " + name + ": unknown platform variant: " + platform);
+          who + "unknown platform variant: " + platform);
+  require(platform_config.sensor_noise_sd >= 0.0,
+          who + "sensor_noise_sd must be >= 0");
   require(!benchmark_apps.empty() || generated.has_value(),
-          "scenario " + name + ": empty application suite");
+          who + "empty application suite");
   const auto& bench_names = apps::benchmark_names();
   for (const auto& app : benchmark_apps) {
     require(std::find(bench_names.begin(), bench_names.end(), app) !=
                 bench_names.end(),
-            "scenario " + name + ": unknown benchmark app: " + app);
+            who + "unknown benchmark app: " + app);
   }
-  require(objectives.size() >= 2,
-          "scenario " + name + ": need at least two objectives");
-  require(!methods.empty(), "scenario " + name + ": no methods");
+  if (generated.has_value()) {
+    const WorkloadGenConfig& g = *generated;
+    require(g.num_apps >= 1, who + "generated.num_apps must be >= 1");
+    require(g.min_phases >= 1 && g.min_phases <= g.max_phases,
+            who + "generated phase bounds invalid (need 1 <= min_phases "
+                  "<= max_phases)");
+    require(g.min_run_length >= 1 && g.min_run_length <= g.max_run_length,
+            who + "generated run-length bounds invalid (need 1 <= "
+                  "min_run_length <= max_run_length)");
+    require(g.jitter >= 0.0, who + "generated.jitter must be >= 0");
+  }
+  require(objectives.size() >= 2, who + "need at least two objectives");
+  if (thermal) {
+    require(thermal_params.release_point_c <= thermal_params.trip_point_c,
+            who + "thermal release point must not exceed the trip point");
+  }
+  require(!methods.empty(), who + "no methods");
   for (const auto& m : methods) {
-    require(std::find(known_methods().begin(), known_methods().end(), m) !=
-                known_methods().end(),
-            "scenario " + name + ": unknown method: " + m);
+    require(is_campaign_method(m), who + "unknown method: " + m);
   }
+  require(parmis.num_initial >= 1, who + "parmis.num_initial must be >= 1");
+  require(parmis.theta_bound > 0.0, who + "parmis.theta_bound must be > 0");
 }
 
 namespace {

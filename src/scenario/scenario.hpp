@@ -58,9 +58,18 @@ struct ScenarioSpec {
   core::ParmisConfig parmis;  ///< budget template; seed overridden per cell
 
   /// Throws parmis::Error if the spec is internally inconsistent
-  /// (unknown platform/app/method names, empty suite, < 2 objectives).
+  /// (unknown platform/app/method names, empty suite, < 2 objectives,
+  /// inconsistent generator/thermal/budget parameters).  Every message
+  /// names the offending scenario, so a bad spec inside a multi-
+  /// scenario campaign or plan file identifies itself.
   void validate() const;
 };
+
+/// Methods the campaign runner can execute on a cell: "parmis", the
+/// "scalarization" baseline, and every governor make_governor_policy()
+/// understands.  One list serves validate(), plan validation, and CLIs.
+const std::vector<std::string>& campaign_method_names();
+bool is_campaign_method(const std::string& method);
 
 /// Versioned canonical byte serialization of every ScenarioSpec field
 /// that can influence cell results.  Two specs serialize identically

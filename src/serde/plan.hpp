@@ -1,0 +1,128 @@
+// Declarative campaign plans: the file format every sharded or
+// distributed campaign speaks.
+//
+// A CampaignPlan is the data form of one campaign invocation: which
+// scenarios (registry names, user scenario files, or inline specs),
+// which methods, how many seeds, the anchor limit, cache settings, and
+// an optional shard slice.  `campaign --plan file.json` consumes plans;
+// `campaign --dump-plan` emits the effective plan of any flag-driven
+// invocation, so "flags today, file tomorrow" is one command away and a
+// plan-driven run reproduces the flag-driven run's digest bit for bit.
+//
+// Sharding: a plan (or --shard-index/--shard-count) selects one
+// deterministic contiguous slice of the campaign's ordered cell list.
+// Slices partition the cells — every cell lands in exactly one shard —
+// so N processes with shard {i, N} over one shared cache directory
+// compute the whole campaign exactly once, and merged reports are
+// auditable via the shard metadata echoed into every report row.
+#ifndef PARMIS_SERDE_PLAN_HPP
+#define PARMIS_SERDE_PLAN_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "exec/campaign.hpp"
+#include "scenario/scenario.hpp"
+
+namespace parmis::serde {
+
+/// Schema tag embedded in (and required of) every plan document.
+inline constexpr const char* kPlanSchema = "parmis-plan-v1";
+
+/// One scenario reference: a catalogue name, or a full inline spec.
+struct ScenarioRef {
+  std::string name;  ///< catalogue lookup key when no inline spec
+  std::optional<scenario::ScenarioSpec> inline_spec;
+
+  static ScenarioRef by_name(std::string name);
+  static ScenarioRef inlined(scenario::ScenarioSpec spec);
+};
+
+/// Cache settings carried by a plan (CLI flags override).
+struct PlanCache {
+  std::string dir;  ///< empty = cache disabled
+};
+
+/// The declarative form of one campaign invocation.
+struct CampaignPlan {
+  std::string name = "campaign";
+  std::vector<ScenarioRef> scenarios;
+  /// Non-empty: overrides every selected scenario's method list.
+  std::vector<std::string> methods;
+  std::size_t seeds_per_cell = 1;
+  std::uint64_t base_seed = 1;
+  std::size_t anchor_limit = 3;
+  /// Raise PaRMIS budgets toward paper scale (--full).
+  bool full_budget = false;
+  PlanCache cache;
+  std::optional<exec::ShardSpec> shard;
+
+  /// Structural checks that need no catalogue: non-empty scenario set,
+  /// seeds >= 1, known method names, shard.index < shard.count.
+  /// Scenario-level validation happens at resolve time (it needs the
+  /// catalogue to materialize named scenarios).
+  void validate() const;
+};
+
+/// The default campaign (`campaign` with no flags) as a plan: every
+/// registry scenario by name, one seed, default anchors.  Pinned by a
+/// golden test, so accidental default drift is caught.
+CampaignPlan default_campaign_plan();
+
+// ---------------------------------------------------------------- serde
+
+json::Value plan_to_json(const CampaignPlan& plan);
+/// Strict decode; `context` (e.g. the file path) prefixes every error.
+CampaignPlan plan_from_json(const json::Value& doc,
+                            const std::string& context);
+
+CampaignPlan load_plan(const std::string& path);
+void save_plan(const std::string& path, const CampaignPlan& plan);
+
+// ----------------------------------------------------------- catalogue
+
+/// Scenario lookup across the built-in registry and user scenario files.
+/// Built-in names always resolve; user scenarios register alongside them
+/// and may not shadow a built-in (or each other).
+class ScenarioCatalogue {
+ public:
+  ScenarioCatalogue();  ///< built-ins only
+
+  /// Registers one user scenario; throws on a duplicate name.  The spec
+  /// is validated on registration so a bad file fails at load time.
+  void add(scenario::ScenarioSpec spec);
+
+  /// Loads every "*.json" directly inside `dir` as a scenario file.
+  /// Returns the number of scenarios registered.
+  std::size_t add_directory(const std::string& dir);
+
+  /// Built-in names first (registry order), then user names (load order).
+  std::vector<std::string> names() const;
+  bool contains(const std::string& name) const;
+  /// Throws for unknown names, listing where lookup was attempted.
+  scenario::ScenarioSpec get(const std::string& name) const;
+
+  std::size_t num_user_scenarios() const { return user_.size(); }
+
+ private:
+  std::vector<scenario::ScenarioSpec> user_;
+};
+
+/// Materializes the plan's scenario set against a catalogue, applying
+/// the plan's method override and budget selection, and validating
+/// every resolved spec (errors name the offending scenario).
+std::vector<scenario::ScenarioSpec> resolve_scenarios(
+    const CampaignPlan& plan, const ScenarioCatalogue& catalogue);
+
+/// Full plan -> runner config (threads and the cache handle are
+/// execution details the caller supplies; the cache dir travels in
+/// `plan.cache.dir`).
+exec::CampaignConfig to_campaign_config(const CampaignPlan& plan,
+                                        const ScenarioCatalogue& catalogue);
+
+}  // namespace parmis::serde
+
+#endif  // PARMIS_SERDE_PLAN_HPP

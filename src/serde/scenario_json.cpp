@@ -1,0 +1,338 @@
+#include "serde/scenario_json.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/fs.hpp"
+#include "serde/json_util.hpp"
+
+namespace parmis::serde {
+
+namespace {
+
+using json::Value;
+
+// ----------------------------------------------------------------- encode
+
+Value range_to_json(double lo, double hi) {
+  Value out = Value::array();
+  out.push_back(Value::number(lo));
+  out.push_back(Value::number(hi));
+  return out;
+}
+
+Value archetype_to_json(const scenario::EpochDistribution& d) {
+  Value out = Value::object();
+  out.set("label", Value::string(d.label));
+  out.set("instructions_g",
+          range_to_json(d.instructions_g_min, d.instructions_g_max));
+  out.set("parallel_fraction",
+          range_to_json(d.parallel_fraction_min, d.parallel_fraction_max));
+  out.set("mem_bytes_per_instr",
+          range_to_json(d.mem_bytes_per_instr_min,
+                        d.mem_bytes_per_instr_max));
+  out.set("branch_miss_rate",
+          range_to_json(d.branch_miss_rate_min, d.branch_miss_rate_max));
+  out.set("ilp", range_to_json(d.ilp_min, d.ilp_max));
+  out.set("big_affinity",
+          range_to_json(d.big_affinity_min, d.big_affinity_max));
+  out.set("duty", range_to_json(d.duty_min, d.duty_max));
+  return out;
+}
+
+Value generated_to_json(const scenario::WorkloadGenConfig& g) {
+  Value out = Value::object();
+  out.set("num_apps", u64_to_json(g.num_apps));
+  out.set("min_phases", u64_to_json(g.min_phases));
+  out.set("max_phases", u64_to_json(g.max_phases));
+  out.set("min_run_length", u64_to_json(g.min_run_length));
+  out.set("max_run_length", u64_to_json(g.max_run_length));
+  out.set("jitter", Value::number(g.jitter));
+  out.set("name_prefix", Value::string(g.name_prefix));
+  Value archetypes = Value::array();
+  for (const auto& a : g.archetypes) archetypes.push_back(archetype_to_json(a));
+  out.set("archetypes", std::move(archetypes));
+  return out;
+}
+
+Value platform_config_to_json(const soc::PlatformConfig& c) {
+  Value out = Value::object();
+  out.set("sensor_noise_sd", Value::number(c.sensor_noise_sd));
+  out.set("noise_seed", u64_to_json(c.noise_seed));
+  out.set("charge_dvfs_transitions",
+          Value::boolean(c.charge_dvfs_transitions));
+  return out;
+}
+
+Value thermal_params_to_json(const soc::ThermalParams& t) {
+  Value out = Value::object();
+  out.set("ambient_c", Value::number(t.ambient_c));
+  out.set("resistance_c_per_w", Value::number(t.resistance_c_per_w));
+  out.set("capacitance_j_per_c", Value::number(t.capacitance_j_per_c));
+  out.set("trip_point_c", Value::number(t.trip_point_c));
+  out.set("release_point_c", Value::number(t.release_point_c));
+  return out;
+}
+
+Value parmis_config_to_json(const core::ParmisConfig& c) {
+  // Mirrors scenario::canonical_serialize's field set: per-cell
+  // overridden knobs (seed, initial_thetas) and pure reporting knobs
+  // (track_convergence, phv_reference, pool) are deliberately absent —
+  // they cannot change cell results, so round-tripping through JSON
+  // cannot move cache keys.
+  Value out = Value::object();
+  out.set("num_initial", u64_to_json(c.num_initial));
+  out.set("max_iterations", u64_to_json(c.max_iterations));
+  out.set("theta_bound", Value::number(c.theta_bound));
+  out.set("kernel", Value::string(c.kernel));
+  out.set("noise_variance", Value::number(c.noise_variance));
+  out.set("hyperopt_interval", u64_to_json(c.hyperopt_interval));
+  out.set("hyperopt_candidates", u64_to_json(c.hyperopt_candidates));
+  out.set("acq_pool_size", u64_to_json(c.acq_pool_size));
+  out.set("acq_refine_steps", u64_to_json(c.acq_refine_steps));
+  out.set("perturbation_sd", Value::number(c.perturbation_sd));
+  Value acq = Value::object();
+  acq.set("num_mc_samples", u64_to_json(c.acquisition.num_mc_samples));
+  acq.set("rff_features", u64_to_json(c.acquisition.rff_features));
+  Value fs = Value::object();
+  const moo::Nsga2Config& f = c.acquisition.front_sampler;
+  fs.set("population_size", u64_to_json(f.population_size));
+  fs.set("generations", u64_to_json(f.generations));
+  fs.set("crossover_probability", Value::number(f.crossover_probability));
+  fs.set("sbx_eta", Value::number(f.sbx_eta));
+  fs.set("mutation_probability", Value::number(f.mutation_probability));
+  fs.set("mutation_eta", Value::number(f.mutation_eta));
+  fs.set("seed", u64_to_json(f.seed));
+  acq.set("front_sampler", std::move(fs));
+  out.set("acquisition", std::move(acq));
+  return out;
+}
+
+// ----------------------------------------------------------------- decode
+
+void range_from_json(ObjectReader& r, const std::string& key, double& lo,
+                     double& hi) {
+  const Value* v = r.optional_key(key);
+  if (v == nullptr) return;
+  require(v->is_array() && v->size() == 2,
+          r.context() + ": key \"" + key + "\": expected [min, max]");
+  lo = r.as_f64(v->at(std::size_t{0}), key);
+  hi = r.as_f64(v->at(std::size_t{1}), key);
+}
+
+scenario::EpochDistribution archetype_from_json(const Value& doc,
+                                                const std::string& context) {
+  ObjectReader r(doc, context);
+  scenario::EpochDistribution d;
+  d.label = r.get_string("label");
+  range_from_json(r, "instructions_g", d.instructions_g_min,
+                  d.instructions_g_max);
+  range_from_json(r, "parallel_fraction", d.parallel_fraction_min,
+                  d.parallel_fraction_max);
+  range_from_json(r, "mem_bytes_per_instr", d.mem_bytes_per_instr_min,
+                  d.mem_bytes_per_instr_max);
+  range_from_json(r, "branch_miss_rate", d.branch_miss_rate_min,
+                  d.branch_miss_rate_max);
+  range_from_json(r, "ilp", d.ilp_min, d.ilp_max);
+  range_from_json(r, "big_affinity", d.big_affinity_min, d.big_affinity_max);
+  range_from_json(r, "duty", d.duty_min, d.duty_max);
+  r.finish();
+  return d;
+}
+
+scenario::WorkloadGenConfig generated_from_json(const Value& doc,
+                                                const std::string& context) {
+  ObjectReader r(doc, context);
+  scenario::WorkloadGenConfig g;
+  g.num_apps = r.get_size("num_apps", g.num_apps);
+  g.min_phases = r.get_size("min_phases", g.min_phases);
+  g.max_phases = r.get_size("max_phases", g.max_phases);
+  g.min_run_length = r.get_size("min_run_length", g.min_run_length);
+  g.max_run_length = r.get_size("max_run_length", g.max_run_length);
+  g.jitter = r.get_f64("jitter", g.jitter);
+  g.name_prefix = r.get_string("name_prefix", g.name_prefix);
+  if (const Value* archetypes = r.optional_key("archetypes")) {
+    require(archetypes->is_array(),
+            context + ": key \"archetypes\": expected array");
+    std::size_t i = 0;
+    for (const auto& a : archetypes->items()) {
+      g.archetypes.push_back(archetype_from_json(
+          a, context + ": archetype #" + std::to_string(i)));
+      ++i;
+    }
+  }
+  r.finish();
+  return g;
+}
+
+soc::PlatformConfig platform_config_from_json(const Value& doc,
+                                              const std::string& context) {
+  ObjectReader r(doc, context);
+  soc::PlatformConfig c;
+  c.sensor_noise_sd = r.get_f64("sensor_noise_sd", c.sensor_noise_sd);
+  c.noise_seed = r.get_u64("noise_seed", c.noise_seed);
+  c.charge_dvfs_transitions =
+      r.get_bool("charge_dvfs_transitions", c.charge_dvfs_transitions);
+  r.finish();
+  return c;
+}
+
+soc::ThermalParams thermal_params_from_json(const Value& doc,
+                                            const std::string& context) {
+  ObjectReader r(doc, context);
+  soc::ThermalParams t;
+  t.ambient_c = r.get_f64("ambient_c", t.ambient_c);
+  t.resistance_c_per_w = r.get_f64("resistance_c_per_w",
+                                   t.resistance_c_per_w);
+  t.capacitance_j_per_c =
+      r.get_f64("capacitance_j_per_c", t.capacitance_j_per_c);
+  t.trip_point_c = r.get_f64("trip_point_c", t.trip_point_c);
+  t.release_point_c = r.get_f64("release_point_c", t.release_point_c);
+  r.finish();
+  return t;
+}
+
+core::ParmisConfig parmis_config_from_json(const Value& doc,
+                                           const std::string& context) {
+  ObjectReader r(doc, context);
+  core::ParmisConfig c;
+  c.num_initial = r.get_size("num_initial", c.num_initial);
+  c.max_iterations = r.get_size("max_iterations", c.max_iterations);
+  c.theta_bound = r.get_f64("theta_bound", c.theta_bound);
+  c.kernel = r.get_string("kernel", c.kernel);
+  c.noise_variance = r.get_f64("noise_variance", c.noise_variance);
+  c.hyperopt_interval = r.get_size("hyperopt_interval", c.hyperopt_interval);
+  c.hyperopt_candidates =
+      r.get_size("hyperopt_candidates", c.hyperopt_candidates);
+  c.acq_pool_size = r.get_size("acq_pool_size", c.acq_pool_size);
+  c.acq_refine_steps = r.get_size("acq_refine_steps", c.acq_refine_steps);
+  c.perturbation_sd = r.get_f64("perturbation_sd", c.perturbation_sd);
+  if (const Value* acq_doc = r.optional_key("acquisition")) {
+    ObjectReader acq(*acq_doc, context + ": acquisition");
+    c.acquisition.num_mc_samples =
+        acq.get_size("num_mc_samples", c.acquisition.num_mc_samples);
+    c.acquisition.rff_features =
+        acq.get_size("rff_features", c.acquisition.rff_features);
+    if (const Value* fs_doc = acq.optional_key("front_sampler")) {
+      ObjectReader fs(*fs_doc, context + ": acquisition front_sampler");
+      moo::Nsga2Config& f = c.acquisition.front_sampler;
+      f.population_size = fs.get_size("population_size", f.population_size);
+      f.generations = fs.get_size("generations", f.generations);
+      f.crossover_probability =
+          fs.get_f64("crossover_probability", f.crossover_probability);
+      f.sbx_eta = fs.get_f64("sbx_eta", f.sbx_eta);
+      f.mutation_probability =
+          fs.get_f64("mutation_probability", f.mutation_probability);
+      f.mutation_eta = fs.get_f64("mutation_eta", f.mutation_eta);
+      f.seed = fs.get_u64("seed", f.seed);
+      fs.finish();
+    }
+    acq.finish();
+  }
+  r.finish();
+  return c;
+}
+
+std::vector<std::string> string_array(ObjectReader& r,
+                                      const std::string& key) {
+  std::vector<std::string> out;
+  const Value* v = r.optional_key(key);
+  if (v == nullptr) return out;
+  require(v->is_array(),
+          r.context() + ": key \"" + key + "\": expected array of strings");
+  for (const auto& item : v->items()) out.push_back(r.as_string(item, key));
+  return out;
+}
+
+}  // namespace
+
+json::Value scenario_to_json(const scenario::ScenarioSpec& spec) {
+  Value out = Value::object();
+  out.set("schema", Value::string(kScenarioSchema));
+  out.set("name", Value::string(spec.name));
+  out.set("description", Value::string(spec.description));
+  out.set("platform", Value::string(spec.platform));
+  out.set("platform_config", platform_config_to_json(spec.platform_config));
+  Value apps = Value::array();
+  for (const auto& a : spec.benchmark_apps) apps.push_back(Value::string(a));
+  out.set("benchmark_apps", std::move(apps));
+  if (spec.generated.has_value()) {
+    out.set("generated", generated_to_json(*spec.generated));
+  }
+  out.set("workload_seed", u64_to_json(spec.workload_seed));
+  Value objectives = Value::array();
+  for (runtime::ObjectiveKind kind : spec.objectives) {
+    objectives.push_back(Value::string(runtime::objective_kind_name(kind)));
+  }
+  out.set("objectives", std::move(objectives));
+  out.set("thermal", Value::boolean(spec.thermal));
+  out.set("thermal_params", thermal_params_to_json(spec.thermal_params));
+  Value methods = Value::array();
+  for (const auto& m : spec.methods) methods.push_back(Value::string(m));
+  out.set("methods", std::move(methods));
+  out.set("parmis", parmis_config_to_json(spec.parmis));
+  return out;
+}
+
+scenario::ScenarioSpec scenario_from_json(const json::Value& doc,
+                                          const std::string& context) {
+  ObjectReader r(doc, context);
+  const std::string schema = r.get_string("schema", kScenarioSchema);
+  require(schema == kScenarioSchema,
+          context + ": unsupported scenario schema \"" + schema +
+              "\" (this build reads \"" + kScenarioSchema + "\")");
+  scenario::ScenarioSpec spec;
+  spec.name = r.get_string("name");
+  const std::string ctx = context + ": scenario \"" + spec.name + "\"";
+  spec.description = r.get_string("description", "");
+  spec.platform = r.get_string("platform", spec.platform);
+  if (const Value* pc = r.optional_key("platform_config")) {
+    spec.platform_config =
+        platform_config_from_json(*pc, ctx + ": platform_config");
+  }
+  spec.benchmark_apps = string_array(r, "benchmark_apps");
+  if (const Value* gen = r.optional_key("generated")) {
+    spec.generated = generated_from_json(*gen, ctx + ": generated");
+  }
+  spec.workload_seed = r.get_u64("workload_seed", spec.workload_seed);
+  if (r.has("objectives")) {
+    spec.objectives.clear();
+    for (const auto& name : string_array(r, "objectives")) {
+      try {
+        spec.objectives.push_back(runtime::objective_kind_from_name(name));
+      } catch (const Error&) {
+        require(false, ctx + ": unknown objective \"" + name + "\"");
+      }
+    }
+  }
+  spec.thermal = r.get_bool("thermal", spec.thermal);
+  if (const Value* tp = r.optional_key("thermal_params")) {
+    spec.thermal_params =
+        thermal_params_from_json(*tp, ctx + ": thermal_params");
+  }
+  if (r.has("methods")) spec.methods = string_array(r, "methods");
+  if (const Value* pc = r.optional_key("parmis")) {
+    spec.parmis = parmis_config_from_json(*pc, ctx + ": parmis");
+  }
+  r.finish();
+  return spec;
+}
+
+scenario::ScenarioSpec load_scenario(const std::string& path) {
+  const std::optional<std::string> text = read_file(path);
+  require(text.has_value(), "serde: cannot read scenario file: " + path);
+  json::Value doc;
+  try {
+    doc = json::parse(*text);
+  } catch (const Error& e) {
+    require(false, path + ": " + e.what());
+  }
+  return scenario_from_json(doc, path);
+}
+
+void save_scenario(const std::string& path,
+                   const scenario::ScenarioSpec& spec) {
+  atomic_write_file(path, json::dump(scenario_to_json(spec)));
+}
+
+}  // namespace parmis::serde

@@ -1,0 +1,48 @@
+// ScenarioSpec <-> versioned JSON.
+//
+// This is the boundary that makes scenarios data instead of code: every
+// field that scenario::canonical_serialize covers (plus `description`
+// and `methods`, which shape campaign cells but not cell results) maps
+// to a named JSON field, and the round-trip contract is exact —
+// canonical_serialize(from_json(to_json(spec))) is byte-identical to
+// canonical_serialize(spec), so scenario files compose safely with the
+// content-addressed result cache (loading a spec from JSON can never
+// move its cache keys).
+//
+// Decoding is strict: unknown keys are rejected (naming the key), wrong
+// types are rejected (naming expected and actual), and every error is
+// prefixed with the scenario's name/context so a bad spec inside a
+// multi-scenario plan file points at the offender.  The document schema
+// is versioned via the "schema" field; see docs/plan_schema.md for the
+// bump policy (it mirrors the cache schema-version rules).
+#ifndef PARMIS_SERDE_SCENARIO_JSON_HPP
+#define PARMIS_SERDE_SCENARIO_JSON_HPP
+
+#include <string>
+
+#include "common/json.hpp"
+#include "scenario/scenario.hpp"
+
+namespace parmis::serde {
+
+/// Schema tag embedded in (and required of) every scenario document.
+inline constexpr const char* kScenarioSchema = "parmis-scenario-v1";
+
+/// Full-fidelity JSON document for one spec (includes the schema tag).
+json::Value scenario_to_json(const scenario::ScenarioSpec& spec);
+
+/// Strict decode of a scenario document.  `context` names the source
+/// ("plan scenario #3", a file path) in every error message.  The
+/// returned spec is NOT validated — callers decide when to validate()
+/// so load-then-edit flows work.
+scenario::ScenarioSpec scenario_from_json(const json::Value& doc,
+                                          const std::string& context);
+
+/// File convenience wrappers (atomic write; parse errors name the path).
+scenario::ScenarioSpec load_scenario(const std::string& path);
+void save_scenario(const std::string& path,
+                   const scenario::ScenarioSpec& spec);
+
+}  // namespace parmis::serde
+
+#endif  // PARMIS_SERDE_SCENARIO_JSON_HPP

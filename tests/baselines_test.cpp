@@ -56,6 +56,54 @@ TEST(Scalarization, Validation) {
   EXPECT_THROW(scalarization_grid(2, 1), Error);
 }
 
+TEST(ScalarizedSearch, SweepsGridDeterministicallyOnAnalyticProblem) {
+  // theta in [-2, 2]^2; objectives (theta0 - 1)^2 and (theta0 + 1)^2
+  // plus a theta1 penalty: the true front lives on theta1 = 0,
+  // theta0 in [-1, 1].
+  const auto evaluate = [](const num::Vec& t) {
+    const double penalty = t[1] * t[1];
+    return num::Vec{(t[0] - 1.0) * (t[0] - 1.0) + penalty,
+                    (t[0] + 1.0) * (t[0] + 1.0) + penalty};
+  };
+  ScalarizedSearchConfig config;
+  config.grid_divisions = 5;
+  config.steps_per_weight = 20;
+  config.seed = 3;
+  config.initial_thetas = {{0.0, 1.5}, {1.8, -1.2}};
+  const BaselineFrontResult a = scalarized_search(evaluate, 2, 2, config);
+  const BaselineFrontResult b = scalarized_search(evaluate, 2, 2, config);
+
+  // Budget accounting: anchors + grid * steps, all recorded.
+  EXPECT_EQ(a.total_evaluations, 2u + 5u * 20u);
+  EXPECT_EQ(a.thetas.size(), a.total_evaluations);
+  EXPECT_EQ(a.objectives.size(), a.total_evaluations);
+  EXPECT_FALSE(a.pareto_indices.empty());
+
+  // Determinism, bit for bit.
+  ASSERT_EQ(a.objectives.size(), b.objectives.size());
+  for (std::size_t i = 0; i < a.objectives.size(); ++i) {
+    EXPECT_EQ(a.objectives[i], b.objectives[i]);
+    EXPECT_EQ(a.thetas[i], b.thetas[i]);
+  }
+
+  // The hill climb actually optimizes: some front point must beat every
+  // anchor under the pure single-objective weights.
+  double best_f0 = 1e300;
+  for (const auto& o : a.pareto_front()) best_f0 = std::min(best_f0, o[0]);
+  EXPECT_LT(best_f0, 0.5);  // anchors give f0 = 1.0+ at best
+
+  // Thetas are clamped into the box.
+  for (const auto& t : a.thetas) {
+    for (double v : t) {
+      EXPECT_GE(v, -config.theta_bound);
+      EXPECT_LE(v, config.theta_bound);
+    }
+  }
+
+  EXPECT_THROW(scalarized_search(evaluate, 0, 2, config), Error);
+  EXPECT_THROW(scalarized_search(evaluate, 2, 1, config), Error);
+}
+
 TEST(Scalarization, FrontResultExtractsPareto) {
   BaselineFrontResult r;
   r.objectives = {{1.0, 3.0}, {2.0, 2.0}, {3.0, 1.0}, {3.0, 3.0}};
