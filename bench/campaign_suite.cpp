@@ -14,8 +14,15 @@
 // a third, fully cached pass over the same cells, reporting the replay
 // speedup and asserting the replayed digest matches the computed one.
 //
+// A final method-matrix probe iterates the method registry — not a
+// hard-coded list — running every registered method whose declared
+// capabilities admit a small time/energy scenario on each platform
+// variant (tiny learned-baseline budgets via typed method configs), and
+// asserts the matrix digest is thread-count-invariant too.
+//
 // Flags: --threads=N  --seeds=K  --csv=path  --full  --cache-dir=path
 #include <iostream>
+#include <memory>
 #include <utility>
 
 #include "bench_common.hpp"
@@ -25,7 +32,10 @@
 #include "core/policy_search.hpp"
 #include "exec/campaign.hpp"
 #include "exec/thread_pool.hpp"
+#include "methods/builtin.hpp"
+#include "methods/registry.hpp"
 #include "scenario/scenario.hpp"
+#include "soc/decision.hpp"
 
 namespace {
 
@@ -56,6 +66,54 @@ std::pair<double, double> intra_cell_run(std::size_t threads) {
   const core::ParmisResult result = parmis.run();
   return {wall.seconds(),
           result.phv_history.empty() ? 0.0 : result.phv_history.back()};
+}
+
+/// One tiny time/energy scenario per platform variant, its method list
+/// drawn live from the registry (every method whose capabilities admit
+/// the scenario's objectives and the platform's decision space).
+exec::CampaignConfig registry_matrix_campaign(std::size_t threads) {
+  exec::CampaignConfig config;
+  for (const std::string platform :
+       {"exynos5422", "manycore16", "mobile3"}) {
+    scenario::ScenarioSpec spec =
+        scenario::make_scenario("xu3-synthetic-te");
+    spec.name = "matrix-" + platform;
+    spec.platform = platform;
+    spec.generated->num_apps = 2;
+    spec.methods.clear();
+    const std::size_t space =
+        soc::DecisionSpace(soc::SocSpec::by_name(platform)).size();
+    const methods::MethodRegistry& registry =
+        methods::MethodRegistry::instance();
+    for (const auto& name : registry.names()) {
+      const methods::MethodCapabilities caps =
+          registry.get(name).capabilities();
+      if (!caps.supports_all(spec.objectives)) continue;
+      if (caps.max_decision_space != 0 &&
+          space > caps.max_decision_space) {
+        continue;
+      }
+      spec.methods.push_back(name);
+    }
+    config.scenarios.push_back(std::move(spec));
+  }
+  // Tiny learned-baseline budgets so the matrix stays a probe.
+  auto rl = std::make_shared<methods::RlMethodConfig>();
+  rl->grid_divisions = 2;
+  rl->episodes = 4;
+  auto il = std::make_shared<methods::IlMethodConfig>();
+  il->grid_divisions = 2;
+  il->dagger_rounds = 0;
+  il->training_passes = 4;
+  auto dypo = std::make_shared<methods::DypoMethodConfig>();
+  dypo->grid_divisions = 2;
+  dypo->num_clusters = 2;
+  config.method_configs.set("rl", rl);
+  config.method_configs.set("il", il);
+  config.method_configs.set("dypo", dypo);
+  config.anchor_limit = 1;
+  config.num_threads = threads;
+  return config;
 }
 
 }  // namespace
@@ -142,6 +200,39 @@ int main(int argc, char** argv) {
               << "\n";
   }
 
+  // Registry-driven method matrix: every registered method that fits.
+  const exec::CampaignReport matrix_serial =
+      exec::CampaignRunner(registry_matrix_campaign(1)).run();
+  const exec::CampaignReport matrix_parallel =
+      exec::CampaignRunner(registry_matrix_campaign(threads)).run();
+  // Pass requires every cell to succeed AND digest equality — a method
+  // that deterministically errors would otherwise match its own broken
+  // digest at both thread counts and slip through.
+  bool matrix_ok = matrix_serial.objectives_digest() ==
+                   matrix_parallel.objectives_digest();
+  for (const auto& cell : matrix_parallel.cells) {
+    matrix_ok = matrix_ok && cell.error.empty();
+  }
+  Table matrix_table({"scenario", "method", "phv", "front", "wall_s"});
+  for (const auto& cell : matrix_parallel.cells) {
+    matrix_table.begin_row()
+        .add(cell.scenario)
+        .add(cell.error.empty() ? cell.method : cell.method + " FAILED")
+        .add(cell.phv, 4)
+        .add_int(static_cast<long long>(cell.front.size()))
+        .add(cell.wall_s, 3);
+  }
+  std::cout << "\nmethod matrix ("
+            << methods::MethodRegistry::instance().names().size()
+            << " registered methods, capability-filtered per platform):\n";
+  matrix_table.print(std::cout);
+  std::cout << "matrix determinism: "
+            << (matrix_ok ? "bitwise-identical objectives"
+                          : "DIGEST MISMATCH")
+            << " at 1 vs " << threads << " threads, "
+            << matrix_parallel.cells.size() << " cells in "
+            << format_double(matrix_parallel.wall_s, 3) << " s\n";
+
   const auto [serial_s, serial_phv] = intra_cell_run(1);
   const auto [pooled_s, pooled_phv] = intra_cell_run(threads);
   std::cout << "intra-cell (12-app global, pooled evaluator + acquisition): "
@@ -151,5 +242,7 @@ int main(int argc, char** argv) {
             << "x, PHV match: "
             << (serial_phv == pooled_phv ? "bitwise" : "MISMATCH") << "\n";
 
-  return identical && cache_ok && serial_phv == pooled_phv ? 0 : 1;
+  return identical && cache_ok && matrix_ok && serial_phv == pooled_phv
+             ? 0
+             : 1;
 }

@@ -2,6 +2,7 @@
 //
 // Examples:
 //   campaign --list
+//   campaign --list-methods               # registry: objectives + knobs
 //   campaign                              # all scenarios, all methods
 //   campaign --scenarios=xu3-mibench-te,mobile3-edp --threads=4 --seeds=2
 //   campaign --plan examples/plans/quick_smoke.json
@@ -54,6 +55,7 @@
 #include "common/table.hpp"
 #include "exec/campaign.hpp"
 #include "exec/thread_pool.hpp"
+#include "methods/registry.hpp"
 #include "scenario/scenario.hpp"
 #include "serde/plan.hpp"
 #include "serde/scenario_json.hpp"
@@ -122,6 +124,33 @@ void print_catalogue(const ScenarioCatalogue& catalogue) {
   table.print(std::cout);
 }
 
+void print_methods() {
+  // One row per registered method: its declared objective support and
+  // the knobs a plan's `method_configs` entry can set (from the typed
+  // default config's JSON form).
+  parmis::Table table({"method", "objectives", "config knobs",
+                       "description"});
+  const parmis::methods::MethodRegistry& registry =
+      parmis::methods::MethodRegistry::instance();
+  for (const auto& name : registry.names()) {
+    const parmis::methods::Method& method = registry.get(name);
+    std::string knobs = "-";
+    if (const auto config = method.default_config()) {
+      knobs.clear();
+      const parmis::json::Value doc = method.config_to_json(*config);
+      for (const auto& [key, value] : doc.members()) {
+        knobs += (knobs.empty() ? "" : ", ") + key;
+      }
+    }
+    table.begin_row()
+        .add(name)
+        .add(method.capabilities().objectives_label())
+        .add(knobs)
+        .add(method.description());
+  }
+  table.print(std::cout);
+}
+
 void print_report(const CampaignReport& report) {
   parmis::Table table({"scenario", "method", "seed", "evals", "front", "phv",
                        "overhead_us", "wall_s", "status"});
@@ -168,7 +197,8 @@ int main(int argc, char** argv) {
     const parmis::CliArgs args = parmis::CliArgs::parse(argc, argv);
     if (args.has("help")) {
       std::cout
-          << "usage: campaign [--list] [--scenarios=a,b|all] [--threads=N]\n"
+          << "usage: campaign [--list] [--list-methods]\n"
+             "                [--scenarios=a,b|all] [--threads=N]\n"
              "                [--plan=file.json] [--dump-plan[=path]]\n"
              "                [--dump-scenarios[=path]]\n"
              "                [--scenario-dir=dir] [--methods=a,b]\n"
@@ -193,6 +223,10 @@ int main(int argc, char** argv) {
     }
     if (args.has("list")) {
       print_catalogue(catalogue);
+      return 0;
+    }
+    if (args.has("list-methods")) {
+      print_methods();
       return 0;
     }
     if (args.has("dump-scenarios")) {

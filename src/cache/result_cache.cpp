@@ -214,7 +214,8 @@ std::optional<exec::CellResult> parse_entry(const std::string& entry,
 
 CellKey cell_key(const scenario::ScenarioSpec& spec,
                  const std::string& method, std::uint64_t seed,
-                 std::size_t anchor_limit) {
+                 std::size_t anchor_limit,
+                 const std::string& method_config) {
   std::string bytes;
   bytes.reserve(2048);
   put_u64(bytes, "cache_schema_version", kCacheSchemaVersion);
@@ -222,6 +223,12 @@ CellKey cell_key(const scenario::ScenarioSpec& spec,
   put_str(bytes, "method", method);
   put_u64(bytes, "seed", seed);
   put_u64(bytes, "anchor_limit", anchor_limit);
+  // A defaulted method config contributes nothing — not even a tag —
+  // so every pre-existing key stays byte-stable until a method knob is
+  // actually turned.
+  if (!method_config.empty()) {
+    put_str(bytes, "method_config", method_config);
+  }
   return CellKey{hash128(bytes)};
 }
 

@@ -47,12 +47,21 @@ struct CellKey {
 };
 
 /// Fingerprints one cell: canonical spec serialization + method + seed
-/// + anchor_limit + kCacheSchemaVersion.  Fields that cannot affect the
+/// + anchor_limit + kCacheSchemaVersion, plus the method's canonical
+/// config bytes when a non-default typed method config is in play
+/// (methods::canonical_method_config).  Fields that cannot affect the
 /// cell's outputs (spec description, the spec's method *list*) do not
 /// contribute — see scenario::canonical_serialize.
+///
+/// `method_config` is "" for a defaulted config, and then contributes
+/// nothing: keys are byte-identical to the historical 4-argument form,
+/// so existing cache entries stay valid until a knob is actually
+/// turned — and turning one method's knob moves only that method's
+/// keys.
 CellKey cell_key(const scenario::ScenarioSpec& spec,
                  const std::string& method, std::uint64_t seed,
-                 std::size_t anchor_limit);
+                 std::size_t anchor_limit,
+                 const std::string& method_config = {});
 
 /// In-process counters (one ResultCache instance's view, not the dir's).
 struct CacheStats {

@@ -10,17 +10,15 @@
 #include <optional>
 #include <sstream>
 
-#include "baselines/scalarization.hpp"
 #include "cache/result_cache.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
-#include "core/policy_search.hpp"
 #include "exec/thread_pool.hpp"
+#include "methods/registry.hpp"
 #include "moo/hypervolume.hpp"
-#include "policy/governors.hpp"
 #include "runtime/evaluator.hpp"
 
 namespace parmis::exec {
@@ -37,35 +35,6 @@ std::uint64_t mix(std::uint64_t state, std::uint64_t value) {
 std::uint64_t hash_string(const std::string& s, std::uint64_t state) {
   for (unsigned char c : s) state = mix(state, c);
   return mix(state, s.size());
-}
-
-/// Builds a baseline policy by method name; nullptr for "parmis".
-std::unique_ptr<policy::Policy> make_method_policy(
-    const std::string& method, const soc::DecisionSpace& space,
-    std::uint64_t seed) {
-  if (method == "performance") {
-    return std::make_unique<policy::PerformanceGovernor>(space);
-  }
-  if (method == "powersave") {
-    return std::make_unique<policy::PowersaveGovernor>(space);
-  }
-  if (method == "ondemand") {
-    return std::make_unique<policy::OndemandGovernor>(space);
-  }
-  if (method == "conservative") {
-    return std::make_unique<policy::ConservativeGovernor>(space);
-  }
-  if (method == "interactive") {
-    return std::make_unique<policy::InteractiveGovernor>(space);
-  }
-  if (method == "schedutil") {
-    return std::make_unique<policy::SchedutilGovernor>(space);
-  }
-  if (method == "random") {
-    return std::make_unique<policy::RandomPolicy>(space, seed);
-  }
-  require(false, "campaign: unknown method: " + method);
-  return nullptr;  // unreachable
 }
 
 /// %.17g round-trippable double for the JSON report.
@@ -122,21 +91,29 @@ std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
 }
 
 CellResult CampaignRunner::run_cell(const scenario::ScenarioSpec& spec,
-                                    const std::string& method,
+                                    const std::string& method_name,
                                     std::uint64_t seed,
-                                    std::size_t anchor_limit) {
+                                    std::size_t anchor_limit,
+                                    const methods::MethodConfigSet& configs) {
   CellResult cell;
   cell.scenario = spec.name;
   cell.platform = spec.platform;
-  cell.method = method;
+  cell.method = method_name;
   cell.seed = seed;
 
   const Stopwatch wall;
   try {
     spec.validate();
+    // Registry dispatch: the runner knows no method by name.  Unknown
+    // methods and unsupported objective sets surface as cell errors
+    // here (campaign-level validation already rejects them up front).
+    const methods::Method& method =
+        methods::MethodRegistry::instance().get(method_name);
+    const std::string who = "scenario \"" + spec.name + "\": ";
+    method.check_objectives(spec.objectives, who);
 
     // Everything below is cell-local and built in a fixed order, so the
-    // cell's outputs depend only on (spec, method, seed).
+    // cell's outputs depend only on (spec, method, seed, config).
     const soc::SocSpec soc_spec = scenario::make_platform_spec(spec);
     soc::PlatformConfig platform_config = spec.platform_config;
     // The noise substream is derived from (scenario, seed) but NOT the
@@ -145,81 +122,24 @@ CellResult CampaignRunner::run_cell(const scenario::ScenarioSpec& spec,
     platform_config.noise_seed =
         mix(hash_string(spec.name, platform_config.noise_seed), seed);
     soc::Platform platform(soc_spec, platform_config);
+    method.check_decision_space(platform.decision_space().size(), who);
 
     const std::vector<soc::Application> apps =
         scenario::make_applications(spec);
     const std::vector<runtime::Objective> objectives =
         scenario::make_objectives(spec);
-    runtime::EvaluatorConfig eval_config =
+    const runtime::EvaluatorConfig eval_config =
         scenario::make_evaluator_config(spec);
 
     cell.num_apps = apps.size();
     for (const auto& o : objectives) cell.objective_names.push_back(o.name());
 
-    if (method == "parmis" || method == "scalarization") {
-      core::DrmPolicyProblem problem(platform, apps, objectives, {},
-                                     eval_config);
-      std::vector<num::Vec> anchors = problem.anchor_thetas();
-      if (anchor_limit > 0 && anchors.size() > anchor_limit) {
-        anchors.resize(anchor_limit);
-      }
-      std::vector<num::Vec> pareto_thetas;
-      if (method == "parmis") {
-        core::ParmisConfig config = spec.parmis;
-        config.seed = seed;
-        config.initial_thetas = std::move(anchors);
-        core::Parmis parmis(problem.evaluation_fn(), problem.theta_dim(),
-                            objectives.size(), config);
-        const core::ParmisResult result = parmis.run();
-        cell.front = result.pareto_front();
-        cell.evaluations = result.thetas.size();
-        pareto_thetas = result.pareto_thetas();
-      } else {
-        // Linear-scalarization baseline over the same policy problem:
-        // the lambda sweep's budget knobs reuse the spec's PaRMIS
-        // budget so plan files tune both methods with one dial.
-        baselines::ScalarizedSearchConfig config;
-        config.steps_per_weight = std::max<std::size_t>(
-            1, spec.parmis.max_iterations);
-        config.theta_bound = spec.parmis.theta_bound;
-        config.perturbation_sd = spec.parmis.perturbation_sd;
-        config.seed = seed;
-        config.initial_thetas = std::move(anchors);
-        const baselines::BaselineFrontResult result =
-            baselines::scalarized_search(problem.evaluation_fn(),
-                                         problem.theta_dim(),
-                                         objectives.size(), config);
-        cell.front = result.pareto_front();
-        cell.evaluations = result.total_evaluations;
-        pareto_thetas = result.pareto_thetas();
-      }
-
-      // Deployed-policy decision overhead (Table II protocol): timed on
-      // the first application with the first Pareto-optimal policy.
-      if (!pareto_thetas.empty()) {
-        policy::MlpPolicy deployed = problem.make_policy(
-            pareto_thetas.front());
-        runtime::EvaluatorConfig timed = eval_config;
-        timed.measure_decision_overhead = true;
-        runtime::Evaluator evaluator(platform, timed);
-        cell.decision_overhead_us =
-            evaluator.run(deployed, apps.front()).decision_overhead_us;
-      }
-    } else {
-      std::unique_ptr<policy::Policy> policy =
-          make_method_policy(method, platform.decision_space(), seed);
-      runtime::EvaluatorConfig timed = eval_config;
-      timed.measure_decision_overhead = true;
-      runtime::GlobalEvaluator evaluator(platform, apps, objectives, timed);
-      cell.front = {evaluator.evaluate(*policy)};
-      cell.evaluations = 1;
-      double overhead = 0.0;
-      for (const auto& m : evaluator.last_per_app_metrics()) {
-        overhead += m.decision_overhead_us;
-      }
-      cell.decision_overhead_us =
-          overhead / static_cast<double>(apps.size());
-    }
+    const methods::CellContext ctx{spec,        platform, apps, objectives,
+                                   eval_config, seed,     anchor_limit};
+    methods::MethodOutput out = method.run(ctx, configs.find(method_name));
+    cell.front = std::move(out.front);
+    cell.evaluations = out.evaluations;
+    cell.decision_overhead_us = out.decision_overhead_us;
 
     // Per-objective best in natural units.
     cell.best_raw.assign(objectives.size(), 0.0);
@@ -244,6 +164,17 @@ CampaignRunner::CampaignRunner(CampaignConfig config)
               config_.shard.index < config_.shard.count,
           "campaign: shard index must be in [0, shard count)");
   for (const auto& s : config_.scenarios) s.validate();
+  // Misconfigured method entries (knobless method, foreign config
+  // type) must fail before any cell runs — with a cache enabled, key
+  // computation would otherwise hit them outside the per-cell
+  // error handling.
+  for (const auto& [name, method_config] : config_.method_configs.entries()) {
+    const methods::Method* method =
+        methods::MethodRegistry::instance().find(name);
+    require(method != nullptr, "campaign: method_configs entry for "
+                                   "unknown method: " + name);
+    method->check_config(method_config.get(), "campaign: ");
+  }
 }
 
 std::vector<CampaignRunner::CellSpec> CampaignRunner::build_cells() const {
@@ -273,7 +204,9 @@ std::pair<std::size_t, std::size_t> CampaignRunner::probe_cache() const {
   std::size_t cached = 0;
   for (const auto& cell : cells) {
     if (config_.cache->contains(cache::cell_key(
-            *cell.scenario, cell.method, cell.seed, config_.anchor_limit))) {
+            *cell.scenario, cell.method, cell.seed, config_.anchor_limit,
+            methods::canonical_method_config(cell.method,
+                                             config_.method_configs)))) {
       ++cached;
     }
   }
@@ -291,8 +224,10 @@ CampaignReport CampaignRunner::run() {
   if (cache != nullptr) {
     keys.reserve(cells.size());
     for (const auto& cell : cells) {
-      keys.push_back(cache::cell_key(*cell.scenario, cell.method, cell.seed,
-                                     config_.anchor_limit));
+      keys.push_back(cache::cell_key(
+          *cell.scenario, cell.method, cell.seed, config_.anchor_limit,
+          methods::canonical_method_config(cell.method,
+                                           config_.method_configs)));
     }
   }
 
@@ -327,7 +262,7 @@ CampaignReport CampaignRunner::run() {
       misses.fetch_add(1, std::memory_order_relaxed);
     }
     results[i] = run_cell(*cells[i].scenario, cells[i].method, cells[i].seed,
-                          anchor_limit);
+                          anchor_limit, config_.method_configs);
     if (cache != nullptr) cache->store(keys[i], results[i]);
   });
   report.cache_hits = hits.load();

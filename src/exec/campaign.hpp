@@ -4,7 +4,10 @@
 // seed.  Cells are fully self-contained: each builds its own SocSpec,
 // Platform (with a cell-derived sensor seed), applications, evaluator,
 // and Rng from the declarative ScenarioSpec, and runs single-threaded
-// inside.  The runner fans cells across a ThreadPool; because cell i
+// inside.  Method dispatch goes through methods::MethodRegistry — the
+// runner holds no method names of its own; any registered method
+// (PaRMIS, the scalarization/RL/IL/DyPO baselines, governors, or an
+// out-of-tree registration) is a campaign method.  The runner fans cells across a ThreadPool; because cell i
 // writes only results slot i and shares no mutable state, the per-cell
 // objective vectors are bitwise-identical at every thread count — the
 // property the campaign tests and the campaign CLI's determinism check
@@ -29,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "methods/method.hpp"
 #include "numerics/vec.hpp"
 #include "scenario/scenario.hpp"
 
@@ -87,6 +91,11 @@ struct CampaignConfig {
   /// Constant-decision anchors given to PaRMIS's initial design (0 = all
   /// of DrmPolicyProblem::anchor_thetas(); small values keep cells fast).
   std::size_t anchor_limit = 3;
+  /// Typed per-method configs (a plan's `method_configs` block).  A
+  /// method without an entry runs with its defaults; a non-default
+  /// entry is folded into that method's cache keys — and only that
+  /// method's.
+  methods::MethodConfigSet method_configs;
   /// Optional content-addressed result cache (non-owning).  When set,
   /// each cell is looked up before execution and stored after; cached
   /// cells are bit-identical replays, so the campaign digest does not
@@ -130,10 +139,13 @@ class CampaignRunner {
   /// cell is reported via CellResult::error, not by aborting the run.
   CampaignReport run();
 
-  /// Runs one cell in isolation (also the unit-test entry point).
+  /// Runs one cell in isolation (also the unit-test entry point).  The
+  /// method is resolved through methods::MethodRegistry; `configs` may
+  /// carry a typed config for it (absent entry = method defaults).
   static CellResult run_cell(const scenario::ScenarioSpec& spec,
                              const std::string& method, std::uint64_t seed,
-                             std::size_t anchor_limit);
+                             std::size_t anchor_limit,
+                             const methods::MethodConfigSet& configs = {});
 
   /// With a cache configured: (cells already cached, total cells) —
   /// what a resumed run would replay vs execute.  (0, total) otherwise.

@@ -1,0 +1,97 @@
+// The built-in campaign methods and their typed configs.
+//
+// Method matrix (the paper's comparison set, Sec. V-B, plus the DyPO
+// extension and the governor family):
+//   parmis         — the paper's information-theoretic Pareto search;
+//                    budget lives in ScenarioSpec::parmis (no method
+//                    config), supports every objective set.
+//   scalarization  — linear-scalarization DRM baseline as a black-box
+//                    hill-climb over the same policy problem.
+//   rl             — scalarized REINFORCE sweep (paper Sec. V-B);
+//                    trains on the cell's first application, deploys
+//                    each trained policy globally.  Structurally
+//                    rejects objectives without a per-epoch reward
+//                    (time/energy only, paper Sec. V-E).
+//   il             — oracle + behaviour cloning + DAgger sweep; same
+//                    time/energy-only restriction (no PPW oracle).
+//   dypo           — clustered-oracle lookup policies (DyPO, Gupta et
+//                    al. TECS'17); time/energy only.
+//   performance / powersave / ondemand / conservative / interactive /
+//   schedutil / random — single-point governor baselines.
+//
+// The config structs below are the typed form of a plan's
+// `method_configs` entries.  Defaults are chosen so that a defaulted
+// config reproduces the method's historical campaign behaviour exactly
+// — canonical_config() returns "" for them, keeping every pre-existing
+// cache key byte-stable (see docs/plan_schema.md for the version-bump
+// policy when a default must change).
+#ifndef PARMIS_METHODS_BUILTIN_HPP
+#define PARMIS_METHODS_BUILTIN_HPP
+
+#include <cstddef>
+#include <memory>
+
+#include "methods/method.hpp"
+
+namespace parmis::methods {
+
+class MethodRegistry;
+
+/// Knobs of the "scalarization" campaign method.
+struct ScalarizationMethodConfig final : MethodConfig {
+  /// Simplex-grid divisions of the lambda sweep.
+  std::size_t grid_divisions = 5;
+  /// Hill-climb evaluations per weight; 0 = reuse the scenario's
+  /// `parmis.max_iterations` budget (the historical one-dial coupling).
+  std::size_t steps_per_weight = 0;
+
+  std::unique_ptr<MethodConfig> clone() const override {
+    return std::make_unique<ScalarizationMethodConfig>(*this);
+  }
+};
+
+/// Knobs of the "rl" campaign method (REINFORCE sweep).
+struct RlMethodConfig final : MethodConfig {
+  std::size_t grid_divisions = 3;  ///< lambda grid of the reward sweep
+  std::size_t episodes = 16;       ///< rollouts per scalarization
+  double learning_rate = 1.5e-2;
+  double entropy_bonus = 5e-3;
+  double gradient_clip = 5.0;
+
+  std::unique_ptr<MethodConfig> clone() const override {
+    return std::make_unique<RlMethodConfig>(*this);
+  }
+};
+
+/// Knobs of the "il" campaign method (oracle + DAgger sweep).
+struct IlMethodConfig final : MethodConfig {
+  std::size_t grid_divisions = 3;   ///< lambda grid of the oracle sweep
+  std::size_t dagger_rounds = 1;    ///< retraining rounds after cloning
+  std::size_t training_passes = 16; ///< SGD passes per fit
+  double learning_rate = 5e-3;
+  /// true: build the oracle from the exact platform model (simulation-
+  /// only upper bound) instead of the first-order analytical model.
+  bool exact_oracle = false;
+
+  std::unique_ptr<MethodConfig> clone() const override {
+    return std::make_unique<IlMethodConfig>(*this);
+  }
+};
+
+/// Knobs of the "dypo" campaign method (clustered-oracle lookup).
+struct DypoMethodConfig final : MethodConfig {
+  std::size_t grid_divisions = 3;  ///< lambda grid of the sweep
+  std::size_t num_clusters = 3;    ///< k-means epoch clusters
+  std::unique_ptr<MethodConfig> clone() const override {
+    return std::make_unique<DypoMethodConfig>(*this);
+  }
+};
+
+/// Registers every built-in method above.  Called once by
+/// MethodRegistry::instance(); exposed for tests that build private
+/// registries.
+void register_builtin_methods(MethodRegistry& registry);
+
+}  // namespace parmis::methods
+
+#endif  // PARMIS_METHODS_BUILTIN_HPP

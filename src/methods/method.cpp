@@ -1,0 +1,107 @@
+#include "methods/method.hpp"
+
+#include <algorithm>
+#include <typeinfo>
+
+#include "common/error.hpp"
+
+namespace parmis::methods {
+
+bool MethodCapabilities::supports(runtime::ObjectiveKind kind) const {
+  if (objectives.empty()) return true;
+  return std::find(objectives.begin(), objectives.end(), kind) !=
+         objectives.end();
+}
+
+bool MethodCapabilities::supports_all(
+    const std::vector<runtime::ObjectiveKind>& kinds) const {
+  return std::all_of(kinds.begin(), kinds.end(),
+                     [&](runtime::ObjectiveKind k) { return supports(k); });
+}
+
+std::string MethodCapabilities::objectives_label() const {
+  if (objectives.empty()) return "all";
+  std::string out;
+  for (runtime::ObjectiveKind kind : objectives) {
+    out += (out.empty() ? "" : ", ") + runtime::objective_kind_name(kind);
+  }
+  return out;
+}
+
+std::unique_ptr<MethodConfig> Method::config_from_json(
+    const json::Value& doc, const std::string& context) const {
+  (void)doc;
+  require(false, context + ": method \"" + name() +
+                     "\" takes no configuration");
+  return nullptr;  // unreachable
+}
+
+json::Value Method::config_to_json(const MethodConfig& config) const {
+  (void)config;
+  require(false, "method \"" + name() + "\" takes no configuration");
+  return json::Value::null();  // unreachable
+}
+
+void Method::check_objectives(
+    const std::vector<runtime::ObjectiveKind>& kinds,
+    const std::string& who) const {
+  const MethodCapabilities caps = capabilities();
+  if (caps.objectives.empty()) return;
+  for (runtime::ObjectiveKind kind : kinds) {
+    require(caps.supports(kind),
+            who + "method \"" + name() + "\" does not support objective \"" +
+                runtime::objective_kind_name(kind) +
+                "\" (supports: " + caps.objectives_label() +
+                "; see paper Sec. V-E)");
+  }
+}
+
+void Method::check_decision_space(std::size_t space_size,
+                                  const std::string& who) const {
+  const MethodCapabilities caps = capabilities();
+  if (caps.max_decision_space == 0) return;
+  require(space_size <= caps.max_decision_space,
+          who + "method \"" + name() +
+              "\" cannot handle a decision space of " +
+              std::to_string(space_size) +
+              " configurations (its exhaustive sweep is bounded at " +
+              std::to_string(caps.max_decision_space) + ")");
+}
+
+void Method::check_config(const MethodConfig* config,
+                          const std::string& who) const {
+  if (config == nullptr) return;
+  const std::unique_ptr<MethodConfig> defaults = default_config();
+  require(defaults != nullptr,
+          who + "method \"" + name() + "\" takes no configuration");
+  // Exact-type check against the method's own config type, so the
+  // fail-fast guarantee holds for any registered method — including
+  // out-of-tree ones that never override canonical_config.
+  require(typeid(*config) == typeid(*defaults),
+          who + "method \"" + name() +
+              "\": config of the wrong type (was it built by a "
+              "different method?)");
+}
+
+void MethodConfigSet::set(const std::string& method,
+                          std::shared_ptr<const MethodConfig> config) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first != method) continue;
+    if (config == nullptr) {
+      entries_.erase(it);
+    } else {
+      it->second = std::move(config);
+    }
+    return;
+  }
+  if (config != nullptr) entries_.emplace_back(method, std::move(config));
+}
+
+const MethodConfig* MethodConfigSet::find(const std::string& method) const {
+  for (const auto& [name, config] : entries_) {
+    if (name == method) return config.get();
+  }
+  return nullptr;
+}
+
+}  // namespace parmis::methods

@@ -1,0 +1,78 @@
+// Process-wide registry of campaign methods.
+//
+// The registry is the single dispatch surface between "a method name in
+// a plan, flag, or ScenarioSpec" and the code that runs it: the
+// campaign runner, plan validation, scenario validation, the CLI's
+// --list-methods, and bench method matrices all iterate or query it —
+// nobody keeps a private method list anymore.
+//
+// The built-in methods (parmis, scalarization, rl, il, dypo, and the
+// governor family) are registered eagerly when the registry is first
+// touched, so a method is available to every binary that links the
+// library regardless of which translation units the linker kept.
+// Out-of-tree methods self-register with a static MethodRegistrar (or
+// call add() at startup); names are unique and registration is
+// append-only for the process lifetime, so `const Method&` results stay
+// valid forever.
+#ifndef PARMIS_METHODS_REGISTRY_HPP
+#define PARMIS_METHODS_REGISTRY_HPP
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "methods/method.hpp"
+
+namespace parmis::methods {
+
+class MethodRegistry {
+ public:
+  /// The process-wide instance, with every built-in method registered.
+  static MethodRegistry& instance();
+
+  /// Registers a method; throws parmis::Error on a duplicate name.
+  void add(std::unique_ptr<const Method> method);
+
+  /// nullptr for unknown names.
+  const Method* find(const std::string& name) const;
+
+  /// Throws for unknown names, listing every registered name (sorted).
+  const Method& get(const std::string& name) const;
+
+  bool contains(const std::string& name) const {
+    return find(name) != nullptr;
+  }
+
+  /// Every registered name, sorted (stable display/error order).
+  std::vector<std::string> names() const;
+
+  /// "conservative, dypo, il, …" — the sorted names, comma-joined, for
+  /// error messages.
+  std::string joined_names() const;
+
+ private:
+  MethodRegistry();  ///< registers the built-ins
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<const Method>> methods_;
+};
+
+/// Static-initialization self-registration handle:
+///   static methods::MethodRegistrar kMine{std::make_unique<MyMethod>()};
+struct MethodRegistrar {
+  explicit MethodRegistrar(std::unique_ptr<const Method> method) {
+    MethodRegistry::instance().add(std::move(method));
+  }
+};
+
+/// Canonical cache-key bytes of `method`'s entry in `configs`: "" when
+/// the method is unknown, has no entry, or the entry equals the
+/// method's defaults — exactly the cases whose cache keys must stay
+/// byte-stable.
+std::string canonical_method_config(const std::string& method,
+                                    const MethodConfigSet& configs);
+
+}  // namespace parmis::methods
+
+#endif  // PARMIS_METHODS_REGISTRY_HPP

@@ -6,28 +6,17 @@
 #include "apps/benchmarks.hpp"
 #include "common/canonical.hpp"
 #include "common/error.hpp"
+#include "methods/registry.hpp"
+#include "soc/decision.hpp"
 
 namespace parmis::scenario {
 
-namespace {
-
-const std::vector<std::string>& known_methods_impl() {
-  static const std::vector<std::string> methods = {
-      "parmis",       "scalarization", "performance", "powersave",
-      "ondemand",     "conservative",  "interactive", "schedutil",
-      "random"};
-  return methods;
-}
-
-}  // namespace
-
-const std::vector<std::string>& campaign_method_names() {
-  return known_methods_impl();
+std::vector<std::string> campaign_method_names() {
+  return methods::MethodRegistry::instance().names();
 }
 
 bool is_campaign_method(const std::string& method) {
-  const auto& methods = known_methods_impl();
-  return std::find(methods.begin(), methods.end(), method) != methods.end();
+  return methods::MethodRegistry::instance().contains(method);
 }
 
 void ScenarioSpec::validate() const {
@@ -68,8 +57,23 @@ void ScenarioSpec::validate() const {
             who + "thermal release point must not exceed the trip point");
   }
   require(!methods.empty(), who + "no methods");
+  const methods::MethodRegistry& registry =
+      methods::MethodRegistry::instance();
+  // Cheap (O(clusters)) platform-size probe for the capability check
+  // below; `platform` was verified against the variant registry above.
+  const soc::SocSpec soc_spec = soc::SocSpec::by_name(platform);
+  const std::size_t space_size = soc::DecisionSpace(soc_spec).size();
   for (const auto& m : methods) {
-    require(is_campaign_method(m), who + "unknown method: " + m);
+    const methods::Method* method = registry.find(m);
+    require(method != nullptr, who + "unknown method: " + m +
+                                   " (registered: " +
+                                   registry.joined_names() + ")");
+    // Structural method x scenario compatibility (e.g. RL/IL have no
+    // reward/oracle for PPW; IL/DyPO cannot sweep a 30M-configuration
+    // platform): fail here, at spec/plan validation time, naming the
+    // scenario and the method — never mid-campaign inside a cell.
+    method->check_objectives(objectives, who);
+    method->check_decision_space(space_size, who);
   }
   require(parmis.num_initial >= 1, who + "parmis.num_initial must be >= 1");
   require(parmis.theta_bound > 0.0, who + "parmis.theta_bound must be > 0");

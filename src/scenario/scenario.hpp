@@ -51,8 +51,9 @@ struct ScenarioSpec {
   soc::ThermalParams thermal_params;
 
   // --- methods + budgets ---
-  /// Methods the campaign runs on this scenario.  "parmis" plus any
-  /// governor name understood by make_governor_policy().
+  /// Methods the campaign runs on this scenario: any name registered
+  /// with methods::MethodRegistry (see campaign_method_names()).
+  /// validate() also checks each method's declared objective support.
   std::vector<std::string> methods = {"parmis", "performance", "powersave",
                                       "ondemand"};
   core::ParmisConfig parmis;  ///< budget template; seed overridden per cell
@@ -65,10 +66,12 @@ struct ScenarioSpec {
   void validate() const;
 };
 
-/// Methods the campaign runner can execute on a cell: "parmis", the
-/// "scalarization" baseline, and every governor make_governor_policy()
-/// understands.  One list serves validate(), plan validation, and CLIs.
-const std::vector<std::string>& campaign_method_names();
+/// Methods the campaign runner can execute on a cell, sorted — a live
+/// view of methods::MethodRegistry (parmis, the scalarization/RL/IL/
+/// DyPO baselines, every governor, plus anything registered at
+/// runtime).  One source of truth serves validate(), plan validation,
+/// and CLIs.
+std::vector<std::string> campaign_method_names();
 bool is_campaign_method(const std::string& method);
 
 /// Versioned canonical byte serialization of every ScenarioSpec field

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/fs.hpp"
+#include "methods/registry.hpp"
 #include "serde/json_util.hpp"
 #include "serde/scenario_json.hpp"
 
@@ -32,8 +33,21 @@ void CampaignPlan::validate() const {
     require(!ref.name.empty() || ref.inline_spec.has_value(),
             who + "scenario reference with neither name nor inline spec");
   }
+  const methods::MethodRegistry& registry =
+      methods::MethodRegistry::instance();
   for (const auto& m : methods) {
-    require(scenario::is_campaign_method(m), who + "unknown method: " + m);
+    require(registry.contains(m), who + "unknown method: " + m +
+                                      " (registered: " +
+                                      registry.joined_names() + ")");
+  }
+  for (const auto& [m, config] : method_configs.entries()) {
+    require(registry.contains(m),
+            who + "method_configs entry for unknown method: " + m +
+                " (registered: " + registry.joined_names() + ")");
+    require(config != nullptr, who + "null method_configs entry: " + m);
+    // Knobless methods and foreign config types fail here, not while
+    // computing cache keys or mid-campaign inside a cell.
+    registry.get(m).check_config(config.get(), who);
   }
   require(seeds_per_cell >= 1, who + "seeds_per_cell must be >= 1");
   if (shard.has_value()) {
@@ -74,6 +88,15 @@ json::Value plan_to_json(const CampaignPlan& plan) {
     for (const auto& m : plan.methods) methods.push_back(Value::string(m));
     out.set("methods", std::move(methods));
   }
+  if (!plan.method_configs.empty()) {
+    Value configs = Value::object();
+    for (const auto& [name, config] : plan.method_configs.entries()) {
+      configs.set(name, methods::MethodRegistry::instance()
+                            .get(name)
+                            .config_to_json(*config));
+    }
+    out.set("method_configs", std::move(configs));
+  }
   out.set("seeds_per_cell", u64_to_json(plan.seeds_per_cell));
   out.set("base_seed", u64_to_json(plan.base_seed));
   out.set("anchor_limit", u64_to_json(plan.anchor_limit));
@@ -96,9 +119,10 @@ CampaignPlan plan_from_json(const json::Value& doc,
                             const std::string& context) {
   ObjectReader r(doc, context);
   const std::string schema = r.get_string("schema");
-  require(schema == kPlanSchema,
+  require(schema == kPlanSchema || schema == kPlanSchemaV1,
           context + ": unsupported plan schema \"" + schema +
-              "\" (this build reads \"" + kPlanSchema + "\")");
+              "\" (this build reads \"" + kPlanSchema + "\" and \"" +
+              kPlanSchemaV1 + "\")");
   CampaignPlan plan;
   plan.name = r.get_string("name", plan.name);
   const std::string ctx = context + ": plan \"" + plan.name + "\"";
@@ -128,6 +152,28 @@ CampaignPlan plan_from_json(const json::Value& doc,
             ctx + ": key \"methods\": expected array of strings");
     for (const auto& m : methods->items()) {
       plan.methods.push_back(r.as_string(m, "methods"));
+    }
+  }
+  if (const Value* configs = r.optional_key("method_configs")) {
+    // v1 predates typed method configs; a v1 document carrying the
+    // block is a version mismatch, not a silently-ignored extra.
+    require(schema == kPlanSchema,
+            ctx + ": \"method_configs\" requires schema \"" +
+                std::string(kPlanSchema) + "\" (document declares \"" +
+                schema + "\")");
+    require(configs->is_object(),
+            ctx + ": key \"method_configs\": expected an object keyed by "
+                  "method name");
+    const methods::MethodRegistry& registry =
+        methods::MethodRegistry::instance();
+    for (const auto& [name, entry] : configs->members()) {
+      const methods::Method* method = registry.find(name);
+      require(method != nullptr,
+              ctx + ": method_configs: unknown method: " + name +
+                  " (registered: " + registry.joined_names() + ")");
+      plan.method_configs.set(
+          name, method->config_from_json(
+                    entry, ctx + ": method_configs." + name));
     }
   }
   plan.seeds_per_cell = r.get_size("seeds_per_cell", plan.seeds_per_cell);
@@ -247,6 +293,7 @@ exec::CampaignConfig to_campaign_config(const CampaignPlan& plan,
   config.seeds_per_cell = plan.seeds_per_cell;
   config.base_seed = plan.base_seed;
   config.anchor_limit = plan.anchor_limit;
+  config.method_configs = plan.method_configs;
   if (plan.shard.has_value()) config.shard = *plan.shard;
   return config;
 }

@@ -25,12 +25,16 @@
 
 #include "common/json.hpp"
 #include "exec/campaign.hpp"
+#include "methods/method.hpp"
 #include "scenario/scenario.hpp"
 
 namespace parmis::serde {
 
-/// Schema tag embedded in (and required of) every plan document.
-inline constexpr const char* kPlanSchema = "parmis-plan-v1";
+/// Schema tag written by this build.  v2 adds the optional
+/// `method_configs` block of typed per-method configs; v1 documents
+/// (which cannot carry one) are still read unchanged.
+inline constexpr const char* kPlanSchema = "parmis-plan-v2";
+inline constexpr const char* kPlanSchemaV1 = "parmis-plan-v1";
 
 /// One scenario reference: a catalogue name, or a full inline spec.
 struct ScenarioRef {
@@ -59,11 +63,16 @@ struct CampaignPlan {
   bool full_budget = false;
   PlanCache cache;
   std::optional<exec::ShardSpec> shard;
+  /// Typed per-method configs (`method_configs` block, v2+).  Methods
+  /// without an entry run with their defaults; defaulted entries leave
+  /// cache keys untouched.
+  methods::MethodConfigSet method_configs;
 
   /// Structural checks that need no catalogue: non-empty scenario set,
-  /// seeds >= 1, known method names, shard.index < shard.count.
-  /// Scenario-level validation happens at resolve time (it needs the
-  /// catalogue to materialize named scenarios).
+  /// seeds >= 1, known method names (with their config entries),
+  /// shard.index < shard.count.  Scenario-level validation — including
+  /// method x objective compatibility — happens at resolve time (it
+  /// needs the catalogue to materialize named scenarios).
   void validate() const;
 };
 

@@ -98,6 +98,20 @@ TEST(CellKey, SensitiveToEveryCellInput) {
   EXPECT_NE(base, cell_key(changed, "parmis", 1, 3));
 }
 
+TEST(CellKey, MethodConfigBytesExtendButNeverMoveDefaultKeys) {
+  const scenario::ScenarioSpec spec = small_spec();
+  // "" (a defaulted method config) must reproduce the historical
+  // 4-argument key bit for bit — existing cache dirs stay valid.
+  EXPECT_EQ(cell_key(spec, "rl", 1, 3, ""), cell_key(spec, "rl", 1, 3));
+  // Non-empty canonical config bytes move the key, and different bytes
+  // move it differently.
+  const CellKey base = cell_key(spec, "rl", 1, 3);
+  const CellKey tuned = cell_key(spec, "rl", 1, 3, "rl.episodes=9\n");
+  const CellKey tuned2 = cell_key(spec, "rl", 1, 3, "rl.episodes=10\n");
+  EXPECT_NE(base, tuned);
+  EXPECT_NE(tuned, tuned2);
+}
+
 TEST(CellKey, CanonicalSerializationIsNotLayoutDumping) {
   // Same spec serialized twice is byte-identical, and the serialization
   // embeds a version tag so schema changes invalidate cleanly.

@@ -1,0 +1,393 @@
+// Tests for src/methods: the pluggable campaign-method registry.
+//
+// Load-bearing contracts:
+//  * registry dispatch reproduces the pre-refactor runner bit for bit
+//    (the golden_digest_test pins cover parmis + governors; here the
+//    1-vs-N-thread digest equality is asserted over a method mix that
+//    includes the newly wired learned baselines),
+//  * rl / il / dypo run as first-class campaign methods and are
+//    deterministic per (spec, method, seed, config),
+//  * capabilities are structural: incompatible method x objective
+//    pairings fail at validation time naming the scenario and method,
+//  * defaulted method configs leave every cache key byte-stable, and a
+//    changed config moves exactly that method's keys and no others.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/result_cache.hpp"
+#include "common/error.hpp"
+#include "exec/campaign.hpp"
+#include "methods/builtin.hpp"
+#include "methods/registry.hpp"
+#include "scenario/scenario.hpp"
+#include "serde/plan.hpp"
+
+namespace parmis::methods {
+namespace {
+
+/// A deliberately tiny time/energy scenario every method supports:
+/// two small synthetic apps on the 3-cluster mobile SoC (the smallest
+/// decision space, so the exhaustive IL/DyPO oracle stays cheap).
+scenario::ScenarioSpec tiny_te_scenario() {
+  scenario::ScenarioSpec spec =
+      scenario::make_scenario("xu3-synthetic-te");
+  spec.name = "tiny-methods-te";
+  spec.platform = "mobile3";
+  spec.generated->num_apps = 2;
+  spec.workload_seed = 77;
+  return spec;
+}
+
+/// Small non-default budgets for the learned baselines (keeps the
+/// all-method campaigns below fast while exercising config plumbing).
+MethodConfigSet tiny_budgets() {
+  MethodConfigSet configs;
+  auto rl = std::make_shared<RlMethodConfig>();
+  rl->grid_divisions = 2;
+  rl->episodes = 3;
+  auto il = std::make_shared<IlMethodConfig>();
+  il->grid_divisions = 2;
+  il->dagger_rounds = 0;
+  il->training_passes = 3;
+  auto dypo = std::make_shared<DypoMethodConfig>();
+  dypo->grid_divisions = 2;
+  dypo->num_clusters = 2;
+  configs.set("rl", rl);
+  configs.set("il", il);
+  configs.set("dypo", dypo);
+  return configs;
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(MethodRegistry, ContainsEveryBuiltinSorted) {
+  const std::vector<std::string> expected = {
+      "conservative", "dypo",       "il",        "interactive",
+      "ondemand",     "parmis",     "performance", "powersave",
+      "random",       "rl",         "scalarization", "schedutil"};
+  std::vector<std::string> sorted = expected;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(MethodRegistry::instance().names(), sorted);
+  EXPECT_EQ(scenario::campaign_method_names(), sorted);
+  for (const auto& name : sorted) {
+    EXPECT_TRUE(scenario::is_campaign_method(name)) << name;
+    EXPECT_EQ(MethodRegistry::instance().get(name).name(), name);
+  }
+}
+
+TEST(MethodRegistry, UnknownMethodErrorListsRegisteredNames) {
+  try {
+    MethodRegistry::instance().get("gradient-descent");
+    FAIL() << "expected lookup failure";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown method: gradient-descent"),
+              std::string::npos)
+        << what;
+    // The sorted full roster rides in the message.
+    EXPECT_NE(what.find("registered: conservative, dypo, il,"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("schedutil"), std::string::npos) << what;
+  }
+}
+
+TEST(MethodRegistry, RejectsDuplicateNames) {
+  struct Dummy final : Method {
+    std::string name() const override { return "parmis"; }
+    std::string description() const override { return "dup"; }
+    MethodOutput run(const CellContext&,
+                     const MethodConfig*) const override {
+      return {};
+    }
+  };
+  EXPECT_THROW(MethodRegistry::instance().add(std::make_unique<Dummy>()),
+               Error);
+}
+
+// ------------------------------------------------------------ capabilities
+
+TEST(MethodCapabilities, LearnedBaselinesRejectComplexObjectives) {
+  const MethodRegistry& registry = MethodRegistry::instance();
+  for (const char* name : {"rl", "il", "dypo"}) {
+    SCOPED_TRACE(name);
+    const MethodCapabilities caps = registry.get(name).capabilities();
+    EXPECT_TRUE(caps.supports(runtime::ObjectiveKind::ExecutionTime));
+    EXPECT_TRUE(caps.supports(runtime::ObjectiveKind::Energy));
+    EXPECT_FALSE(caps.supports(runtime::ObjectiveKind::PPW));
+    EXPECT_FALSE(caps.supports(runtime::ObjectiveKind::EDP));
+    EXPECT_EQ(caps.objectives_label(), "time_s, energy_j");
+  }
+  // PaRMIS, scalarization, and the governors are plug-and-play.
+  for (const char* name : {"parmis", "scalarization", "performance",
+                           "random"}) {
+    SCOPED_TRACE(name);
+    const MethodCapabilities caps = registry.get(name).capabilities();
+    EXPECT_TRUE(caps.supports(runtime::ObjectiveKind::PPW));
+    EXPECT_EQ(caps.objectives_label(), "all");
+  }
+}
+
+TEST(MethodCapabilities, ValidationNamesScenarioAndMethod) {
+  // rl on a PPW scenario must fail at spec-validation time (hence at
+  // plan load), naming both sides of the incompatible pairing.
+  scenario::ScenarioSpec spec = scenario::make_scenario("xu3-cortex-ppw");
+  spec.methods = {"parmis", "rl"};
+  try {
+    spec.validate();
+    FAIL() << "expected method x objective rejection";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("scenario \"xu3-cortex-ppw\""), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("method \"rl\""), std::string::npos) << what;
+    EXPECT_NE(what.find("ppw_gips_per_w"), std::string::npos) << what;
+    EXPECT_NE(what.find("time_s, energy_j"), std::string::npos) << what;
+  }
+
+  // The same pairing requested directly of run_cell is a cell error,
+  // not a crash.
+  const exec::CellResult cell = exec::CampaignRunner::run_cell(
+      scenario::make_scenario("xu3-cortex-ppw"), "rl", 1, 1);
+  EXPECT_NE(cell.error.find("method \"rl\""), std::string::npos)
+      << cell.error;
+}
+
+// ------------------------------------------------- learned-method cells
+
+TEST(Methods, RlIlDypoRunAsCampaignCells) {
+  const scenario::ScenarioSpec spec = tiny_te_scenario();
+  const MethodConfigSet configs = tiny_budgets();
+  for (const char* name : {"rl", "il", "dypo"}) {
+    SCOPED_TRACE(name);
+    const exec::CellResult a =
+        exec::CampaignRunner::run_cell(spec, name, 3, 1, configs);
+    EXPECT_TRUE(a.error.empty()) << a.error;
+    ASSERT_FALSE(a.front.empty());
+    EXPECT_GT(a.evaluations, 1u);
+    EXPECT_EQ(a.objective_names.size(), 2u);
+    // Objective vectors live in the same global normalized space as
+    // every other method: finite, positive-normalized magnitudes.
+    for (const auto& point : a.front) {
+      ASSERT_EQ(point.size(), 2u);
+      for (double v : point) EXPECT_TRUE(std::isfinite(v));
+    }
+
+    // Bitwise deterministic per (spec, method, seed, config)...
+    const exec::CellResult b =
+        exec::CampaignRunner::run_cell(spec, name, 3, 1, configs);
+    ASSERT_EQ(a.front.size(), b.front.size());
+    for (std::size_t p = 0; p < a.front.size(); ++p) {
+      for (std::size_t j = 0; j < a.front[p].size(); ++j) {
+        EXPECT_EQ(a.front[p][j], b.front[p][j]);
+      }
+    }
+    // ...and seed-sensitive.
+    const exec::CellResult c =
+        exec::CampaignRunner::run_cell(spec, name, 4, 1, configs);
+    exec::CampaignReport ra, rc;
+    ra.cells = {a};
+    rc.cells = {c};
+    EXPECT_NE(ra.objectives_digest(), rc.objectives_digest());
+  }
+}
+
+TEST(Methods, RegistryDispatchMatchesPreRefactorGolden) {
+  // Pinned digest of every pre-registry method (parmis, scalarization,
+  // all 7 governors) on 3 scenarios x 2 seeds.  The value was produced
+  // by the PRE-refactor string-dispatch runner (PR 3, commit d964809)
+  // and verified bit-identical against the registry dispatch when this
+  // refactor landed — registry dispatch may never drift from it.
+  // Toolchain-dependent like every golden digest: PARMIS_GOLDEN_SKIP=1
+  // prints a re-pin value instead (see golden_digest_test.cpp).
+  exec::CampaignConfig config;
+  config.scenarios = {scenario::make_scenario("xu3-mibench-te"),
+                      scenario::make_scenario("mobile3-edp"),
+                      scenario::make_scenario("manycore-synthetic-eppw")};
+  for (auto& spec : config.scenarios) {
+    spec.methods = {"parmis",      "scalarization", "performance",
+                    "powersave",   "ondemand",      "conservative",
+                    "interactive", "schedutil",     "random"};
+  }
+  config.seeds_per_cell = 2;
+  config.num_threads = 0;  // hardware; digest is thread-count-invariant
+  const std::uint64_t actual =
+      exec::CampaignRunner(config).run().objectives_digest();
+  const char* skip = std::getenv("PARMIS_GOLDEN_SKIP");
+  if (skip != nullptr && std::string(skip) == "1") {
+    std::ostringstream hex;
+    hex << std::hex << "0x" << actual;
+    GTEST_SKIP() << "PARMIS_GOLDEN_SKIP=1: re-pin value " << hex.str();
+  }
+  EXPECT_EQ(actual, 0x14a24095db827722ULL)
+      << "registry dispatch drifted from the pre-refactor runner";
+}
+
+TEST(Methods, FullMatrixCampaignIsThreadCountInvariant) {
+  // Every registered method that supports time/energy on one tiny
+  // scenario, 1 thread vs 4: the digest equality that lets golden pins
+  // extend to the learned baselines.
+  scenario::ScenarioSpec spec = tiny_te_scenario();
+  spec.methods.clear();
+  const MethodRegistry& registry = MethodRegistry::instance();
+  for (const auto& name : registry.names()) {
+    if (registry.get(name).capabilities().supports_all(spec.objectives)) {
+      spec.methods.push_back(name);
+    }
+  }
+  ASSERT_EQ(spec.methods.size(), registry.names().size())
+      << "a time/energy scenario must admit every built-in method";
+
+  exec::CampaignConfig config;
+  config.scenarios = {spec};
+  config.method_configs = tiny_budgets();
+  config.anchor_limit = 1;
+  config.num_threads = 1;
+  const exec::CampaignReport serial = exec::CampaignRunner(config).run();
+  config.num_threads = 4;
+  const exec::CampaignReport parallel = exec::CampaignRunner(config).run();
+  ASSERT_EQ(serial.cells.size(), registry.names().size());
+  for (const auto& cell : serial.cells) {
+    EXPECT_TRUE(cell.error.empty()) << cell.method << ": " << cell.error;
+    EXPECT_FALSE(cell.front.empty()) << cell.method;
+  }
+  EXPECT_EQ(serial.objectives_digest(), parallel.objectives_digest());
+}
+
+// ------------------------------------------------------- config plumbing
+
+TEST(MethodConfigs, DefaultedConfigsKeepCacheKeysByteStable) {
+  const scenario::ScenarioSpec spec = scenario::make_scenario("mobile3-edp");
+  const MethodConfigSet empty;
+  for (const auto& name : MethodRegistry::instance().names()) {
+    SCOPED_TRACE(name);
+    // No entry -> "" -> the historical 4-argument key, bit for bit.
+    EXPECT_TRUE(canonical_method_config(name, empty).empty());
+    EXPECT_EQ(cache::cell_key(spec, name, 1, 3,
+                              canonical_method_config(name, empty)),
+              cache::cell_key(spec, name, 1, 3));
+  }
+  // An explicit entry equal to the defaults is also canonical-"":
+  // writing out the default knobs cannot invalidate a cache.
+  MethodConfigSet defaulted;
+  defaulted.set("rl", std::make_shared<RlMethodConfig>());
+  defaulted.set("scalarization",
+                std::make_shared<ScalarizationMethodConfig>());
+  EXPECT_TRUE(canonical_method_config("rl", defaulted).empty());
+  EXPECT_TRUE(canonical_method_config("scalarization", defaulted).empty());
+}
+
+TEST(MethodConfigs, ChangedConfigMovesOnlyThatMethodsKeys) {
+  const scenario::ScenarioSpec spec = scenario::make_scenario("mobile3-edp");
+  MethodConfigSet tuned;
+  auto rl = std::make_shared<RlMethodConfig>();
+  rl->episodes = 99;
+  tuned.set("rl", rl);
+
+  const MethodConfigSet defaults;
+  for (const auto& name : MethodRegistry::instance().names()) {
+    SCOPED_TRACE(name);
+    const cache::CellKey before = cache::cell_key(
+        spec, name, 1, 3, canonical_method_config(name, defaults));
+    const cache::CellKey after = cache::cell_key(
+        spec, name, 1, 3, canonical_method_config(name, tuned));
+    if (name == "rl") {
+      EXPECT_NE(before, after);  // tuning rl invalidates rl cells...
+    } else {
+      EXPECT_EQ(before, after);  // ...and nothing else.
+    }
+  }
+
+  // Every knob is key-relevant: two different rl configs collide on
+  // neither each other nor the default.
+  auto rl2 = std::make_shared<RlMethodConfig>();
+  rl2->learning_rate = 0.5;
+  MethodConfigSet tuned2;
+  tuned2.set("rl", rl2);
+  EXPECT_NE(canonical_method_config("rl", tuned),
+            canonical_method_config("rl", tuned2));
+}
+
+TEST(MethodConfigs, ForeignConfigTypeIsRejected) {
+  // A config built by one method handed to another is a loud error,
+  // not a silent misread.
+  MethodConfigSet wrong;
+  wrong.set("rl", std::make_shared<DypoMethodConfig>());
+  const exec::CellResult cell = exec::CampaignRunner::run_cell(
+      tiny_te_scenario(), "rl", 1, 1, wrong);
+  EXPECT_NE(cell.error.find("wrong type"), std::string::npos)
+      << cell.error;
+
+  // A whole campaign with the same misconfig fails fast in the runner
+  // constructor — before any cell (or cache-key computation) runs —
+  // whether or not a cache is configured.
+  exec::CampaignConfig config;
+  config.scenarios = {tiny_te_scenario()};
+  config.method_configs = wrong;
+  EXPECT_THROW(exec::CampaignRunner{config}, Error);
+
+  // Programmatic plans reject it at validate() time too, as they do a
+  // config entry for a knobless method.
+  serde::CampaignPlan plan;
+  plan.scenarios.push_back(serde::ScenarioRef::by_name("mobile3-edp"));
+  plan.method_configs.set("rl", std::make_shared<DypoMethodConfig>());
+  EXPECT_THROW(plan.validate(), Error);
+  plan.method_configs.set("rl", nullptr);
+  plan.method_configs.set("performance",
+                          std::make_shared<RlMethodConfig>());
+  try {
+    plan.validate();
+    FAIL() << "expected knobless-method rejection";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("takes no configuration"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MethodConfigs, SweepSeedsAreDecorrelatedAcrossCellSeeds) {
+  // Consecutive cell seeds must not reuse each other's trainer RNG
+  // streams (seed, seed+1, ... would share all but one): replicate
+  // cells have to be statistically independent.
+  const scenario::ScenarioSpec spec = tiny_te_scenario();
+  const MethodConfigSet configs = tiny_budgets();
+  const exec::CellResult s1 =
+      exec::CampaignRunner::run_cell(spec, "rl", 1, 1, configs);
+  const exec::CellResult s2 =
+      exec::CampaignRunner::run_cell(spec, "rl", 2, 1, configs);
+  ASSERT_TRUE(s1.error.empty()) << s1.error;
+  ASSERT_TRUE(s2.error.empty()) << s2.error;
+  exec::CampaignReport r1, r2;
+  r1.cells = {s1};
+  r2.cells = {s2};
+  EXPECT_NE(r1.objectives_digest(), r2.objectives_digest());
+}
+
+TEST(MethodConfigs, ConfigSetReplacesAndErases) {
+  MethodConfigSet configs;
+  EXPECT_TRUE(configs.empty());
+  EXPECT_EQ(configs.find("rl"), nullptr);
+  auto a = std::make_shared<RlMethodConfig>();
+  a->episodes = 1;
+  configs.set("rl", a);
+  ASSERT_NE(configs.find("rl"), nullptr);
+  auto b = std::make_shared<RlMethodConfig>();
+  b->episodes = 2;
+  configs.set("rl", b);  // replaces in place
+  EXPECT_EQ(configs.size(), 1u);
+  EXPECT_EQ(dynamic_cast<const RlMethodConfig*>(configs.find("rl"))
+                ->episodes,
+            2u);
+  configs.set("rl", nullptr);  // erases
+  EXPECT_TRUE(configs.empty());
+}
+
+}  // namespace
+}  // namespace parmis::methods

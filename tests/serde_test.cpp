@@ -21,9 +21,12 @@
 
 #include "cache/result_cache.hpp"
 #include "common/error.hpp"
+#include "common/fs.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
 #include "exec/campaign.hpp"
+#include "methods/builtin.hpp"
+#include "methods/registry.hpp"
 #include "scenario/scenario.hpp"
 #include "serde/plan.hpp"
 #include "serde/scenario_json.hpp"
@@ -243,10 +246,12 @@ TEST(ScenarioSerde, U64AboveDoublePrecisionTravelsAsString) {
 TEST(PlanSerde, GoldenDefaultCampaignPlan) {
   // Pinned wire format of `campaign --dump-plan` with no flags.  If
   // this fails because defaults deliberately changed, re-pin it AND
-  // bump kPlanSchema per docs/plan_schema.md.
+  // bump kPlanSchema per docs/plan_schema.md.  (v1 -> v2 happened when
+  // the `method_configs` block landed; a defaults-only plan carries no
+  // block, so only the schema tag moved.)
   const std::string golden =
       "{\n"
-      "  \"schema\": \"parmis-plan-v1\",\n"
+      "  \"schema\": \"parmis-plan-v2\",\n"
       "  \"name\": \"default-campaign\",\n"
       "  \"scenarios\": [\"xu3-mibench-te\", \"xu3-cortex-ppw\", "
       "\"xu3-all12-te\", \"xu3-thermal-tpp\", \"xu3-synthetic-te\", "
@@ -320,6 +325,127 @@ TEST(PlanSerde, ValidationRejectsBadPlans) {
   plan = rich_plan();
   plan.methods = {"scalarization"};
   EXPECT_NO_THROW(plan.validate());
+
+  // So are the learned baselines wired through the method registry.
+  plan = rich_plan();
+  plan.methods = {"rl", "il", "dypo"};
+  EXPECT_NO_THROW(plan.validate());
+
+  // Unknown-method errors list every registered name.
+  plan = rich_plan();
+  plan.methods = {"no-such-method"};
+  try {
+    plan.validate();
+    FAIL() << "expected validation failure";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("registered:"), std::string::npos) << what;
+    EXPECT_NE(what.find("parmis"), std::string::npos) << what;
+    EXPECT_NE(what.find("rl"), std::string::npos) << what;
+  }
+
+  // method_configs entries must name registered methods.
+  plan = rich_plan();
+  plan.method_configs.set(
+      "no-such-method", std::make_shared<methods::RlMethodConfig>());
+  EXPECT_THROW(plan.validate(), Error);
+}
+
+// --------------------------------------------------- plan v1/v2 schemas
+
+TEST(PlanSerde, V1DocumentsStillLoadUnchanged) {
+  // A pre-method_configs document must keep loading byte-for-byte
+  // semantics: same scenarios, same defaults, empty config set.
+  const std::string v1 =
+      "{\"schema\": \"parmis-plan-v1\", \"name\": \"legacy\","
+      " \"scenarios\": [\"xu3-mibench-te\"], \"methods\": [\"parmis\"],"
+      " \"seeds_per_cell\": 2}";
+  const CampaignPlan plan = plan_from_json(json::parse(v1), "v1-doc");
+  EXPECT_EQ(plan.name, "legacy");
+  EXPECT_EQ(plan.seeds_per_cell, 2u);
+  EXPECT_TRUE(plan.method_configs.empty());
+
+  // But a v1 document cannot smuggle in a v2-only block.
+  const std::string bad =
+      "{\"schema\": \"parmis-plan-v1\", \"scenarios\": [\"mobile3-edp\"],"
+      " \"method_configs\": {\"rl\": {\"episodes\": 4}}}";
+  try {
+    plan_from_json(json::parse(bad), "v1-doc");
+    FAIL() << "expected schema mismatch";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("requires schema"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PlanSerde, MethodConfigsRoundTripThroughFile) {
+  CampaignPlan plan;
+  plan.name = "tuned";
+  plan.scenarios.push_back(ScenarioRef::by_name("xu3-synthetic-te"));
+  plan.methods = {"rl", "il", "dypo", "scalarization"};
+  auto rl = std::make_shared<methods::RlMethodConfig>();
+  rl->episodes = 4;
+  rl->grid_divisions = 2;
+  rl->learning_rate = 0.03;
+  auto il = std::make_shared<methods::IlMethodConfig>();
+  il->dagger_rounds = 0;
+  il->training_passes = 5;
+  auto dypo = std::make_shared<methods::DypoMethodConfig>();
+  dypo->num_clusters = 2;
+  plan.method_configs.set("rl", rl);
+  plan.method_configs.set("il", il);
+  plan.method_configs.set("dypo", dypo);
+
+  const std::string path = temp_path("plan_configs") + ".json";
+  save_plan(path, plan);
+  const std::string text = *read_file(path);
+  EXPECT_NE(text.find("\"parmis-plan-v2\""), std::string::npos);
+  EXPECT_NE(text.find("\"method_configs\""), std::string::npos);
+
+  const CampaignPlan loaded = load_plan(path);
+  ASSERT_EQ(loaded.method_configs.size(), 3u);
+  // Typed equality via each method's canonical bytes (the cache-key
+  // currency): the round trip may not move a single bit.
+  for (const char* name : {"rl", "il", "dypo"}) {
+    SCOPED_TRACE(name);
+    EXPECT_EQ(methods::canonical_method_config(name, loaded.method_configs),
+              methods::canonical_method_config(name, plan.method_configs));
+    EXPECT_FALSE(
+        methods::canonical_method_config(name, loaded.method_configs)
+            .empty());
+  }
+  // No entry for scalarization: defaults, hence empty canonical bytes.
+  EXPECT_TRUE(methods::canonical_method_config("scalarization",
+                                               loaded.method_configs)
+                  .empty());
+
+  // Strict decode: a typo inside a method's config block names the
+  // method and rejects the key.
+  const std::string bad =
+      "{\"schema\": \"parmis-plan-v2\", \"scenarios\": [\"mobile3-edp\"],"
+      " \"method_configs\": {\"rl\": {\"episdoes\": 4}}}";
+  try {
+    plan_from_json(json::parse(bad), "v2-doc");
+    FAIL() << "expected strict-decode failure";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("method_configs.rl"), std::string::npos) << what;
+    EXPECT_NE(what.find("episdoes"), std::string::npos) << what;
+  }
+
+  // Governors have no knobs; a config block for one is rejected.
+  const std::string knobless =
+      "{\"schema\": \"parmis-plan-v2\", \"scenarios\": [\"mobile3-edp\"],"
+      " \"method_configs\": {\"performance\": {}}}";
+  try {
+    plan_from_json(json::parse(knobless), "v2-doc");
+    FAIL() << "expected no-config failure";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("takes no configuration"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 // -------------------------------------------------------------- catalogue
