@@ -20,13 +20,26 @@
 // variant (tiny learned-baseline budgets via typed method configs), and
 // asserts the matrix digest is thread-count-invariant too.
 //
+// A merge-scale probe keeps report merging off the campaign critical
+// path as campaigns grow: it synthesizes --merge-cells cell results
+// (default 10k) across --merge-shards shard files (default 16), then
+// reports shard write, load+merge wall time, and peak RSS, asserting
+// the merged digest matches the directly-assembled campaign's.
+//
 // Flags: --threads=N  --seeds=K  --csv=path  --full  --cache-dir=path
+//        --merge-cells=N  --merge-shards=K
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "bench_common.hpp"
 #include "cache/result_cache.hpp"
+#include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "core/policy_search.hpp"
@@ -34,6 +47,8 @@
 #include "exec/thread_pool.hpp"
 #include "methods/builtin.hpp"
 #include "methods/registry.hpp"
+#include "report/merge.hpp"
+#include "report/report_json.hpp"
 #include "scenario/scenario.hpp"
 #include "soc/decision.hpp"
 
@@ -114,6 +129,106 @@ exec::CampaignConfig registry_matrix_campaign(std::size_t threads) {
   config.anchor_limit = 1;
   config.num_threads = threads;
   return config;
+}
+
+/// Peak resident set size in MiB (0 when the platform has no getrusage).
+double peak_rss_mib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is KiB on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+  }
+#endif
+  return 0.0;
+}
+
+/// Merge-scale probe: synthetic cells sliced into shard files on disk,
+/// then loaded and merged back.  Returns false on a digest mismatch.
+bool merge_scale_probe(std::size_t total_cells, std::size_t num_shards) {
+  // Synthesize the full campaign's ordered cell list: plausible 2-D
+  // fronts, a handful of scenarios/methods so the global-reference PHV
+  // recomputation does real grouping work.
+  constexpr std::size_t kScenarios = 4, kMethods = 5;
+  exec::CampaignReport full;
+  full.shard = exec::ShardSpec{0, 1};
+  full.campaign_hash = 0x4D45524745ULL;  // arbitrary shared identity
+  full.total_cells = total_cells;
+  full.num_threads = 1;
+  for (std::size_t i = 0; i < total_cells; ++i) {
+    Rng rng(0x9E3779B9ULL + i);
+    exec::CellResult cell;
+    cell.scenario =
+        "merge-scale-" + std::to_string(i % kScenarios);
+    cell.platform = "synthetic";
+    cell.method = "method-" + std::to_string((i / kScenarios) % kMethods);
+    cell.seed = 1 + i / (kScenarios * kMethods);
+    cell.objective_names = {"time", "energy"};
+    cell.num_apps = 2;
+    cell.evaluations = 8;
+    const std::size_t points = 4 + rng.uniform_index(8);
+    for (std::size_t p = 0; p < points; ++p) {
+      const double t = rng.uniform();
+      cell.front.push_back({t, 1.0 - t + 0.05 * rng.uniform()});
+    }
+    cell.best_raw = {cell.front[0][0], cell.front[0][1]};
+    full.cells.push_back(std::move(cell));
+  }
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "parmis_merge_bench";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Slice into shard files exactly like N independent runners would.
+  const Stopwatch write_wall;
+  std::vector<std::string> paths;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    exec::CampaignReport shard;
+    shard.campaign_hash = full.campaign_hash;
+    shard.total_cells = total_cells;
+    shard.shard = exec::ShardSpec{s, num_shards};
+    const auto [begin, end] = exec::shard_range(total_cells, shard.shard);
+    shard.cells.assign(full.cells.begin() + begin,
+                       full.cells.begin() + end);
+    paths.push_back((dir / ("shard_" + std::to_string(s) + ".json"))
+                        .string());
+    report::save_report(paths.back(), shard);
+  }
+  const double write_s = write_wall.seconds();
+  std::uintmax_t bytes = 0;
+  for (const auto& p : paths) bytes += std::filesystem::file_size(p);
+
+  const Stopwatch merge_wall;
+  std::vector<exec::CampaignReport> shards;
+  shards.reserve(paths.size());
+  for (const auto& p : paths) shards.push_back(report::load_report(p));
+  const exec::CampaignReport merged = report::merge(std::move(shards));
+  const double merge_s = merge_wall.seconds();
+
+  // The digest excludes PHV, so the globally-recomputed PHV doubles
+  // are compared explicitly against a direct aggregation of the full
+  // cell list.
+  report::assign_global_phv(full);
+  bool ok = merged.objectives_digest() == full.objectives_digest() &&
+            merged.cells.size() == full.cells.size();
+  for (std::size_t i = 0; ok && i < full.cells.size(); ++i) {
+    ok = merged.cells[i].phv == full.cells[i].phv;
+  }
+  std::cout << "\nmerge scale: " << total_cells << " cells / "
+            << num_shards << " shards (" << bytes / (1024 * 1024)
+            << " MiB), write " << format_double(write_s, 3)
+            << " s, load+merge " << format_double(merge_s, 3) << " s ("
+            << format_double(static_cast<double>(total_cells) / merge_s, 0)
+            << " cells/s), peak RSS " << format_double(peak_rss_mib(), 1)
+            << " MiB, digest match: " << (ok ? "bitwise" : "MISMATCH")
+            << "\n";
+  std::filesystem::remove_all(dir);
+  return ok;
 }
 
 }  // namespace
@@ -233,6 +348,10 @@ int main(int argc, char** argv) {
             << matrix_parallel.cells.size() << " cells in "
             << format_double(matrix_parallel.wall_s, 3) << " s\n";
 
+  const bool merge_ok = merge_scale_probe(
+      static_cast<std::size_t>(args.get_int("merge-cells", 10000)),
+      static_cast<std::size_t>(args.get_int("merge-shards", 16)));
+
   const auto [serial_s, serial_phv] = intra_cell_run(1);
   const auto [pooled_s, pooled_phv] = intra_cell_run(threads);
   std::cout << "intra-cell (12-app global, pooled evaluator + acquisition): "
@@ -242,7 +361,8 @@ int main(int argc, char** argv) {
             << "x, PHV match: "
             << (serial_phv == pooled_phv ? "bitwise" : "MISMATCH") << "\n";
 
-  return identical && cache_ok && matrix_ok && serial_phv == pooled_phv
+  return identical && cache_ok && matrix_ok && merge_ok &&
+                 serial_phv == pooled_phv
              ? 0
              : 1;
 }

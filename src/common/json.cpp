@@ -556,4 +556,11 @@ std::string dump(const Value& value) {
   return out;
 }
 
+std::string dump_at_depth(const Value& value, std::size_t depth) {
+  std::string out;
+  out.reserve(256);
+  dump_value(out, value, depth);
+  return out;
+}
+
 }  // namespace parmis::json

@@ -101,6 +101,13 @@ inline constexpr std::size_t kMaxDepth = 200;
 /// equal values dump to equal bytes.
 std::string dump(const Value& value);
 
+/// Serializes `value` exactly as dump() would when nested at `depth`
+/// inside a larger document (continuation lines indented 2*(depth+1);
+/// no leading indent, no trailing newline) — the building block for
+/// streaming emitters that splice values into a document one at a time
+/// instead of materializing it whole.
+std::string dump_at_depth(const Value& value, std::size_t depth);
+
 /// Shortest decimal string that parses back to exactly `v`'s bits
 /// (std::to_chars).  `v` must be finite.
 std::string format_double(double v);

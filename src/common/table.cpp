@@ -68,7 +68,7 @@ void Table::print(std::ostream& os) const {
 }
 
 std::string csv_escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
   std::string out = "\"";
   for (char ch : cell) {
     if (ch == '"') out += '"';
@@ -76,6 +76,73 @@ std::string csv_escape(const std::string& cell) {
   }
   out += '"';
   return out;
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool quoted = false;         // inside a quoted cell
+  bool at_cell_start = true;   // no character of the current cell yet
+  bool row_has_data = false;   // current row consumed any input
+  std::size_t i = 0;
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    at_cell_start = true;
+  };
+  auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+    row_has_data = false;
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';  // doubled quote = literal quote
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      cell += c;  // separators and newlines are literal while quoted
+      ++i;
+      continue;
+    }
+    if (c == '"' && at_cell_start) {
+      quoted = true;
+      at_cell_start = false;
+      row_has_data = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      end_cell();
+      row_has_data = true;
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      end_row();
+      ++i;
+      continue;
+    }
+    cell += c;
+    at_cell_start = false;
+    row_has_data = true;
+    ++i;
+  }
+  require(!quoted, "csv: unterminated quoted cell at end of input");
+  // Input not ending in a newline still yields its final row; a
+  // trailing newline does not add an empty one.
+  if (row_has_data || !row.empty()) end_row();
+  return rows;
 }
 
 void Table::write_csv(std::ostream& os) const {

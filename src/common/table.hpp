@@ -50,8 +50,20 @@ class Table {
 /// Formats `value` with a fixed number of decimals (shared helper).
 std::string format_double(double value, int precision);
 
-/// RFC-4180 CSV cell quoting (shared by Table and the campaign reports).
+/// RFC-4180 CSV cell quoting (shared by Table and the campaign
+/// reports): cells containing separators, quotes, or CR/LF — scenario
+/// names are user-controlled via plan files — are quoted with inner
+/// quotes doubled, so parse_csv reads them back verbatim.
 std::string csv_escape(const std::string& cell);
+
+/// RFC-4180-tolerant CSV reader, the inverse of csv_escape-based
+/// emission: quoted cells may contain commas, doubled quotes, and
+/// embedded newlines; CRLF and LF row endings are both accepted, and a
+/// trailing newline does not produce an empty final row.  Throws
+/// parmis::Error on an unterminated quoted cell.  Rows are returned as
+/// unescaped cells; column counts are whatever the input had (callers
+/// validate shape).
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
 
 }  // namespace parmis
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
-#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <memory>
@@ -11,6 +10,7 @@
 #include <sstream>
 
 #include "cache/result_cache.hpp"
+#include "common/canonical.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -18,7 +18,8 @@
 #include "common/table.hpp"
 #include "exec/thread_pool.hpp"
 #include "methods/registry.hpp"
-#include "moo/hypervolume.hpp"
+#include "report/merge.hpp"
+#include "report/report_json.hpp"
 #include "runtime/evaluator.hpp"
 
 namespace parmis::exec {
@@ -45,31 +46,68 @@ std::string json_double(double v) {
   return os.str();
 }
 
-/// RFC-8259 string escaping (quotes, backslashes, control characters).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
+/// Mixes one cell's digest-relevant fields (names, seed, evaluation
+/// count, front bit patterns, error) into a running digest state — the
+/// per-cell step of CampaignReport::objectives_digest.
+std::uint64_t mix_cell_digest(std::uint64_t state, const CellResult& cell) {
+  state = hash_string(cell.scenario, state);
+  state = hash_string(cell.method, state);
+  state = mix(state, cell.seed);
+  state = mix(state, cell.evaluations);
+  state = mix(state, cell.front.size());
+  for (const auto& point : cell.front) {
+    for (double v : point) {
+      state = mix(state, std::bit_cast<std::uint64_t>(v));
     }
   }
-  return out;
+  state = hash_string(cell.error, state);
+  return state;
 }
 
 }  // namespace
+
+std::uint64_t campaign_identity(const CampaignConfig& config) {
+  // Canonical tagged encoding (the same emitters the cache keys on) of
+  // everything that determines the ordered cell list and each cell's
+  // outputs.  Shard slice, thread count, and cache settings are
+  // execution details and deliberately excluded, so every shard of one
+  // plan — and the unsharded run — reports one identity.
+  using canonical::put_str;
+  using canonical::put_u64;
+  std::string bytes;
+  bytes.reserve(4096);
+  put_u64(bytes, "scenarios", config.scenarios.size());
+  for (const auto& spec : config.scenarios) {
+    put_str(bytes, "spec", scenario::canonical_serialize(spec));
+    // The spec's method list shapes the cell list but is excluded from
+    // canonical_serialize (cells key their own method), so it is
+    // hashed here.
+    put_u64(bytes, "methods", spec.methods.size());
+    for (const auto& m : spec.methods) put_str(bytes, "method", m);
+  }
+  put_u64(bytes, "seeds_per_cell", config.seeds_per_cell);
+  put_u64(bytes, "base_seed", config.base_seed);
+  put_u64(bytes, "anchor_limit", config.anchor_limit);
+  // Only non-default configs contribute (canonical_method_config is ""
+  // otherwise) — mirroring the cache-key rule, so adding a defaulted
+  // entry does not split a campaign into un-mergeable halves.  Hashed
+  // in sorted method order: entries() preserves plan-file author
+  // order, and a regenerated plan with the same configs in a
+  // different order is still the same campaign.
+  std::vector<std::pair<std::string, std::string>> configs;
+  for (const auto& [name, config_entry] : config.method_configs.entries()) {
+    (void)config_entry;
+    std::string canon =
+        methods::canonical_method_config(name, config.method_configs);
+    if (!canon.empty()) configs.push_back({name, std::move(canon)});
+  }
+  std::sort(configs.begin(), configs.end());
+  for (const auto& [name, canon] : configs) {
+    put_str(bytes, "config_method", name);
+    put_str(bytes, "config", canon);
+  }
+  return fnv1a64(bytes);
+}
 
 std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
                                                 const ShardSpec& shard) {
@@ -235,6 +273,7 @@ CampaignReport CampaignRunner::run() {
   report.cells.resize(cells.size());
   report.shard = config_.shard;
   report.total_cells = total_cells_;
+  report.campaign_hash = campaign_identity(config_);
   ThreadPool pool(config_.num_threads);
   report.num_threads = pool.num_threads();
   log_info() << "campaign: " << cells.size() << " cells"
@@ -271,39 +310,15 @@ CampaignReport CampaignRunner::run() {
 
   // Serial aggregation: one shared PHV reference per scenario across all
   // of its cells (methods and seeds), then per-cell PHV against it.
-  for (const auto& spec : config_.scenarios) {
-    std::vector<num::Vec> all_points;
-    for (const auto& cell : report.cells) {
-      if (cell.scenario != spec.name || !cell.error.empty()) continue;
-      all_points.insert(all_points.end(), cell.front.begin(),
-                        cell.front.end());
-    }
-    if (all_points.size() < 2) continue;
-    const num::Vec ref = moo::default_reference_point(all_points, 0.1);
-    for (auto& cell : report.cells) {
-      if (cell.scenario != spec.name || !cell.error.empty()) continue;
-      if (cell.front.empty()) continue;
-      cell.phv = moo::hypervolume(cell.front, ref);
-    }
-  }
+  // Shared with report::merge() so a sharded-then-merged campaign
+  // recomputes exactly what an unsharded run assigns here.
+  report::assign_global_phv(report);
   return report;
 }
 
 std::uint64_t CampaignReport::objectives_digest() const {
   std::uint64_t state = 0x5CEA11ABCDE5EEDULL;
-  for (const auto& cell : cells) {
-    state = hash_string(cell.scenario, state);
-    state = hash_string(cell.method, state);
-    state = mix(state, cell.seed);
-    state = mix(state, cell.evaluations);
-    state = mix(state, cell.front.size());
-    for (const auto& point : cell.front) {
-      for (double v : point) {
-        state = mix(state, std::bit_cast<std::uint64_t>(v));
-      }
-    }
-    state = hash_string(cell.error, state);
-  }
+  for (const auto& cell : cells) state = mix_cell_digest(state, cell);
   return state;
 }
 
@@ -355,51 +370,11 @@ void CampaignReport::save_csv(const std::string& path) const {
 }
 
 void CampaignReport::write_json(std::ostream& os) const {
-  os << "{\n  \"num_threads\": " << num_threads
-     << ",\n  \"wall_s\": " << json_double(wall_s)
-     << ",\n  \"shard_index\": " << shard.index
-     << ",\n  \"shard_count\": " << shard.count
-     << ",\n  \"total_cells\": " << total_cells
-     << ",\n  \"cache_hits\": " << cache_hits
-     << ",\n  \"cache_misses\": " << cache_misses
-     << ",\n  \"objectives_digest\": \"" << std::hex << objectives_digest()
-     << std::dec << "\",\n  \"cells\": [\n";
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const CellResult& cell = cells[i];
-    os << "    {\"scenario\": \"" << json_escape(cell.scenario)
-       << "\", \"platform\": \"" << json_escape(cell.platform)
-       << "\", \"method\": \"" << json_escape(cell.method)
-       << "\", \"seed\": " << cell.seed << ", \"apps\": " << cell.num_apps
-       << ", \"evaluations\": " << cell.evaluations
-       << ", \"phv\": " << json_double(cell.phv)
-       << ", \"wall_s\": " << json_double(cell.wall_s)
-       << ", \"decision_overhead_us\": "
-       << json_double(cell.decision_overhead_us) << ", \"from_cache\": "
-       << (cell.from_cache ? "true" : "false")
-       << ",\n     \"objectives\": [";
-    for (std::size_t j = 0; j < cell.objective_names.size(); ++j) {
-      os << (j ? ", " : "") << '"' << json_escape(cell.objective_names[j])
-         << '"';
-    }
-    os << "], \"best_raw\": [";
-    for (std::size_t j = 0; j < cell.best_raw.size(); ++j) {
-      os << (j ? ", " : "") << json_double(cell.best_raw[j]);
-    }
-    os << "],\n     \"front\": [";
-    for (std::size_t p = 0; p < cell.front.size(); ++p) {
-      os << (p ? ", " : "") << '[';
-      for (std::size_t j = 0; j < cell.front[p].size(); ++j) {
-        os << (j ? ", " : "") << json_double(cell.front[p][j]);
-      }
-      os << ']';
-    }
-    os << "]";
-    if (!cell.error.empty()) {
-      os << ", \"error\": \"" << json_escape(cell.error) << '"';
-    }
-    os << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
-  }
-  os << "  ]\n}\n";
+  // One writer: the versioned report serde (src/report/), so the JSON
+  // `campaign --json` emits is exactly what campaign-merge and
+  // load_json read back.  Streamed cell by cell — a large campaign's
+  // report never exists as one in-memory document here.
+  report::write_report(os, *this);
 }
 
 void CampaignReport::save_json(const std::string& path) const {
@@ -407,6 +382,10 @@ void CampaignReport::save_json(const std::string& path) const {
   require(os.good(), "campaign: cannot open for writing: " + path);
   write_json(os);
   require(os.good(), "campaign: write failed: " + path);
+}
+
+CampaignReport CampaignReport::load_json(const std::string& path) {
+  return report::load_report(path);
 }
 
 }  // namespace parmis::exec

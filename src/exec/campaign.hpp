@@ -103,6 +103,15 @@ struct CampaignConfig {
   cache::ResultCache* cache = nullptr;
 };
 
+/// Identity of the campaign a config describes: a stable hash over
+/// everything that determines the ordered cell list and each cell's
+/// outputs (scenario canonical serializations + method lists, seeds,
+/// base seed, anchor limit, non-default method configs) — but NOT the
+/// shard slice, thread count, or cache settings.  Every shard of one
+/// plan therefore reports the same identity, which is what lets
+/// report::merge() refuse to join shards of different campaigns.
+std::uint64_t campaign_identity(const CampaignConfig& config);
+
 /// Everything one campaign run produces.
 struct CampaignReport {
   std::vector<CellResult> cells;  ///< scenario-major deterministic order
@@ -114,6 +123,15 @@ struct CampaignReport {
   /// so merged multi-process reports stay auditable.
   ShardSpec shard;
   std::size_t total_cells = 0;  ///< full campaign size before slicing
+  /// campaign_identity() of the producing config; 0 for hand-built
+  /// reports.  Shards of one campaign share it (merge validates that).
+  std::uint64_t campaign_hash = 0;
+  /// True for a report produced by a non-strict merge of an incomplete
+  /// shard set: its digest and PHV are provisional, and it can be
+  /// inspected but never merged again (report::merge refuses).  The
+  /// flag round-trips through the report serde, so a saved partial
+  /// report can never be mistaken for a final one.
+  bool partial = false;
 
   /// Order-sensitive hash over every cell's objective bit patterns;
   /// equal digests mean bitwise-identical campaign results.  Timing
@@ -122,12 +140,23 @@ struct CampaignReport {
 
   /// One row per cell: scenario,platform,method,seed,...  best_<j> are
   /// per-objective minima over the front, reported in natural units.
+  /// Fields are RFC-4180 quoted, so user-controlled scenario names
+  /// containing separators/quotes/newlines survive a CSV round trip
+  /// (parmis::parse_csv reads them back).
   void write_csv(std::ostream& os) const;
   void save_csv(const std::string& path) const;
 
-  /// Full report including fronts, round-trippable doubles.
+  /// Full report as a `parmis-report-v1` document (src/report/): every
+  /// cell including its front, exact round-trip doubles, shard block,
+  /// cache counters, and the objectives digest.  load_json() reads the
+  /// same format back bit for bit.
   void write_json(std::ostream& os) const;
   void save_json(const std::string& path) const;
+
+  /// Load hook for the report subsystem: strict `parmis-report-v1`
+  /// decode (delegates to report::load_report), verifying the stored
+  /// digest against the reloaded cells.
+  static CampaignReport load_json(const std::string& path);
 };
 
 /// Fans campaign cells across a thread pool and aggregates the report.

@@ -1,0 +1,74 @@
+#include "moo/indicators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace parmis::moo {
+
+namespace {
+
+void check_inputs(const std::vector<Vec>& front,
+                  const std::vector<Vec>& reference_front, const char* name) {
+  require(!reference_front.empty(),
+          std::string(name) + ": empty reference front");
+  const std::size_t dim = reference_front.front().size();
+  require(dim > 0, std::string(name) + ": zero-dimensional reference front");
+  for (const auto& r : reference_front) {
+    require(r.size() == dim,
+            std::string(name) + ": reference front dimensions disagree");
+  }
+  for (const auto& a : front) {
+    require(a.size() == dim,
+            std::string(name) +
+                ": front/reference dimensions disagree");
+  }
+}
+
+}  // namespace
+
+double igd_plus(const std::vector<Vec>& front,
+                const std::vector<Vec>& reference_front) {
+  check_inputs(front, reference_front, "igd_plus");
+  if (front.empty()) return std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  for (const auto& r : reference_front) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& a : front) {
+      // d+(a, r): only the components where the approximation point is
+      // *worse* than the reference point contribute — points beyond the
+      // reference front score 0, the dominance-compliance fix over IGD.
+      double sum_sq = 0.0;
+      for (std::size_t j = 0; j < r.size(); ++j) {
+        const double d = std::max(a[j] - r[j], 0.0);
+        sum_sq += d * d;
+      }
+      best = std::min(best, sum_sq);
+    }
+    total += std::sqrt(best);
+  }
+  return total / static_cast<double>(reference_front.size());
+}
+
+double additive_epsilon(const std::vector<Vec>& front,
+                        const std::vector<Vec>& reference_front) {
+  check_inputs(front, reference_front, "additive_epsilon");
+  if (front.empty()) return std::numeric_limits<double>::infinity();
+  double eps = -std::numeric_limits<double>::infinity();
+  for (const auto& r : reference_front) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& a : front) {
+      double worst = -std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < r.size(); ++j) {
+        worst = std::max(worst, a[j] - r[j]);
+      }
+      best = std::min(best, worst);
+    }
+    eps = std::max(eps, best);
+  }
+  return eps;
+}
+
+}  // namespace parmis::moo

@@ -1,0 +1,50 @@
+// Pareto-front quality indicators beyond PHV: IGD+ and additive epsilon.
+//
+// PHV (hypervolume.hpp) is the paper's headline metric, but it needs a
+// reference *point* and says nothing about proximity to the best known
+// front.  The report analytics therefore pair it with the other two
+// standard MOO indicators (cf. the scalarization and online-learning
+// baselines in Mandal et al., arXiv:2008.09728 / arXiv:2003.09526):
+//
+//  * IGD+ (inverted generational distance plus, Ishibuchi et al. 2015):
+//    mean over reference-front points of the dominance-compliant
+//    distance d+(a, r) = ||max(a - r, 0)||_2 to the nearest approxima-
+//    tion point.  Unlike plain IGD it never rewards points *beyond*
+//    the reference front, so it is weakly Pareto-compliant.
+//  * Additive epsilon (Zitzler et al. 2003): the smallest eps such
+//    that shifting the approximation front by eps in every objective
+//    makes it weakly dominate the reference front.
+//
+// Both use the minimization convention (pareto.hpp); lower is better,
+// and a front equal to the reference front scores exactly 0.  The
+// campaign analytics use the non-dominated union of every method's
+// front on a scenario as the reference front, so indicators are
+// comparable across methods exactly like the shared-reference PHV.
+#ifndef PARMIS_MOO_INDICATORS_HPP
+#define PARMIS_MOO_INDICATORS_HPP
+
+#include <vector>
+
+#include "numerics/vec.hpp"
+
+namespace parmis::moo {
+
+using num::Vec;
+
+/// IGD+ of approximation `front` against `reference_front` (both
+/// minimization).  Returns +infinity for an empty `front`; throws
+/// parmis::Error for an empty reference front or mismatched dimensions.
+double igd_plus(const std::vector<Vec>& front,
+                const std::vector<Vec>& reference_front);
+
+/// Additive-epsilon indicator of `front` against `reference_front`:
+/// max over r of min over a of max_j (a_j - r_j).  Returns +infinity
+/// for an empty `front`; throws parmis::Error for an empty reference
+/// front or mismatched dimensions.  May be negative when `front`
+/// strictly dominates the reference front.
+double additive_epsilon(const std::vector<Vec>& front,
+                        const std::vector<Vec>& reference_front);
+
+}  // namespace parmis::moo
+
+#endif  // PARMIS_MOO_INDICATORS_HPP

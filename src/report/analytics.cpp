@@ -1,0 +1,185 @@
+#include "report/analytics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+
+#include "common/table.hpp"
+#include "moo/hypervolume.hpp"
+#include "moo/indicators.hpp"
+#include "moo/pareto.hpp"
+#include "serde/json_util.hpp"
+
+namespace parmis::report {
+
+std::vector<ScenarioAnalytics> analyze(const exec::CampaignReport& report,
+                                       double reference_margin) {
+  // One pass groups cell indices by scenario (insertion order = the
+  // campaign's), a second pass per scenario groups them by method —
+  // O(cells) total, never O(scenarios x methods x cells).
+  std::vector<std::vector<std::size_t>> scenario_groups;
+  std::unordered_map<std::string, std::size_t> scenario_of;
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const auto [it, inserted] =
+        scenario_of.try_emplace(report.cells[i].scenario,
+                                scenario_groups.size());
+    if (inserted) scenario_groups.emplace_back();
+    scenario_groups[it->second].push_back(i);
+  }
+
+  std::vector<ScenarioAnalytics> all;
+  for (const auto& scenario_cells : scenario_groups) {
+    ScenarioAnalytics sa;
+    sa.scenario = report.cells[scenario_cells.front()].scenario;
+    std::vector<std::vector<std::size_t>> method_groups;
+    std::unordered_map<std::string, std::size_t> method_of;
+    std::vector<num::Vec> union_points;
+    for (std::size_t i : scenario_cells) {
+      const exec::CellResult& cell = report.cells[i];
+      const auto [it, inserted] =
+          method_of.try_emplace(cell.method, method_groups.size());
+      if (inserted) method_groups.emplace_back();
+      method_groups[it->second].push_back(i);
+      if (sa.objective_names.empty()) {
+        sa.objective_names = cell.objective_names;
+      }
+      if (cell.error.empty()) {
+        union_points.insert(union_points.end(), cell.front.begin(),
+                            cell.front.end());
+      }
+    }
+    // The combined non-dominated front is the best known approximation
+    // of the scenario's true Pareto front — the reference front every
+    // method's IGD+/epsilon is measured against.
+    const std::vector<num::Vec> combined = moo::pareto_front(union_points);
+    sa.combined_front_size = combined.size();
+    if (union_points.size() >= 2) {
+      sa.reference_point =
+          moo::default_reference_point(union_points, reference_margin);
+    }
+    for (const auto& method_cells : method_groups) {
+      MethodScore score;
+      score.method = report.cells[method_cells.front()].method;
+      double phv_sum = 0.0, igd_sum = 0.0, eps_sum = 0.0;
+      for (std::size_t i : method_cells) {
+        const exec::CellResult& cell = report.cells[i];
+        if (!cell.error.empty()) {
+          ++score.failed;
+          continue;
+        }
+        ++score.cells;
+        score.front_points += cell.front.size();
+        phv_sum += cell.phv;
+        if (!combined.empty()) {
+          igd_sum += moo::igd_plus(cell.front, combined);
+          eps_sum += moo::additive_epsilon(cell.front, combined);
+        }
+      }
+      if (score.cells > 0) {
+        const double n = static_cast<double>(score.cells);
+        score.mean_phv = phv_sum / n;
+        score.igd_plus = igd_sum / n;
+        score.epsilon = eps_sum / n;
+      }
+      sa.ranking.push_back(std::move(score));
+    }
+    std::sort(sa.ranking.begin(), sa.ranking.end(),
+              [](const MethodScore& a, const MethodScore& b) {
+                if (a.mean_phv != b.mean_phv) {
+                  return a.mean_phv > b.mean_phv;
+                }
+                return a.method < b.method;
+              });
+    // PaRMIS-normalized PHV (paper Figs. 4/5/7); when the report was
+    // run without PaRMIS, the best method anchors 1.0 instead.
+    double norm = 0.0;
+    for (const auto& s : sa.ranking) {
+      if (s.method == "parmis" && s.mean_phv > 0.0) {
+        norm = s.mean_phv;
+        sa.normalizer = s.method;
+        break;
+      }
+    }
+    if (norm == 0.0 && !sa.ranking.empty() &&
+        sa.ranking.front().mean_phv > 0.0) {
+      norm = sa.ranking.front().mean_phv;
+      sa.normalizer = sa.ranking.front().method;
+    }
+    for (auto& s : sa.ranking) {
+      s.norm_phv = norm > 0.0 ? s.mean_phv / norm : 0.0;
+    }
+    all.push_back(std::move(sa));
+  }
+  return all;
+}
+
+json::Value analytics_to_json(const std::vector<ScenarioAnalytics>& all) {
+  using json::Value;
+  Value out = Value::object();
+  out.set("schema", Value::string(kAnalyticsSchema));
+  Value scenarios = Value::array();
+  for (const auto& sa : all) {
+    Value s = Value::object();
+    s.set("scenario", Value::string(sa.scenario));
+    Value objectives = Value::array();
+    for (const auto& name : sa.objective_names) {
+      objectives.push_back(Value::string(name));
+    }
+    s.set("objectives", std::move(objectives));
+    Value ref = Value::array();
+    for (double v : sa.reference_point) ref.push_back(Value::number(v));
+    s.set("reference_point", std::move(ref));
+    s.set("combined_front_size",
+          serde::u64_to_json(sa.combined_front_size));
+    s.set("normalizer", Value::string(sa.normalizer));
+    Value ranking = Value::array();
+    for (const auto& m : sa.ranking) {
+      Value row = Value::object();
+      row.set("method", Value::string(m.method));
+      row.set("cells", serde::u64_to_json(m.cells));
+      row.set("failed", serde::u64_to_json(m.failed));
+      row.set("front_points", serde::u64_to_json(m.front_points));
+      row.set("mean_phv", Value::number(m.mean_phv));
+      row.set("norm_phv", Value::number(m.norm_phv));
+      row.set("igd_plus", Value::number(m.igd_plus));
+      row.set("epsilon", Value::number(m.epsilon));
+      ranking.push_back(std::move(row));
+    }
+    s.set("ranking", std::move(ranking));
+    scenarios.push_back(std::move(s));
+  }
+  out.set("scenarios", std::move(scenarios));
+  return out;
+}
+
+void print_analytics(std::ostream& os,
+                     const std::vector<ScenarioAnalytics>& all) {
+  for (const auto& sa : all) {
+    os << "scenario " << sa.scenario << " (combined front "
+       << sa.combined_front_size << " points";
+    if (!sa.normalizer.empty()) {
+      os << ", norm_phv 1.0 = " << sa.normalizer;
+    }
+    os << "):\n";
+    Table table({"rank", "method", "cells", "mean_phv", "norm_phv",
+                 "igd+", "eps", "front", "failed"});
+    long long rank = 1;
+    for (const auto& m : sa.ranking) {
+      table.begin_row()
+          .add_int(rank++)
+          .add(m.method)
+          .add_int(static_cast<long long>(m.cells))
+          .add(m.mean_phv, 4)
+          .add(m.norm_phv, 4)
+          .add(m.igd_plus, 4)
+          .add(m.epsilon, 4)
+          .add_int(static_cast<long long>(m.front_points))
+          .add_int(static_cast<long long>(m.failed));
+    }
+    table.print(os);
+    os << "\n";
+  }
+}
+
+}  // namespace parmis::report

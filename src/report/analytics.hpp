@@ -1,0 +1,76 @@
+// Cross-method report analytics: per-scenario ranking tables with
+// normalized PHV (PaRMIS = 1.0, as in the paper's Figs. 4/5/7), IGD+,
+// and additive epsilon.
+//
+// Input is any campaign report whose PHV is already global-reference
+// (a fresh run, or a merge) — analytics never re-runs cells.  For each
+// scenario it pools the non-dominated union of every method's fronts
+// as the best known approximation of the true Pareto front, scores
+// each method's cells against it with the moo::indicators suite, and
+// ranks methods by mean PHV.  Normalization divides by the "parmis"
+// method's mean PHV when present (the paper's convention); otherwise
+// by the best method's, which then scores 1.0.
+//
+// Two emitters share the analysis: JSON (`parmis-analytics-v1`, for
+// plotting pipelines) and the common/table text tables campaign-merge
+// prints under --tables.
+#ifndef PARMIS_REPORT_ANALYTICS_HPP
+#define PARMIS_REPORT_ANALYTICS_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "exec/campaign.hpp"
+#include "numerics/vec.hpp"
+
+namespace parmis::report {
+
+/// Schema tag of the analytics JSON document.
+inline constexpr const char* kAnalyticsSchema = "parmis-analytics-v1";
+
+/// One method's aggregate quality on one scenario.
+struct MethodScore {
+  std::string method;
+  std::size_t cells = 0;         ///< non-error cells (seeds) aggregated
+  std::size_t failed = 0;        ///< cells that reported an error
+  std::size_t front_points = 0;  ///< total front points across cells
+  double mean_phv = 0.0;         ///< mean shared-reference PHV over cells
+  double norm_phv = 0.0;         ///< mean_phv / the normalizer's mean_phv
+  double igd_plus = 0.0;   ///< mean IGD+ vs the scenario's combined front
+  double epsilon = 0.0;    ///< mean additive epsilon vs the same front
+};
+
+/// One scenario's cross-method comparison.
+struct ScenarioAnalytics {
+  std::string scenario;
+  std::vector<std::string> objective_names;
+  /// Global reference point the comparison is anchored to (derived
+  /// from the union of fronts exactly like PHV aggregation).
+  num::Vec reference_point;
+  std::size_t combined_front_size = 0;  ///< |non-dominated union|
+  std::string normalizer;  ///< method whose mean PHV defines norm 1.0
+  /// Sorted best-first by mean PHV (ties broken by name, so the
+  /// ranking is deterministic).
+  std::vector<MethodScore> ranking;
+};
+
+/// Scores every scenario in the report; scenario order follows first
+/// appearance in the cell list (= campaign order).  `reference_margin`
+/// must match the PHV aggregation's (0.1) for the reported reference
+/// point to be the one the PHV numbers used.
+std::vector<ScenarioAnalytics> analyze(const exec::CampaignReport& report,
+                                       double reference_margin = 0.1);
+
+/// `parmis-analytics-v1` document over all scenarios.
+json::Value analytics_to_json(const std::vector<ScenarioAnalytics>& all);
+
+/// One aligned text table per scenario (rank, method, cells, PHV,
+/// normalized PHV, IGD+, epsilon, front size).
+void print_analytics(std::ostream& os,
+                     const std::vector<ScenarioAnalytics>& all);
+
+}  // namespace parmis::report
+
+#endif  // PARMIS_REPORT_ANALYTICS_HPP

@@ -1,0 +1,151 @@
+#include "report/merge.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "moo/hypervolume.hpp"
+
+namespace parmis::report {
+
+void assign_global_phv(exec::CampaignReport& report,
+                       double reference_margin) {
+  // One shared reference point per scenario across all of its cells
+  // (methods, seeds, and — after a merge — shards), then per-cell PHV
+  // against it: the paper's "same reference point for all DRM
+  // approaches" convention.  Grouping is by scenario name because a
+  // scenario defines one objective space; two scenarios with identical
+  // objective labels are still different spaces (different platforms
+  // and normalization).  Cells are grouped in one pass (insertion-
+  // ordered index lists), so million-cell reports stay O(cells), not
+  // O(scenarios x cells).
+  std::vector<std::vector<std::size_t>> groups;
+  std::unordered_map<std::string, std::size_t> group_of;
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const auto [it, inserted] =
+        group_of.try_emplace(report.cells[i].scenario, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+  for (const auto& indices : groups) {
+    std::vector<num::Vec> all_points;
+    for (std::size_t i : indices) {
+      const exec::CellResult& cell = report.cells[i];
+      if (!cell.error.empty()) continue;
+      all_points.insert(all_points.end(), cell.front.begin(),
+                        cell.front.end());
+    }
+    if (all_points.size() < 2) continue;
+    const num::Vec ref =
+        moo::default_reference_point(all_points, reference_margin);
+    for (std::size_t i : indices) {
+      exec::CellResult& cell = report.cells[i];
+      if (!cell.error.empty() || cell.front.empty()) continue;
+      cell.phv = moo::hypervolume(cell.front, ref);
+    }
+  }
+}
+
+std::size_t missing_shards(
+    const std::vector<exec::CampaignReport>& reports) {
+  if (reports.empty()) return 0;
+  const std::size_t count = reports.front().shard.count;
+  std::vector<bool> present(count, false);
+  for (const auto& r : reports) {
+    if (r.shard.index < count) present[r.shard.index] = true;
+  }
+  return static_cast<std::size_t>(
+      std::count(present.begin(), present.end(), false));
+}
+
+exec::CampaignReport merge(std::vector<exec::CampaignReport> reports,
+                           const MergeOptions& options) {
+  require(!reports.empty(), "merge: no reports");
+
+  // ---------------------------------------------------- tiling checks
+  // Shards must describe slices of one campaign: same identity hash,
+  // same pre-slice cell count, same shard count, distinct indices, and
+  // per-shard cell counts matching the deterministic slice arithmetic.
+  const exec::CampaignReport& first = reports.front();
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const exec::CampaignReport& r = reports[i];
+    const std::string who = "merge: report #" + std::to_string(i) + ": ";
+    // A partial merge output is an inspection artifact: its header was
+    // re-written to look self-consistent, so feeding it back in would
+    // silently launder provisional numbers into a "complete" report.
+    require(!r.partial,
+            who + "this is a partial merge result (provisional digest "
+                  "and PHV) — merge the original shard reports instead");
+    require(r.campaign_hash == first.campaign_hash,
+            who + "campaign hash mismatch (shards of different campaigns "
+                  "cannot be merged)");
+    require(r.total_cells == first.total_cells,
+            who + "total_cells " + std::to_string(r.total_cells) +
+                " disagrees with " + std::to_string(first.total_cells));
+    require(r.shard.count == first.shard.count,
+            who + "shard count " + std::to_string(r.shard.count) +
+                " disagrees with " + std::to_string(first.shard.count));
+    require(r.shard.index < r.shard.count,
+            who + "shard index " + std::to_string(r.shard.index) +
+                " out of range (count " + std::to_string(r.shard.count) +
+                ")");
+    const auto [begin, end] = exec::shard_range(r.total_cells, r.shard);
+    require(r.cells.size() == end - begin,
+            who + "carries " + std::to_string(r.cells.size()) +
+                " cells but shard " + std::to_string(r.shard.index) + "/" +
+                std::to_string(r.shard.count) + " spans " +
+                std::to_string(end - begin));
+  }
+  // Shard-index order *is* campaign cell order (slices are contiguous
+  // and ascending), so sorting here makes the merge invariant to the
+  // order shard files were named on the command line.
+  std::stable_sort(reports.begin(), reports.end(),
+                   [](const exec::CampaignReport& a,
+                      const exec::CampaignReport& b) {
+                     return a.shard.index < b.shard.index;
+                   });
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    require(reports[i].shard.index != reports[i - 1].shard.index,
+            "merge: shard " + std::to_string(reports[i].shard.index) +
+                " appears more than once (overlap)");
+  }
+  const std::size_t missing = missing_shards(reports);
+  require(!options.strict || missing == 0,
+          "merge: incomplete tiling: " + std::to_string(missing) + " of " +
+              std::to_string(first.shard.count) +
+              " shards missing (pass every shard, or merge without "
+              "strict to accept a partial, provisional report)");
+
+  // ----------------------------------------------------------- join
+  exec::CampaignReport merged;
+  merged.campaign_hash = first.campaign_hash;
+  merged.shard = exec::ShardSpec{0, 1};
+  for (const auto& r : reports) {
+    merged.num_threads = std::max(merged.num_threads, r.num_threads);
+    merged.wall_s += r.wall_s;  // total compute, not elapsed time
+    merged.cache_hits += r.cache_hits;
+    merged.cache_misses += r.cache_misses;
+  }
+  for (auto& r : reports) {
+    merged.cells.insert(merged.cells.end(),
+                        std::make_move_iterator(r.cells.begin()),
+                        std::make_move_iterator(r.cells.end()));
+  }
+  // A complete merge reconstructs the unsharded campaign; a partial
+  // one is re-headed as a smaller report that loads cleanly but is
+  // *marked* partial — the flag survives serde, prints as provisional,
+  // and makes any further merge attempt fail up front.
+  merged.total_cells =
+      missing == 0 ? first.total_cells : merged.cells.size();
+  merged.partial = missing > 0;
+
+  // Per-shard PHV values were provisional (each runner only saw its own
+  // fronts); replace them with the paper-faithful shared-reference
+  // numbers over the union of every shard's fronts.
+  assign_global_phv(merged, options.reference_margin);
+  return merged;
+}
+
+}  // namespace parmis::report

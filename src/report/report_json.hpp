@@ -1,0 +1,57 @@
+// Versioned campaign-report serde: the `parmis-report-v1` document.
+//
+// Before this subsystem, CampaignReport was write-only — per-shard JSON
+// files could be produced but never reloaded, so sharded campaigns
+// stopped at "N processes share a cache dir".  This serde makes reports
+// first-class data: report_from_json(report_to_json(r)) reproduces
+// every field of r bit for bit (the same contract plan serde gives
+// ScenarioSpec), which is what lets campaign-merge join shard files and
+// recompute paper-faithful global-reference PHV (see merge.hpp).
+//
+// Byte-exactness rides the common/json layer: doubles are emitted as
+// shortest round-trip decimals (hex-bits fallback for non-finite), u64
+// fields above 2^53 as decimal strings, and the cell list in campaign
+// order.  Decoding is strict — unknown keys, wrong types, and schema
+// mismatches are rejected with the file context named — and the
+// document's stored `objectives_digest` is re-verified against the
+// reloaded cells, so a hand-edited or truncated shard file fails loudly
+// instead of silently merging wrong numbers.
+#ifndef PARMIS_REPORT_REPORT_JSON_HPP
+#define PARMIS_REPORT_REPORT_JSON_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "common/json.hpp"
+#include "exec/campaign.hpp"
+
+namespace parmis::report {
+
+/// Schema tag written by this build.  Bump (and keep reading old tags
+/// where possible) whenever a field is added/removed/reinterpreted —
+/// the same version-bump policy as plan and cache schemas
+/// (docs/report_schema.md).
+inline constexpr const char* kReportSchema = "parmis-report-v1";
+
+/// Full document form of a report (schema, header, every cell).
+json::Value report_to_json(const exec::CampaignReport& report);
+
+/// Streams the identical bytes json::dump(report_to_json(report))
+/// would produce, materializing only one cell at a time — the writer
+/// behind CampaignReport::write_json, so million-cell reports don't
+/// build a document-sized value tree plus a document-sized string just
+/// to hit the disk.
+void write_report(std::ostream& os, const exec::CampaignReport& report);
+
+/// Strict decode; `context` (e.g. the file path) prefixes every error.
+/// Verifies the stored objectives digest against the reloaded cells.
+exec::CampaignReport report_from_json(const json::Value& doc,
+                                      const std::string& context);
+
+exec::CampaignReport load_report(const std::string& path);
+void save_report(const std::string& path,
+                 const exec::CampaignReport& report);
+
+}  // namespace parmis::report
+
+#endif  // PARMIS_REPORT_REPORT_JSON_HPP

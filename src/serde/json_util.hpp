@@ -21,6 +21,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/json.hpp"
 
 namespace parmis::serde {
@@ -37,6 +38,13 @@ inline json::Value u64_to_json(std::uint64_t v) {
     return json::Value::number(static_cast<double>(v));
   }
   return json::Value::string(std::to_string(v));
+}
+
+/// Emits a u64 as its 16-lowercase-hex form — digests and campaign
+/// identities are opaque bit patterns, not quantities, so they are
+/// written the way every CLI and log line prints them.
+inline json::Value hex64_to_json(std::uint64_t v) {
+  return json::Value::string(hex64(v));
 }
 
 /// Strict member-wise reader for one JSON object.
@@ -109,6 +117,15 @@ class ObjectReader {
         get_u64(key, static_cast<std::uint64_t>(fallback)));
   }
 
+  /// Required 16-lowercase-hex field (hex64_to_json's counterpart).
+  std::uint64_t get_hex64(const std::string& key) {
+    return as_hex64(require_key(key), key);
+  }
+  std::uint64_t get_hex64(const std::string& key, std::uint64_t fallback) {
+    const json::Value* v = optional_key(key);
+    return v != nullptr ? as_hex64(*v, key) : fallback;
+  }
+
   /// Throws if any member of the object was never consumed.
   void finish() const {
     for (const auto& [key, v] : value_.members()) {
@@ -128,6 +145,20 @@ class ObjectReader {
                               json::is_hex_bits_string(v.as_string())),
             type_message(key, "number", v));
     return v.as_number();
+  }
+
+  std::uint64_t as_hex64(const json::Value& v, const std::string& key) const {
+    require(v.is_string(), type_message(key, "16-hex-char string", v));
+    const std::string& s = v.as_string();
+    require(s.size() == 16 &&
+                s.find_first_not_of("0123456789abcdef") == std::string::npos,
+            type_message(key, "16-hex-char string", v));
+    std::uint64_t out = 0;
+    for (char c : s) {
+      out = (out << 4) |
+            static_cast<std::uint64_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+    }
+    return out;
   }
 
   std::uint64_t as_u64(const json::Value& v, const std::string& key) const {

@@ -10,15 +10,21 @@
 #include "apps/benchmarks.hpp"
 #include "baselines/rl_tabular.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "core/parmis.hpp"
 #include "core/policy_search.hpp"
+#include "exec/campaign.hpp"
 #include "gp/gp.hpp"
+#include "methods/registry.hpp"
 #include "moo/hypervolume.hpp"
 #include "moo/nsga2.hpp"
+#include "moo/pareto.hpp"
 #include "moo/test_problems.hpp"
 #include "policy/governors.hpp"
 #include "runtime/evaluator.hpp"
 #include "runtime/pareto_archive.hpp"
+#include "scenario/scenario.hpp"
+#include "serde/plan.hpp"
 #include "soc/perf_model.hpp"
 #include "soc/platform.hpp"
 #include "soc/trace_io.hpp"
@@ -286,6 +292,85 @@ TEST(Deployment, ArchiveTraceAndPolicyRoundTripTogether) {
   runtime::Evaluator eval(platform);
   const auto metrics = eval.run(policy, reloaded);
   EXPECT_GT(metrics.time_s, 0.0);
+}
+
+// ------------------------------------- out-of-tree method plugin path
+
+/// Minimal out-of-tree method (the worked example lives in
+/// examples/plugin_method/): evaluates the decision space's first and
+/// last static configurations and returns the non-dominated subset.
+class PluginStaticExtremesMethod final : public methods::Method {
+ public:
+  std::string name() const override { return "test-plugin-extremes"; }
+  std::string description() const override {
+    return "test plugin: static min/max configurations";
+  }
+
+  methods::MethodOutput run(const methods::CellContext& ctx,
+                            const methods::MethodConfig* config) const
+      override {
+    require(config == nullptr, "test-plugin-extremes takes no config");
+    const soc::DecisionSpace& space = ctx.platform.decision_space();
+    runtime::GlobalEvaluator evaluator(ctx.platform, ctx.apps,
+                                       ctx.objectives, ctx.eval_config);
+    std::vector<num::Vec> points;
+    for (std::size_t index : {std::size_t{0}, space.size() - 1}) {
+      policy::StaticPolicy probe(space.decision(index), "extreme");
+      points.push_back(evaluator.evaluate(probe));
+    }
+    methods::MethodOutput out;
+    out.front = moo::pareto_front(points);
+    out.evaluations = 2;
+    return out;
+  }
+};
+
+// Static-initialization self-registration, exactly what an out-of-tree
+// plugin translation unit does.
+const methods::MethodRegistrar kTestPlugin{
+    std::make_unique<PluginStaticExtremesMethod>()};
+
+TEST(MethodPlugin, RegistersAndRunsEndToEndThroughAPlanFile) {
+  // The registrar above ran before main(): the method is now a
+  // first-class campaign method, visible wherever built-ins are.
+  const methods::MethodRegistry& registry =
+      methods::MethodRegistry::instance();
+  ASSERT_TRUE(registry.contains("test-plugin-extremes"));
+  EXPECT_TRUE(scenario::is_campaign_method("test-plugin-extremes"));
+
+  // A plan file can name it like any built-in; validation, resolution,
+  // and the campaign runner all dispatch through the registry.
+  const json::Value doc = json::parse(R"({
+    "schema": "parmis-plan-v1",
+    "name": "plugin-smoke",
+    "scenarios": ["xu3-synthetic-te"],
+    "methods": ["test-plugin-extremes", "powersave"],
+    "seeds_per_cell": 1
+  })");
+  const serde::CampaignPlan plan =
+      serde::plan_from_json(doc, "inline-plan");
+  exec::CampaignConfig config =
+      serde::to_campaign_config(plan, serde::ScenarioCatalogue{});
+  config.num_threads = 2;
+  const exec::CampaignReport report = exec::CampaignRunner(config).run();
+
+  ASSERT_EQ(report.cells.size(), 2u);
+  const exec::CellResult& cell = report.cells[0];
+  EXPECT_EQ(cell.method, "test-plugin-extremes");
+  EXPECT_TRUE(cell.error.empty()) << cell.error;
+  EXPECT_EQ(cell.evaluations, 2u);
+  EXPECT_FALSE(cell.front.empty());
+  EXPECT_GT(cell.phv, 0.0);  // shares the cell-wide reference point
+
+  // Plugin cells are deterministic like every campaign cell.
+  const exec::CellResult again = exec::CampaignRunner::run_cell(
+      config.scenarios[0], "test-plugin-extremes", 1, 3);
+  ASSERT_EQ(again.front.size(), cell.front.size());
+  for (std::size_t p = 0; p < cell.front.size(); ++p) {
+    for (std::size_t j = 0; j < cell.front[p].size(); ++j) {
+      EXPECT_EQ(again.front[p][j], cell.front[p][j]);
+    }
+  }
 }
 
 }  // namespace

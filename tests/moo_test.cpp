@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "moo/hypervolume.hpp"
+#include "moo/indicators.hpp"
 #include "moo/nsga2.hpp"
 #include "moo/pareto.hpp"
 #include "moo/test_problems.hpp"
@@ -497,6 +498,93 @@ TEST(Nsga2, ValidatesConfiguration) {
   EXPECT_THROW(nsga2_minimize([](const Vec& x) { return zdt1(x); },
                               {1.0, 1.0}, {0.0, 0.0}, ok),
                Error);
+}
+
+// ------------------------------------------- reference-point semantics
+
+TEST(ReferencePoint, PhvIsMonotoneUnderReferenceRelaxation) {
+  // Relaxing the reference point (making it weakly worse in every
+  // dimension) can only grow the dominated region — the property that
+  // makes "one global reference over the union of fronts" a fair
+  // comparison: the shared point is weakly worse than every front's
+  // own, so every method's PHV grows together.
+  const std::vector<Vec> front = {{0.2, 0.9}, {0.5, 0.5}, {0.9, 0.1}};
+  double previous = hypervolume(front, {1.0, 1.0});
+  for (double relax : {1.2, 1.7, 2.5, 10.0}) {
+    const double relaxed = hypervolume(front, {relax, relax});
+    EXPECT_GT(relaxed, previous);
+    previous = relaxed;
+  }
+  // Exact growth for a single point: the dominated box area.
+  const std::vector<Vec> point = {{1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(hypervolume(point, {2.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(hypervolume(point, {3.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(hypervolume(point, {3.0, 3.0}), 4.0);
+}
+
+TEST(ReferencePoint, DefaultReferenceIsWorseThanEveryUnionPoint) {
+  const std::vector<Vec> a = {{0.0, 2.0}, {1.0, 1.0}};
+  const std::vector<Vec> b = {{2.0, 0.0}, {0.5, 1.5}};
+  std::vector<Vec> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  const Vec ref = default_reference_point(all, 0.1);
+  for (const auto& p : all) {
+    for (std::size_t j = 0; j < p.size(); ++j) EXPECT_GT(ref[j], p[j]);
+  }
+  // Per-front PHV against the shared reference never exceeds the
+  // union's PHV (the union dominates at least as much).
+  const double hv_union = hypervolume(all, ref);
+  EXPECT_LE(hypervolume(a, ref), hv_union);
+  EXPECT_LE(hypervolume(b, ref), hv_union);
+}
+
+// ------------------------------------------------- quality indicators
+
+TEST(Indicators, IgdPlusClosedFormCases) {
+  const std::vector<Vec> ref = {{0.0, 1.0}, {1.0, 0.0}};
+  // A front equal to the reference front scores exactly 0.
+  EXPECT_DOUBLE_EQ(igd_plus(ref, ref), 0.0);
+  // One point at (1,1): d+ to each reference point is 1.
+  EXPECT_DOUBLE_EQ(igd_plus({{1.0, 1.0}}, ref), 1.0);
+  // Dominance compliance: a front *beyond* the reference front scores
+  // 0, not a phantom distance (the "+" in IGD+).
+  EXPECT_DOUBLE_EQ(igd_plus({{-1.0, -1.0}}, ref), 0.0);
+  // Mixed: (0,1) matches the first ref point exactly; for (1,0) the
+  // nearest approximation point is (0,1) at d+ = 1 (only the worse
+  // first component counts) vs (2,2) at sqrt(1+4) -> mean = 1/2.
+  EXPECT_DOUBLE_EQ(igd_plus({{0.0, 1.0}, {2.0, 2.0}}, ref), 0.5);
+  // Empty approximation front: infinitely far.
+  EXPECT_TRUE(std::isinf(igd_plus({}, ref)));
+  EXPECT_THROW(igd_plus(ref, {}), Error);
+  EXPECT_THROW(igd_plus({{1.0}}, ref), Error);
+}
+
+TEST(Indicators, AdditiveEpsilonClosedFormCases) {
+  const std::vector<Vec> ref = {{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(additive_epsilon(ref, ref), 0.0);
+  // (1,1) must shift by 1 to weakly dominate both reference points.
+  EXPECT_DOUBLE_EQ(additive_epsilon({{1.0, 1.0}}, ref), 1.0);
+  // A strictly dominating front yields a negative epsilon.
+  EXPECT_DOUBLE_EQ(additive_epsilon({{-0.5, -0.5}}, ref), -0.5);
+  // Asymmetry: the reference front needs no shift to cover (1,1)...
+  EXPECT_DOUBLE_EQ(additive_epsilon(ref, {{1.0, 1.0}}), 0.0);
+  EXPECT_TRUE(std::isinf(additive_epsilon({}, ref)));
+  EXPECT_THROW(additive_epsilon(ref, {}), Error);
+}
+
+TEST(Indicators, AgreeWithPhvOnDominationOrdering) {
+  // A dominating front must be at least as good on every indicator —
+  // the consistency that makes the ranking tables trustworthy.
+  const std::vector<Vec> better = {{0.1, 0.8}, {0.4, 0.4}, {0.8, 0.1}};
+  const std::vector<Vec> worse = {{0.3, 1.0}, {0.6, 0.6}, {1.0, 0.3}};
+  std::vector<Vec> all = better;
+  all.insert(all.end(), worse.begin(), worse.end());
+  const std::vector<Vec> combined = pareto_front(all);
+  const Vec ref = default_reference_point(all, 0.1);
+  EXPECT_GT(hypervolume(better, ref), hypervolume(worse, ref));
+  EXPECT_LT(igd_plus(better, combined), igd_plus(worse, combined));
+  EXPECT_LT(additive_epsilon(better, combined),
+            additive_epsilon(worse, combined));
 }
 
 // Parameterized sweep: PHV of NSGA-II's ZDT1 front improves with budget.
