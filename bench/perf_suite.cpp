@@ -1,0 +1,294 @@
+// Perf suite: one binary measuring the four hot paths of the codebase
+// and emitting a versioned machine-readable scorecard (BENCH_perf.json,
+// schema `parmis-perf-v1`) so perf regressions show up as a diff at the
+// repo root rather than anecdata in PR descriptions.
+//
+// Metrics:
+//  * campaign cells/sec      — exec::CampaignRunner on the synthetic
+//                              scenario with governor methods (runner
+//                              overhead, not method cost),
+//  * acquisition us/candidate — core::InformationGainAcquisition::value
+//                              over many candidate thetas (the inner
+//                              loop of every PaRMIS iteration),
+//  * merge cells/sec         — report::merge over synthesized shard
+//                              reports (the campaign post-processing
+//                              path),
+//  * serve decisions/sec/core and p50/p99 us — the src/serve/ decide
+//                              hot path on one thread (same protocol
+//                              as bench/serve_suite).
+//
+// The JSON carries the budgets that produced each number: `--smoke`
+// runs in seconds for CI, the default sizes for a committed scorecard.
+// Numbers from different budgets are not comparable; diff like against
+// like.
+//
+// Flags: --smoke  --out=path (default BENCH_perf.json)
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "core/acquisition.hpp"
+#include "exec/campaign.hpp"
+#include "gp/gp.hpp"
+#include "gp/kernel.hpp"
+#include "report/merge.hpp"
+#include "scenario/scenario.hpp"
+#include "serve/server.hpp"
+#include "serve/store.hpp"
+
+namespace {
+
+using namespace parmis;
+
+// --------------------------------------------------------- campaign
+/// Cells/sec of the parallel campaign runner on governor-only cells of
+/// the synthetic scenario: measures the runner's per-cell machinery
+/// (platform build, evaluation, aggregation), not learning cost.
+double campaign_cells_per_s(bool smoke, json::Value* budget) {
+  exec::CampaignConfig config;
+  config.scenarios = {scenario::make_scenario("xu3-synthetic-te")};
+  config.scenarios[0].methods = {"performance", "powersave", "ondemand"};
+  config.seeds_per_cell = smoke ? 2 : 8;
+  const Stopwatch wall;
+  const exec::CampaignReport report = exec::CampaignRunner(config).run();
+  const double seconds = wall.seconds();
+  budget->set("cells", json::Value::number(double(report.cells.size())));
+  return double(report.cells.size()) / seconds;
+}
+
+// ------------------------------------------------------ acquisition
+/// Microseconds per candidate theta for one iteration's acquisition
+/// object (built once, evaluated many times — the PaRMIS inner loop).
+double acquisition_us_per_candidate(bool smoke, json::Value* budget) {
+  const std::size_t n = 60, d = 16;
+  const std::size_t candidates = smoke ? 500 : 5000;
+  Rng rng(7);
+  num::Matrix X(n, d);
+  num::Vec y0(n), y1(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      X(i, c) = rng.uniform(-2, 2);
+      s += X(i, c);
+    }
+    y0[i] = std::sin(s) + 0.01 * rng.normal();
+    y1[i] = std::cos(s) + 0.01 * rng.normal();
+  }
+  std::vector<gp::GpRegressor> models;
+  for (const num::Vec* y : {&y0, &y1}) {
+    models.emplace_back(gp::make_kernel("rbf", std::sqrt(double(d))), 1e-4);
+    models.back().set_data(X, *y);
+  }
+  const num::Vec lo(d, -2.0), hi(d, 2.0);
+  core::AcquisitionConfig config;
+  config.rff_features = 64;
+  config.front_sampler.population_size = 16;
+  config.front_sampler.generations = 10;
+  const core::InformationGainAcquisition acq(models, lo, hi, config, rng);
+
+  std::vector<num::Vec> queries(candidates, num::Vec(d));
+  for (auto& q : queries)
+    for (auto& v : q) v = rng.uniform(-2, 2);
+  double checksum = 0.0;
+  const Stopwatch wall;
+  for (const num::Vec& q : queries) checksum += acq.value(q);
+  const double us = wall.micros() / double(candidates);
+  budget->set("candidates", json::Value::number(double(candidates)));
+  budget->set("gp_points", json::Value::number(double(n)));
+  budget->set("theta_dim", json::Value::number(double(d)));
+  if (!std::isfinite(checksum)) std::cerr << "acquisition checksum NaN\n";
+  return us;
+}
+
+// ------------------------------------------------------------ merge
+/// Cells/sec of report::merge joining `shards` synthesized shard
+/// reports (in memory; the disk round trip is campaign_suite's probe).
+double merge_cells_per_s(bool smoke, json::Value* budget) {
+  const std::size_t total_cells = smoke ? 2000 : 20000;
+  const std::size_t num_shards = 8;
+  Rng rng(11);
+  std::vector<exec::CampaignReport> shards(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shards[s].campaign_hash = 0xC0DEULL;
+    shards[s].total_cells = total_cells;
+    shards[s].shard = exec::ShardSpec{s, num_shards};
+  }
+  for (std::size_t i = 0; i < total_cells; ++i) {
+    exec::CellResult cell;
+    cell.scenario = "merge-scale-" + std::to_string(i % 16);
+    cell.platform = "synthetic";
+    cell.method = "method-" + std::to_string((i / 16) % 4);
+    cell.seed = 1 + i / 64;
+    cell.objective_names = {"time", "energy"};
+    cell.num_apps = 2;
+    cell.evaluations = 8;
+    for (std::size_t p = 0; p < 6; ++p) {
+      const double t = rng.uniform();
+      cell.front.push_back({t, 1.0 - t + 0.05 * rng.uniform()});
+    }
+    cell.best_raw = {cell.front[0][0], cell.front[0][1]};
+    // Deal the cell to the shard whose slice covers index i.
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const auto [lo, hi] =
+          exec::shard_range(total_cells, exec::ShardSpec{s, num_shards});
+      if (i >= lo && i < hi) {
+        shards[s].cells.push_back(std::move(cell));
+        break;
+      }
+    }
+  }
+  const Stopwatch wall;
+  const exec::CampaignReport merged = report::merge(std::move(shards));
+  const double seconds = wall.seconds();
+  budget->set("cells", json::Value::number(double(total_cells)));
+  budget->set("shards", json::Value::number(double(num_shards)));
+  if (merged.cells.size() != total_cells) std::cerr << "merge lost cells\n";
+  return double(total_cells) / seconds;
+}
+
+// ------------------------------------------------------------ serve
+/// Same synthetic-snapshot protocol as bench/serve_suite: single-thread
+/// decide_on() throughput plus individually-clocked latency quantiles.
+struct ServeNumbers {
+  double decisions_per_s_per_core = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+ServeNumbers serve_numbers(bool smoke, json::Value* budget) {
+  const std::size_t scenarios = 8, front_points = 12;
+  const std::size_t decisions = smoke ? 200'000 : 4'000'000;
+  const std::size_t samples = smoke ? 20'000 : 200'000;
+
+  exec::CampaignReport report;
+  report.campaign_hash = 0x5E7BE5E7ULL;
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    exec::CellResult cell;
+    cell.scenario = "synthetic-" + std::to_string(s);
+    cell.platform = "synthetic";
+    cell.method = "parmis";
+    cell.seed = 1;
+    cell.objective_names = {"time_s", "energy_j"};
+    cell.num_apps = 2;
+    cell.evaluations = front_points;
+    for (std::size_t p = 0; p < front_points; ++p) {
+      cell.front.push_back({1.0 + double(p), 1.0 + double(front_points - p)});
+      cell.pareto_thetas.push_back({0.1 * double(p), 0.2 * double(p)});
+    }
+    cell.best_raw = {cell.front.front()[0], cell.front.back()[1]};
+    cell.phv = 10.0;
+    report.cells.push_back(std::move(cell));
+  }
+  report.total_cells = report.cells.size();
+
+  serve::PolicyStore store;
+  store.build_and_install({report}, {"synthetic"});
+  const serve::PolicyServer server(store);
+
+  std::vector<serve::DecideRequest> mix;
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    const std::string name = "synthetic-" + std::to_string(s);
+    for (const char* mode :
+         {"balanced", "performance", "powersave", "thermal-critical"}) {
+      serve::DecideRequest req;
+      req.scenario = name;
+      req.mode = mode;
+      mix.push_back(std::move(req));
+    }
+    serve::DecideRequest weighted;
+    weighted.scenario = name;
+    weighted.weights = {{"time_s", 2.0}, {"energy_j", 5.0}};
+    mix.push_back(std::move(weighted));
+  }
+
+  const auto snapshot = store.require_snapshot();
+  ServeNumbers numbers;
+  std::size_t checksum = 0;
+  const Stopwatch wall;
+  for (std::size_t i = 0; i < decisions; ++i) {
+    checksum += server.decide_on(*snapshot, mix[i % mix.size()]).index;
+  }
+  numbers.decisions_per_s_per_core = double(decisions) / wall.seconds();
+
+  std::vector<double> micros(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const Stopwatch one;
+    checksum += server.decide_on(*snapshot, mix[i % mix.size()]).index;
+    micros[i] = one.micros();
+  }
+  std::sort(micros.begin(), micros.end());
+  numbers.p50_us = micros[samples / 2];
+  numbers.p99_us = micros[(samples * 99) / 100];
+  budget->set("decisions", json::Value::number(double(decisions)));
+  budget->set("latency_samples", json::Value::number(double(samples)));
+  budget->set("scenarios", json::Value::number(double(scenarios)));
+  if (checksum == 0) std::cerr << "serve checksum unexpectedly zero\n";
+  return numbers;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);
+  const std::string out = args.get("out", "BENCH_perf.json");
+
+  json::Value doc = json::Value::object();
+  doc.set("schema", json::Value::string("parmis-perf-v1"));
+  doc.set("smoke", json::Value::boolean(smoke));
+  json::Value budgets = json::Value::object();
+  json::Value metrics = json::Value::object();
+
+  std::cerr << "perf suite (" << (smoke ? "smoke" : "default")
+            << " budgets)...\n";
+
+  json::Value campaign_budget = json::Value::object();
+  const double cells_s = campaign_cells_per_s(smoke, &campaign_budget);
+  std::cerr << "  campaign      " << cells_s << " cells/s\n";
+
+  json::Value acq_budget = json::Value::object();
+  const double acq_us = acquisition_us_per_candidate(smoke, &acq_budget);
+  std::cerr << "  acquisition   " << acq_us << " us/candidate\n";
+
+  json::Value merge_budget = json::Value::object();
+  const double merge_s = merge_cells_per_s(smoke, &merge_budget);
+  std::cerr << "  merge         " << merge_s << " cells/s\n";
+
+  json::Value serve_budget = json::Value::object();
+  const ServeNumbers serve = serve_numbers(smoke, &serve_budget);
+  std::cerr << "  serve         " << serve.decisions_per_s_per_core
+            << " decisions/s/core, p50 " << serve.p50_us << " us, p99 "
+            << serve.p99_us << " us\n";
+
+  metrics.set("campaign_cells_per_s", json::Value::number(cells_s));
+  metrics.set("acquisition_us_per_candidate", json::Value::number(acq_us));
+  metrics.set("merge_cells_per_s", json::Value::number(merge_s));
+  metrics.set("serve_decisions_per_s_per_core",
+              json::Value::number(serve.decisions_per_s_per_core));
+  metrics.set("serve_latency_p50_us", json::Value::number(serve.p50_us));
+  metrics.set("serve_latency_p99_us", json::Value::number(serve.p99_us));
+  budgets.set("campaign", std::move(campaign_budget));
+  budgets.set("acquisition", std::move(acq_budget));
+  budgets.set("merge", std::move(merge_budget));
+  budgets.set("serve", std::move(serve_budget));
+  doc.set("metrics", std::move(metrics));
+  doc.set("budgets", std::move(budgets));
+
+  std::ofstream os(out, std::ios::binary);
+  os << json::dump(doc);
+  if (!os) {
+    std::cerr << "cannot write " << out << "\n";
+    return 1;
+  }
+  std::cerr << "wrote " << out << "\n";
+  return 0;
+}

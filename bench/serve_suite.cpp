@@ -1,0 +1,181 @@
+// Serve suite bench: decision latency and throughput of the policy
+// serving subsystem (src/serve/) — the online half of the paper, where
+// Table 2's "decision overhead" budget lives.
+//
+// Protocol:
+//  1. build a synthetic multi-scenario snapshot (--scenarios fronts of
+//     --front Pareto points each, parmis + governor entries) and
+//     install it into a PolicyStore,
+//  2. throughput: answer --decisions requests from one acquired
+//     snapshot on a single thread, cycling named modes, explicit
+//     weights, and "auto" dispatch -> decisions/sec/core,
+//  3. latency: time --latency-samples individual decide_on() calls and
+//     report p50/p99 microseconds,
+//  4. hot-swap probe: measure the writer-side cost of building and
+//     installing a replacement snapshot, and assert a snapshot held
+//     across the swap still answers bit-identically (the RCU contract
+//     the serve tests pin under concurrency).
+//
+// Flags: --scenarios=N  --front=P  --decisions=N  --latency-samples=K
+//        --csv=path  --smoke
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "exec/campaign.hpp"
+#include "serve/server.hpp"
+#include "serve/store.hpp"
+
+namespace {
+
+using namespace parmis;
+
+/// Synthetic campaign report: `scenarios` scenarios, each with a
+/// "parmis" and a "governor" entry whose fronts are `front_points`
+/// mutually non-dominated time/energy trade-offs.  `variant` shifts
+/// every objective so successive installs are distinguishable.
+exec::CampaignReport synthetic_report(std::size_t scenarios,
+                                      std::size_t front_points,
+                                      double variant) {
+  exec::CampaignReport report;
+  report.campaign_hash = 0x5E7BE5E7ULL;
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    for (const char* method : {"parmis", "governor"}) {
+      exec::CellResult cell;
+      cell.scenario = "synthetic-" + std::to_string(s);
+      cell.platform = "synthetic";
+      cell.method = method;
+      cell.seed = 1;
+      cell.objective_names = {"time_s", "energy_j"};
+      cell.num_apps = 2;
+      cell.evaluations = front_points;
+      const double offset = (method[0] == 'g') ? 0.5 : 0.0;
+      for (std::size_t p = 0; p < front_points; ++p) {
+        // Strictly increasing time, strictly decreasing energy: every
+        // point survives the snapshot's non-dominated filter.
+        const double t = variant + offset + double(p);
+        const double e = variant + offset + double(front_points - p);
+        cell.front.push_back({t, e});
+        if (method[0] == 'p') cell.pareto_thetas.push_back({t * 0.1, e * 0.1});
+      }
+      cell.best_raw = {cell.front.front()[0], cell.front.back()[1]};
+      cell.phv = (method[0] == 'p') ? 10.0 : 5.0;
+      report.cells.push_back(std::move(cell));
+    }
+  }
+  report.total_cells = report.cells.size();
+  return report;
+}
+
+/// The request mix one serving core sees: every built-in mode, an
+/// explicit weight vector, and an "auto" dispatch, over every scenario.
+std::vector<serve::DecideRequest> request_mix(std::size_t scenarios) {
+  std::vector<serve::DecideRequest> requests;
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    const std::string scenario = "synthetic-" + std::to_string(s);
+    for (const char* mode :
+         {"balanced", "performance", "powersave", "thermal-critical"}) {
+      serve::DecideRequest req;
+      req.scenario = scenario;
+      req.mode = mode;
+      requests.push_back(std::move(req));
+    }
+    serve::DecideRequest weighted;
+    weighted.scenario = scenario;
+    weighted.weights = {{"time_s", 2.0}, {"energy_j", 5.0}};
+    requests.push_back(std::move(weighted));
+    serve::DecideRequest autos;
+    autos.scenario = scenario;
+    autos.mode = "auto";
+    autos.workload.battery_pct = 15.0;
+    requests.push_back(std::move(autos));
+  }
+  return requests;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);
+  const auto size_arg = [&args](const char* key, int fallback) {
+    return static_cast<std::size_t>(args.get_int(key, fallback));
+  };
+  const std::size_t scenarios = size_arg("scenarios", smoke ? 4 : 8);
+  const std::size_t front_points = size_arg("front", 12);
+  const std::size_t decisions =
+      size_arg("decisions", smoke ? 200'000 : 4'000'000);
+  const std::size_t latency_samples =
+      size_arg("latency-samples", smoke ? 20'000 : 200'000);
+
+  serve::PolicyStore store;
+  store.build_and_install({synthetic_report(scenarios, front_points, 1.0)},
+                          {"synthetic"});
+  const serve::PolicyServer server(store);
+  const std::vector<serve::DecideRequest> mix = request_mix(scenarios);
+
+  std::cout << "serve suite: " << scenarios << " scenarios x 2 methods, "
+            << front_points << "-point fronts, " << mix.size()
+            << "-request mix\n\n";
+
+  // ----------------------------------------------------- throughput
+  const auto snapshot = store.require_snapshot();
+  std::size_t checksum = 0;
+  const Stopwatch throughput_wall;
+  for (std::size_t i = 0; i < decisions; ++i) {
+    checksum += server.decide_on(*snapshot, mix[i % mix.size()]).index;
+  }
+  const double throughput_s = throughput_wall.seconds();
+  const double per_core = double(decisions) / throughput_s;
+
+  // -------------------------------------------------------- latency
+  std::vector<double> micros(latency_samples);
+  for (std::size_t i = 0; i < latency_samples; ++i) {
+    const Stopwatch one;
+    checksum += server.decide_on(*snapshot, mix[i % mix.size()]).index;
+    micros[i] = one.micros();
+  }
+  std::sort(micros.begin(), micros.end());
+  const double p50 = micros[latency_samples / 2];
+  const double p99 = micros[(latency_samples * 99) / 100];
+
+  // ------------------------------------------------- hot-swap probe
+  // Writer-side cost of a swap, and the RCU contract: the snapshot
+  // acquired above must keep answering identically after the install.
+  const std::size_t held_index = server.decide_on(*snapshot, mix[0]).index;
+  const Stopwatch swap_wall;
+  store.build_and_install({synthetic_report(scenarios, front_points, 2.0)},
+                          {"synthetic-v2"});
+  const double swap_us = swap_wall.micros();
+  if (server.decide_on(*snapshot, mix[0]).index != held_index) {
+    std::cerr << "FATAL: hot swap changed a held snapshot's decision\n";
+    return 1;
+  }
+  if (store.require_snapshot()->generation != snapshot->generation + 1) {
+    std::cerr << "FATAL: install did not advance the generation\n";
+    return 1;
+  }
+
+  Table table({"metric", "value", "unit"});
+  table.begin_row().add("decisions/sec/core").add(per_core, 0).add("1/s");
+  table.begin_row().add("decision latency p50").add(p50, 3).add("us");
+  table.begin_row().add("decision latency p99").add(p99, 3).add("us");
+  table.begin_row().add("hot-swap install").add(swap_us, 1).add("us");
+  table.begin_row()
+      .add("throughput wall")
+      .add(throughput_s, 3)
+      .add("s");
+  table.print(std::cout);
+  if (const std::string csv = args.get("csv", ""); !csv.empty()) {
+    table.save_csv(csv);
+  }
+  std::cout << "\nchecksum " << checksum << " over "
+            << decisions + latency_samples << " decisions\n";
+  return 0;
+}

@@ -1,0 +1,300 @@
+// policy-serve — serves Pareto-frontier policy decisions from merged
+// campaign reports over a newline-JSON protocol.
+//
+// Examples:
+//   policy-serve merged.json                        # NDJSON on stdio
+//   policy-serve merged.json extra.json --modes=my_modes.json
+//   policy-serve merged.json --replay=requests.jsonl   # batch + digest
+//   policy-serve merged.json --socket=/tmp/parmis.sock # local socket
+//   policy-serve --connect=/tmp/parmis.sock            # stdio <-> socket
+//   policy-serve --list-modes --modes=my_modes.json    # mode registry
+//
+// Inputs are `parmis-report-v1/v2` files (campaign --json or
+// campaign-merge output); each file's stored objectives digest is
+// re-verified on load and the cells are compiled into an immutable
+// snapshot (src/serve/snapshot.hpp).  The session then answers one
+// request per line — see docs/serving.md for the protocol and the
+// operating-mode schema.  A `reload` request re-reads the same files
+// and hot-swaps the snapshot without disturbing in-flight batches.
+//
+// --replay runs a canned request file and prints the decision digest
+// to stderr; CI replays the same requests against a sharded-then-
+// merged report and its unsharded twin and requires equal digests —
+// the serving layer's end-to-end bit-for-bit check.
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/table.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/store.hpp"
+
+namespace {
+
+using parmis::require;
+
+void print_usage() {
+  std::cout
+      << "usage: policy-serve <report.json>... [--modes=modes.json]\n"
+         "                    [--replay=requests.jsonl] [--socket=path]\n"
+         "                    [--connect=path] [--list-modes]\n"
+         "\n"
+         "Serves policy decisions from merged campaign reports: one\n"
+         "JSON request per line in, one JSON response per line out\n"
+         "(docs/serving.md).  Default transport is stdin/stdout;\n"
+         "--socket listens on a local stream socket instead, and\n"
+         "--connect bridges stdio to a listening server.  --replay\n"
+         "answers a canned request file and reports the decision\n"
+         "digest; --list-modes prints the operating-mode registry.\n";
+}
+
+void print_modes(const parmis::serve::ModeRegistry& registry) {
+  parmis::Table table({"mode", "rule", "resolves to", "source",
+                       "description"});
+  for (const auto& mode : registry.modes()) {
+    std::string target = "knee point";
+    if (mode.rule == parmis::serve::ModeRule::BestFor) {
+      target = "min " + parmis::runtime::objective_kind_name(mode.best_for);
+    } else if (mode.rule == parmis::serve::ModeRule::Weights) {
+      target.clear();
+      for (const auto& [kind, w] : mode.weights) {
+        target += (target.empty() ? "" : " ") +
+                  parmis::runtime::objective_kind_name(kind) + ":" +
+                  parmis::format_double(w, 1);
+      }
+    }
+    table.begin_row()
+        .add(mode.name)
+        .add(parmis::serve::mode_rule_name(mode.rule))
+        .add(target)
+        .add(mode.source)
+        .add(mode.description);
+  }
+  table.print(std::cout);
+}
+
+/// Runs the session over istream/ostream (stdio and --replay).
+void run_stream(parmis::serve::ServeSession& session, std::istream& in,
+                std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto outcome = session.handle_line(line);
+    if (!outcome.response.empty()) out << outcome.response << "\n";
+    out.flush();
+    if (outcome.quit) break;
+  }
+}
+
+// ------------------------------------------------------------- sockets
+// Minimal AF_UNIX stream framing: the protocol is line-based, so the
+// socket paths reuse ServeSession verbatim; only the byte shuffling
+// differs.  Clients are served sequentially — the store supports
+// concurrent readers (see PolicyStore), but one CLI process serving
+// one client at a time is the intended local-IPC shape.
+
+int checked(int rc, const char* what) {
+  if (rc < 0) {
+    require(false, std::string("policy-serve: ") + what + ": " +
+                       std::strerror(errno));
+  }
+  return rc;
+}
+
+struct SocketAddr {
+  sockaddr_un addr{};
+
+  explicit SocketAddr(const std::string& path) {
+    require(path.size() < sizeof(addr.sun_path),
+            "policy-serve: socket path too long: " + path);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  }
+};
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Buffered line reader over a socket fd.
+class FdLines {
+ public:
+  explicit FdLines(int fd) : fd_(fd) {}
+
+  /// False on EOF/error; strips the trailing newline.
+  bool next(std::string* line) {
+    line->clear();
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) {
+        if (buffer_.empty()) return false;
+        line->swap(buffer_);
+        return true;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+int run_socket_server(parmis::serve::ServeSession& session,
+                      const std::string& path) {
+  const SocketAddr addr(path);
+  const int listener =
+      checked(::socket(AF_UNIX, SOCK_STREAM, 0), "socket");
+  ::unlink(path.c_str());  // stale socket from a previous run
+  checked(::bind(listener,
+                 reinterpret_cast<const sockaddr*>(&addr.addr),
+                 sizeof(addr.addr)),
+          "bind");
+  checked(::listen(listener, 4), "listen");
+  std::cerr << "policy-serve: listening on " << path << "\n";
+
+  bool quit = false;
+  while (!quit) {
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) break;
+    FdLines lines(client);
+    std::string line;
+    while (lines.next(&line)) {
+      const auto outcome = session.handle_line(line);
+      if (!outcome.response.empty() &&
+          !write_all(client, outcome.response + "\n")) {
+        break;
+      }
+      if (outcome.quit) {
+        // quit shuts the whole server down, not just this client —
+        // the one-shot lifecycle CI's smoke test relies on.
+        quit = true;
+        break;
+      }
+    }
+    ::close(client);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+int run_socket_client(const std::string& path) {
+  const SocketAddr addr(path);
+  const int fd = checked(::socket(AF_UNIX, SOCK_STREAM, 0), "socket");
+  checked(::connect(fd, reinterpret_cast<const sockaddr*>(&addr.addr),
+                    sizeof(addr.addr)),
+          "connect");
+  FdLines lines(fd);
+  std::string line;
+  std::string response;
+  while (std::getline(std::cin, line)) {
+    // Blank lines get no response; skip them to keep request/response
+    // strictly 1:1 (the session skips them server-side too).
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (!write_all(fd, line + "\n")) break;
+    if (!lines.next(&response)) break;
+    std::cout << response << "\n";
+    std::cout.flush();
+  }
+  ::close(fd);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::vector<const char*> rest;
+    rest.push_back(argc > 0 ? argv[0] : "policy-serve");
+    std::vector<std::string> tokens;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      // Pin boolean flags to explicit values so they never swallow a
+      // following report path (same quirk handling as campaign-merge).
+      if (arg == "--list-modes" || arg == "--help") {
+        tokens.push_back(arg + "=1");
+      } else {
+        tokens.push_back(arg);
+      }
+    }
+    for (const auto& t : tokens) rest.push_back(t.c_str());
+    const parmis::CliArgs args =
+        parmis::CliArgs::parse(static_cast<int>(rest.size()), rest.data());
+    if (args.has("help") || argc <= 1) {
+      print_usage();
+      return args.has("help") ? 0 : 1;
+    }
+
+    parmis::serve::ModeRegistry modes;
+    if (args.has("modes")) modes.load_file(args.get("modes", ""));
+
+    if (args.has("list-modes")) {
+      print_modes(modes);
+      return 0;
+    }
+    if (args.has("connect")) {
+      return run_socket_client(args.get("connect", ""));
+    }
+
+    const std::vector<std::string>& reports = args.positional();
+    require(!reports.empty(),
+            "policy-serve: no report files (see --help)");
+
+    parmis::serve::PolicyStore store(std::move(modes));
+    const auto snapshot = store.load_and_install(reports);
+    std::cerr << "policy-serve: serving " << snapshot->entries.size()
+              << " (scenario, method) entries from " << reports.size()
+              << " report(s), " << snapshot->scenarios.size()
+              << " scenario(s)";
+    if (snapshot->skipped_cells > 0) {
+      std::cerr << " (" << snapshot->skipped_cells
+                << " failed/empty cells skipped)";
+    }
+    std::cerr << "\n";
+
+    parmis::serve::ServeSession session(store, reports);
+
+    if (args.has("replay")) {
+      const std::string path = args.get("replay", "");
+      std::ifstream in(path);
+      require(in.good(), "policy-serve: cannot open " + path);
+      run_stream(session, in, std::cout);
+      std::cerr << "policy-serve: " << session.decisions()
+                << " decisions, digest "
+                << parmis::hex64(session.decision_digest()) << "\n";
+      return 0;
+    }
+    if (args.has("socket")) {
+      return run_socket_server(session, args.get("socket", ""));
+    }
+    run_stream(session, std::cin, std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "policy-serve: " << e.what() << "\n";
+    return 1;
+  }
+}

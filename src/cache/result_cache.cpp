@@ -14,7 +14,7 @@ namespace parmis::cache {
 
 namespace {
 
-constexpr const char* kEntryMagic = "parmis-cell-cache v1\n";
+constexpr const char* kEntryMagic = "parmis-cell-cache v2\n";
 constexpr const char* kEntrySuffix = ".cell";
 
 // ------------------------------------------------------- serialization
@@ -42,6 +42,11 @@ std::string serialize_payload(const CellKey& key,
   for (const auto& point : cell.front) {
     put_u64(out, "point", point.size());
     for (double v : point) put_f64(out, "f", v);
+  }
+  put_u64(out, "pareto_thetas", cell.pareto_thetas.size());
+  for (const auto& theta : cell.pareto_thetas) {
+    put_u64(out, "theta", theta.size());
+    for (double v : theta) put_f64(out, "f", v);
   }
   // CellResult::phv is deliberately NOT stored: it is assigned at
   // campaign aggregation time against a reference point shared across
@@ -166,6 +171,20 @@ std::optional<exec::CellResult> parse_payload(const std::string& payload,
     }
     point.resize(dim);
     for (double& v : point) {
+      if (!cur.read_f64("f", v)) return std::nullopt;
+    }
+  }
+  if (!cur.read_u64("pareto_thetas", count) || count > payload.size()) {
+    return std::nullopt;
+  }
+  cell.pareto_thetas.resize(count);
+  for (auto& theta : cell.pareto_thetas) {
+    std::uint64_t dim = 0;
+    if (!cur.read_u64("theta", dim) || dim > payload.size()) {
+      return std::nullopt;
+    }
+    theta.resize(dim);
+    for (double& v : theta) {
       if (!cur.read_f64("f", v)) return std::nullopt;
     }
   }

@@ -36,7 +36,9 @@ namespace parmis::cache {
 
 /// Bump to invalidate every existing cache entry (schema or semantics
 /// change in the evaluator, spec serialization, or entry format).
-inline constexpr std::uint32_t kCacheSchemaVersion = 1;
+/// v2: entries store the cell's pareto_thetas (the entry format
+/// changed, so every v1 key must go stale).
+inline constexpr std::uint32_t kCacheSchemaVersion = 2;
 
 /// Content address of one campaign cell.
 struct CellKey {

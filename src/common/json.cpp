@@ -546,6 +546,39 @@ void dump_value(std::string& out, const Value& v, std::size_t depth) {
   }
 }
 
+void dump_value_compact(std::string& out, const Value& v) {
+  switch (v.type()) {
+    case Type::Null:
+    case Type::Bool:
+    case Type::Number:
+    case Type::String:
+      dump_value(out, v, 0);  // scalars have no layout to compact
+      return;
+    case Type::Array: {
+      out += '[';
+      const auto& items = v.items();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ',';
+        dump_value_compact(out, items[i]);
+      }
+      out += ']';
+      return;
+    }
+    case Type::Object: {
+      out += '{';
+      const auto& members = v.members();
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out += ',';
+        append_escaped(out, members[i].first);
+        out += ':';
+        dump_value_compact(out, members[i].second);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 std::string dump(const Value& value) {
@@ -560,6 +593,13 @@ std::string dump_at_depth(const Value& value, std::size_t depth) {
   std::string out;
   out.reserve(256);
   dump_value(out, value, depth);
+  return out;
+}
+
+std::string dump_compact(const Value& value) {
+  std::string out;
+  out.reserve(128);
+  dump_value_compact(out, value);
   return out;
 }
 

@@ -108,6 +108,13 @@ std::string dump(const Value& value);
 /// instead of materializing it whole.
 std::string dump_at_depth(const Value& value, std::size_t depth);
 
+/// Single-line form: no whitespace anywhere, no trailing newline —
+/// the framing for newline-delimited JSON protocols (policy-serve),
+/// where one value must be one line.  Same number/string encodings as
+/// dump(), so parse(dump_compact(v)) reproduces v bit for bit and
+/// equal values dump to equal bytes.
+std::string dump_compact(const Value& value);
+
 /// Shortest decimal string that parses back to exactly `v`'s bits
 /// (std::to_chars).  `v` must be finite.
 std::string format_double(double v);

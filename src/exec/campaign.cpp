@@ -176,6 +176,7 @@ CellResult CampaignRunner::run_cell(const scenario::ScenarioSpec& spec,
                                    eval_config, seed,     anchor_limit};
     methods::MethodOutput out = method.run(ctx, configs.find(method_name));
     cell.front = std::move(out.front);
+    cell.pareto_thetas = std::move(out.pareto_thetas);
     cell.evaluations = out.evaluations;
     cell.decision_overhead_us = out.decision_overhead_us;
 
@@ -189,6 +190,7 @@ CellResult CampaignRunner::run_cell(const scenario::ScenarioSpec& spec,
   } catch (const std::exception& e) {
     cell.error = e.what();
     cell.front.clear();
+    cell.pareto_thetas.clear();
   }
   cell.wall_s = wall.seconds();
   return cell;

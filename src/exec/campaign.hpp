@@ -52,6 +52,14 @@ struct CellResult {
   std::size_t num_apps = 0;
   std::size_t evaluations = 0;            ///< policy evaluations performed
   std::vector<num::Vec> front;            ///< non-dominated objectives (min)
+  /// Parameter vectors of the non-dominated policies, aligned with
+  /// `front` (theta i produced objectives i); empty when the method's
+  /// policies are not parameter vectors (governors, DyPO tables).
+  /// Carried so the serving layer (src/serve/) can hand back the
+  /// deployable policy behind a decision.  Deliberately NOT part of
+  /// objectives_digest(): the digest pins objective bit patterns, and
+  /// every historical pin must survive this field's addition.
+  std::vector<num::Vec> pareto_thetas;
   num::Vec best_raw;                      ///< per-objective best, natural units
   double phv = 0.0;                       ///< shared-reference PHV
   double wall_s = 0.0;                    ///< cell wall clock (not in digest)
@@ -146,16 +154,17 @@ struct CampaignReport {
   void write_csv(std::ostream& os) const;
   void save_csv(const std::string& path) const;
 
-  /// Full report as a `parmis-report-v1` document (src/report/): every
-  /// cell including its front, exact round-trip doubles, shard block,
-  /// cache counters, and the objectives digest.  load_json() reads the
-  /// same format back bit for bit.
+  /// Full report as a `parmis-report-v2` document (src/report/): every
+  /// cell including its front and pareto_thetas, exact round-trip
+  /// doubles, shard block, cache counters, and the objectives digest.
+  /// load_json() reads the same format back bit for bit.
   void write_json(std::ostream& os) const;
   void save_json(const std::string& path) const;
 
-  /// Load hook for the report subsystem: strict `parmis-report-v1`
-  /// decode (delegates to report::load_report), verifying the stored
-  /// digest against the reloaded cells.
+  /// Load hook for the report subsystem: strict `parmis-report-v2`
+  /// decode (v1 files still load, with empty pareto_thetas; delegates
+  /// to report::load_report), verifying the stored digest against the
+  /// reloaded cells.
   static CampaignReport load_json(const std::string& path);
 };
 

@@ -43,6 +43,17 @@ Value cell_to_json(const exec::CellResult& cell) {
     front.push_back(std::move(p));
   }
   out.set("front", std::move(front));
+  // Absent (not []) when the method's policies are not parameter
+  // vectors, so governor/DyPO cells carry no trace of the field.
+  if (!cell.pareto_thetas.empty()) {
+    Value thetas = Value::array();
+    for (const auto& theta : cell.pareto_thetas) {
+      Value t = Value::array();
+      for (double v : theta) t.push_back(Value::number(v));
+      thetas.push_back(std::move(t));
+    }
+    out.set("pareto_thetas", std::move(thetas));
+  }
   if (!cell.error.empty()) out.set("error", Value::string(cell.error));
   return out;
 }
@@ -83,6 +94,28 @@ exec::CellResult cell_from_json(const Value& doc,
     p.reserve(point.size());
     for (const auto& v : point.items()) p.push_back(r.as_f64(v, "front"));
     cell.front.push_back(std::move(p));
+  }
+  if (const Value* thetas = r.optional_key("pareto_thetas")) {
+    require(thetas->is_array(),
+            context + ": key \"pareto_thetas\": expected array of number "
+                      "arrays");
+    for (const auto& theta : thetas->items()) {
+      require(theta.is_array(),
+              context +
+                  ": key \"pareto_thetas\": expected array of number arrays");
+      num::Vec t;
+      t.reserve(theta.size());
+      for (const auto& v : theta.items()) {
+        t.push_back(r.as_f64(v, "pareto_thetas"));
+      }
+      cell.pareto_thetas.push_back(std::move(t));
+    }
+    require(cell.pareto_thetas.size() == cell.front.size(),
+            context + ": pareto_thetas carries " +
+                std::to_string(cell.pareto_thetas.size()) +
+                " vectors for a front of " +
+                std::to_string(cell.front.size()) +
+                " points (must align one-to-one when present)");
   }
   cell.error = r.get_string("error", "");
   r.finish();
@@ -145,9 +178,10 @@ exec::CampaignReport report_from_json(const Value& doc,
                                       const std::string& context) {
   ObjectReader r(doc, context);
   const std::string schema = r.get_string("schema");
-  require(schema == kReportSchema,
+  require(schema == kReportSchema || schema == kReportSchemaV1,
           context + ": unsupported report schema \"" + schema +
-              "\" (this build reads \"" + kReportSchema + "\")");
+              "\" (this build reads \"" + kReportSchema + "\" and \"" +
+              kReportSchemaV1 + "\")");
   exec::CampaignReport report;
   report.campaign_hash = r.get_hex64("campaign_hash");
   report.num_threads = static_cast<std::size_t>(r.get_u64("num_threads"));

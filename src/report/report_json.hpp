@@ -31,7 +31,15 @@ namespace parmis::report {
 /// where possible) whenever a field is added/removed/reinterpreted —
 /// the same version-bump policy as plan and cache schemas
 /// (docs/report_schema.md).
-inline constexpr const char* kReportSchema = "parmis-report-v1";
+///
+/// v2 adds the optional per-cell `pareto_thetas` block (the deployable
+/// policy parameters behind each front member, consumed by the serving
+/// layer).  v1 files still load — their cells simply carry no thetas —
+/// so pre-v2 shard archives remain mergeable and servable.
+inline constexpr const char* kReportSchema = "parmis-report-v2";
+
+/// Oldest schema tag this build still reads.
+inline constexpr const char* kReportSchemaV1 = "parmis-report-v1";
 
 /// Full document form of a report (schema, header, every cell).
 json::Value report_to_json(const exec::CampaignReport& report);

@@ -16,7 +16,12 @@ PolicySelector::PolicySelector(std::vector<num::Vec> front)
   for (const auto& p : front_) {
     require(p.size() == k, "selector: ragged objective vectors");
   }
-  // Min-max normalize each objective over the set.
+  // Min-max normalize each objective over the set.  A column with no
+  // positive finite range — all-equal values (span 0), or any
+  // non-finite value (span inf, or NaN from inf - inf) — normalizes to
+  // 0 for every member: there is no trade-off to express, and dividing
+  // would produce 0/0 or poison scores with NaN (every comparison
+  // false, silently freezing select() on index 0).
   const num::Vec lo = moo::componentwise_min(front_);
   const num::Vec hi = moo::componentwise_max(front_);
   normalized_.reserve(front_.size());
@@ -24,7 +29,8 @@ PolicySelector::PolicySelector(std::vector<num::Vec> front)
     num::Vec n(k);
     for (std::size_t j = 0; j < k; ++j) {
       const double span = hi[j] - lo[j];
-      n[j] = span > 1e-15 ? (p[j] - lo[j]) / span : 0.0;
+      const bool degenerate = !std::isfinite(span) || span <= 0.0;
+      n[j] = degenerate ? 0.0 : (p[j] - lo[j]) / span;
     }
     normalized_.push_back(std::move(n));
   }

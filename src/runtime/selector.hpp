@@ -17,6 +17,18 @@
 namespace parmis::runtime {
 
 /// Selects from a set of objective vectors (minimization convention).
+///
+/// Degenerate-column convention: an objective whose values are equal
+/// across the whole front (zero range — e.g. a singleton front, or a
+/// scenario where every policy hits the same deadline), or whose
+/// min-max range comes out non-finite or non-positive (infinities in
+/// the column; NaN endpoints), contributes exactly 0 to every member's
+/// normalized vector.
+/// There is no trade-off to express on such a column, so it influences
+/// neither select() nor knee_point(); weights aimed only at degenerate
+/// columns therefore score every member equally and the lowest index
+/// wins (ties in general break toward the lowest index — selection is
+/// deterministic for a fixed front).
 class PolicySelector {
  public:
   /// `front` must be non-empty and rectangular.  Throws otherwise.
@@ -25,6 +37,8 @@ class PolicySelector {
   /// Index minimizing the weighted sum of normalized objectives.
   /// `weights` must be non-negative with a positive sum; higher weight =
   /// that objective matters more (e.g. battery low -> weight energy).
+  /// Degenerate columns contribute 0 (see class comment); ties break
+  /// toward the lowest index.
   std::size_t select(const num::Vec& weights) const;
 
   /// Index of the knee point: the member closest (L2, normalized) to the

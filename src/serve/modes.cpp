@@ -1,0 +1,219 @@
+#include "serve/modes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "serde/json_util.hpp"
+
+namespace parmis::serve {
+
+namespace {
+
+using runtime::ObjectiveKind;
+
+OperatingMode built_in(std::string name, std::string description,
+                       ModeRule rule) {
+  OperatingMode mode;
+  mode.name = std::move(name);
+  mode.description = std::move(description);
+  mode.source = "built-in";
+  mode.rule = rule;
+  return mode;
+}
+
+}  // namespace
+
+const char* mode_rule_name(ModeRule rule) {
+  switch (rule) {
+    case ModeRule::Weights:
+      return "weights";
+    case ModeRule::KneePoint:
+      return "knee_point";
+    case ModeRule::BestFor:
+      return "best_for";
+  }
+  return "?";
+}
+
+ModeRegistry::ModeRegistry() {
+  OperatingMode performance = built_in(
+      "performance", "fastest execution: minimize time_s outright",
+      ModeRule::BestFor);
+  performance.best_for = ObjectiveKind::ExecutionTime;
+  add(std::move(performance));
+
+  add(built_in("balanced",
+               "no-preference default: the knee point of the front",
+               ModeRule::KneePoint));
+
+  OperatingMode powersave = built_in(
+      "powersave", "longest battery: minimize energy_j outright",
+      ModeRule::BestFor);
+  powersave.best_for = ObjectiveKind::Energy;
+  add(std::move(powersave));
+
+  // Thermal emergencies care about peak power first, total energy
+  // second, and performance barely at all — but every kind keeps a
+  // positive weight so the mode stays applicable to any objective set
+  // (a time/PPW scenario still resolves, biased to efficiency).
+  OperatingMode thermal = built_in(
+      "thermal-critical",
+      "shed heat: peak power dominates, performance is sacrificial",
+      ModeRule::Weights);
+  thermal.weights = {
+      {ObjectiveKind::PeakPower, 8.0}, {ObjectiveKind::Energy, 4.0},
+      {ObjectiveKind::EDP, 2.0},       {ObjectiveKind::ExecutionTime, 1.0},
+      {ObjectiveKind::PPW, 1.0},
+  };
+  add(std::move(thermal));
+}
+
+void ModeRegistry::add(OperatingMode mode) {
+  // "auto" is the server's workload-driven dispatcher and "weights"
+  // labels explicit-weight decisions; neither may name a stored mode.
+  require(mode.name != "auto" && mode.name != "weights",
+          "modes: \"" + mode.name + "\" is a reserved name (defined by " +
+              mode.source + ")");
+  const std::size_t existing = find(mode.name);
+  require(existing == modes_.size(),
+          "modes: duplicate mode \"" + mode.name + "\" (already defined by " +
+              (existing < modes_.size() ? modes_[existing].source
+                                        : std::string("?")) +
+              ", redefined by " + mode.source + ")");
+  modes_.push_back(std::move(mode));
+}
+
+void ModeRegistry::load_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "modes: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  load_document(json::parse(text.str()), path);
+}
+
+void ModeRegistry::load_document(const json::Value& doc,
+                                 const std::string& context) {
+  serde::ObjectReader top(doc, "modes " + context);
+  const std::string schema = top.get_string("schema");
+  require(schema == kModesSchema,
+          top.context() + ": unsupported schema \"" + schema +
+              "\" (this build reads " + kModesSchema + ")");
+  const json::Value& list = top.require_key("modes");
+  require(list.is_array(), top.context() + ": \"modes\" must be an array");
+  require(list.size() > 0, top.context() + ": \"modes\" must not be empty");
+
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    serde::ObjectReader r(list.at(i), top.context() + ": mode #" +
+                                          std::to_string(i));
+    OperatingMode mode;
+    mode.name = r.get_string("name");
+    require(!mode.name.empty(), r.context() + ": empty mode name");
+    mode.description = r.get_string("description", "");
+    mode.source = context;
+
+    const std::string rule = r.get_string("rule");
+    if (rule == "knee_point") {
+      mode.rule = ModeRule::KneePoint;
+    } else if (rule == "best_for") {
+      mode.rule = ModeRule::BestFor;
+      mode.best_for =
+          runtime::objective_kind_from_name(r.get_string("objective"));
+    } else if (rule == "weights") {
+      mode.rule = ModeRule::Weights;
+      const json::Value& weights = r.require_key("weights");
+      require(weights.is_object(),
+              r.context() + ": \"weights\" must be an object");
+      double total = 0.0;
+      for (const auto& [kind_name, value] : weights.members()) {
+        const ObjectiveKind kind =
+            runtime::objective_kind_from_name(kind_name);
+        for (const auto& [seen, w] : mode.weights) {
+          (void)w;
+          require(seen != kind, r.context() + ": duplicate weight for \"" +
+                                    kind_name + "\"");
+        }
+        const double w = r.as_f64(value, kind_name);
+        require(w >= 0.0 && std::isfinite(w),
+                r.context() + ": weight for \"" + kind_name +
+                    "\" must be finite and non-negative");
+        mode.weights.emplace_back(kind, w);
+        total += w;
+      }
+      require(total > 0.0,
+              r.context() + ": weights must include a positive entry");
+    } else {
+      require(false, r.context() + ": unknown rule \"" + rule +
+                         "\" (known: best_for, knee_point, weights)");
+    }
+    r.finish();
+    add(std::move(mode));
+  }
+  top.finish();
+}
+
+std::size_t ModeRegistry::find(const std::string& name) const {
+  for (std::size_t i = 0; i < modes_.size(); ++i) {
+    if (modes_[i].name == name) return i;
+  }
+  return modes_.size();
+}
+
+std::size_t ModeRegistry::index_of(const std::string& name) const {
+  const std::size_t i = find(name);
+  if (i == modes_.size()) {  // build the message only off the hot path
+    require(false,
+            "unknown mode: " + name + " (registered: " + name_list() + ")");
+  }
+  return i;
+}
+
+std::string ModeRegistry::name_list() const {
+  std::vector<std::string> names;
+  names.reserve(modes_.size());
+  for (const auto& mode : modes_) names.push_back(mode.name);
+  std::sort(names.begin(), names.end());
+  std::string out;
+  for (const auto& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+bool resolve_mode(const OperatingMode& mode,
+                  const std::vector<runtime::ObjectiveKind>& kinds,
+                  num::Vec* weights, std::size_t* best_for) {
+  switch (mode.rule) {
+    case ModeRule::KneePoint:
+      weights->clear();
+      return true;
+    case ModeRule::BestFor: {
+      for (std::size_t j = 0; j < kinds.size(); ++j) {
+        if (kinds[j] == mode.best_for) {
+          *best_for = j;
+          return true;
+        }
+      }
+      return false;
+    }
+    case ModeRule::Weights: {
+      weights->assign(kinds.size(), 0.0);
+      double total = 0.0;
+      for (const auto& [kind, w] : mode.weights) {
+        for (std::size_t j = 0; j < kinds.size(); ++j) {
+          if (kinds[j] == kind) {
+            (*weights)[j] = w;
+            total += w;
+          }
+        }
+      }
+      return total > 0.0;
+    }
+  }
+  return false;
+}
+
+}  // namespace parmis::serve

@@ -1,0 +1,127 @@
+// Named operating modes: the serving layer's trade-off vocabulary.
+//
+// Shipping platform-power stacks expose exactly this surface: Intel's
+// DPTF selects among named policies by UUID ("active", "passive",
+// "critical", "adaptive performance", ...) and AMD's PMF maps the
+// Windows power slider's states (best performance / balanced / battery
+// saver) onto firmware power profiles.  PaRMIS's online phase is the
+// same shape — "select an appropriate policy at runtime based on the
+// desired trade-off among the design objectives" (paper Sec. II) — so
+// the serving layer names trade-offs the same way: a mode is a stable
+// identifier bound to a selection rule over a Pareto front.
+//
+// Three rule forms cover the DPTF/PMF catalogue:
+//  * best_for  — extremize one objective (performance, powersave);
+//  * knee_point — the balanced no-preference default;
+//  * weights   — a per-ObjectiveKind weight map (thermal-critical and
+//    any user-defined blend), resolved against whatever objective set a
+//    scenario actually has: kinds the scenario lacks drop out, and a
+//    mode whose every weighted kind is absent is simply inapplicable
+//    there (reported as such, never silently misresolved).
+//
+// User modes load from `parmis-modes-v1` JSON files and extend the
+// built-in set; name collisions with built-ins or earlier files are
+// rejected so "performance" can never be quietly redefined.
+#ifndef PARMIS_SERVE_MODES_HPP
+#define PARMIS_SERVE_MODES_HPP
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "numerics/vec.hpp"
+#include "runtime/objectives.hpp"
+
+namespace parmis::serve {
+
+/// Schema tag of user mode files (docs/serving.md; same version-bump
+/// policy as plan/report/cache schemas).
+inline constexpr const char* kModesSchema = "parmis-modes-v1";
+
+/// How a mode picks a front member (see class comment above).
+enum class ModeRule {
+  Weights,    ///< weighted sum of normalized objectives
+  KneePoint,  ///< closest-to-ideal (balanced default)
+  BestFor,    ///< extremize a single objective kind
+};
+
+/// Stable identifier of a rule ("weights", "knee_point", "best_for").
+const char* mode_rule_name(ModeRule rule);
+
+/// One named operating mode.
+struct OperatingMode {
+  std::string name;
+  std::string description;
+  /// Where the mode came from: "built-in" or the defining file's path —
+  /// surfaced by `policy-serve --list-modes` so operators can trace a
+  /// mode back to its definition.
+  std::string source;
+  ModeRule rule = ModeRule::KneePoint;
+  /// rule == BestFor: the objective to extremize.
+  runtime::ObjectiveKind best_for = runtime::ObjectiveKind::ExecutionTime;
+  /// rule == Weights: non-negative weight per kind, at least one
+  /// positive.  Kinds a scenario lacks contribute nothing there.
+  std::vector<std::pair<runtime::ObjectiveKind, double>> weights;
+};
+
+/// Ordered, collision-checked mode catalogue.  Construction seeds the
+/// four built-ins; load_file() appends user modes.  Order is
+/// deterministic (built-ins first, then file order), which is what lets
+/// snapshots precompute one choice table per entry indexed by mode.
+class ModeRegistry {
+ public:
+  /// Registry holding exactly the built-in modes:
+  ///   performance      best_for time_s     (DPTF "active"/perf bias)
+  ///   balanced         knee_point          (PMF slider midpoint)
+  ///   powersave        best_for energy_j   (PMF battery saver)
+  ///   thermal-critical weights biased to peak power (DPTF "critical")
+  ModeRegistry();
+
+  /// Appends the modes of a `parmis-modes-v1` file.  Strict decode
+  /// (unknown keys rejected); duplicate names — against built-ins or
+  /// previously loaded files — throw naming both definitions.
+  void load_file(const std::string& path);
+
+  /// Parsed-document form of load_file (unit-test entry point);
+  /// `context` prefixes every error and becomes the modes' source.
+  void load_document(const json::Value& doc, const std::string& context);
+
+  const std::vector<OperatingMode>& modes() const { return modes_; }
+
+  /// Index of `name`; throws parmis::Error listing the registered
+  /// names (campaign-CLI error style) when unknown.
+  std::size_t index_of(const std::string& name) const;
+
+  /// Index of `name`, or modes().size() when unknown.
+  std::size_t find(const std::string& name) const;
+
+  /// Sorted name list ("a, b, c") for error messages and --list-modes.
+  std::string name_list() const;
+
+ private:
+  void add(OperatingMode mode);
+
+  std::vector<OperatingMode> modes_;
+};
+
+/// Sentinel choice for "this mode does not apply to this objective
+/// set" (e.g. powersave on a scenario with no energy objective).
+inline constexpr std::size_t kModeInapplicable =
+    static_cast<std::size_t>(-1);
+
+/// Resolves `mode` against an objective set to a weight vector usable
+/// with runtime::PolicySelector::select, or signals inapplicability:
+/// returns false when the mode's rule cannot bind to `kinds` (BestFor
+/// on an absent kind; Weights with no present kind weighted).  For
+/// KneePoint, returns true with an empty vector (callers use
+/// selector.knee_point()).  For BestFor, returns true with `*best_for`
+/// set to the objective's index.
+bool resolve_mode(const OperatingMode& mode,
+                  const std::vector<runtime::ObjectiveKind>& kinds,
+                  num::Vec* weights, std::size_t* best_for);
+
+}  // namespace parmis::serve
+
+#endif  // PARMIS_SERVE_MODES_HPP

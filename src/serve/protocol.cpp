@@ -1,0 +1,245 @@
+#include "serve/protocol.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace parmis::serve {
+
+namespace {
+
+constexpr std::uint64_t kDigestSeed = 0xCBF29CE484222325ULL;
+
+bool blank(const std::string& line) {
+  for (char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+std::optional<double> optional_counter(serde::ObjectReader& reader,
+                                       const std::string& key) {
+  const json::Value* v = reader.optional_key(key);
+  if (v == nullptr) return std::nullopt;
+  return reader.as_f64(*v, key);
+}
+
+json::Value mode_to_json(const OperatingMode& mode) {
+  json::Value out = json::Value::object();
+  out.set("name", json::Value::string(mode.name));
+  out.set("description", json::Value::string(mode.description));
+  out.set("source", json::Value::string(mode.source));
+  out.set("rule", json::Value::string(mode_rule_name(mode.rule)));
+  if (mode.rule == ModeRule::BestFor) {
+    out.set("objective", json::Value::string(
+                             runtime::objective_kind_name(mode.best_for)));
+  } else if (mode.rule == ModeRule::Weights) {
+    json::Value weights = json::Value::object();
+    for (const auto& [kind, w] : mode.weights) {
+      weights.set(runtime::objective_kind_name(kind),
+                  json::Value::number(w));
+    }
+    out.set("weights", std::move(weights));
+  }
+  return out;
+}
+
+}  // namespace
+
+DecideRequest parse_decide_body(serde::ObjectReader& reader) {
+  DecideRequest request;
+  request.scenario = reader.get_string("scenario");
+  request.method = reader.get_string("method", "");
+  request.mode = reader.get_string("mode", "");
+
+  if (const json::Value* weights = reader.optional_key("weights")) {
+    require(weights->is_object(),
+            reader.context() + ": \"weights\" must be an object");
+    for (const auto& [name, v] : weights->members()) {
+      request.weights.emplace_back(name, reader.as_f64(v, name));
+    }
+    require(!request.weights.empty(),
+            reader.context() + ": \"weights\" must not be empty");
+  }
+  if (const json::Value* workload = reader.optional_key("workload")) {
+    serde::ObjectReader w(*workload, reader.context() + ": workload");
+    request.workload.thermal_headroom_c =
+        optional_counter(w, "thermal_headroom_c");
+    request.workload.battery_pct = optional_counter(w, "battery_pct");
+    request.workload.load = optional_counter(w, "load");
+    w.finish();
+  }
+  return request;
+}
+
+ServeSession::ServeSession(PolicyStore& store,
+                           std::vector<std::string> report_paths)
+    : store_(&store),
+      server_(store),
+      report_paths_(std::move(report_paths)),
+      digest_(kDigestSeed) {}
+
+json::Value ServeSession::decision_body(const Decision& decision) {
+  const PolicyEntry& entry = *decision.entry;
+  json::Value body = json::Value::object();
+  body.set("scenario", json::Value::string(entry.scenario));
+  body.set("method", json::Value::string(entry.method));
+  body.set("mode", json::Value::string(decision.mode));
+  body.set("index", serde::u64_to_json(decision.index));
+  const num::Vec raw = entry.raw_objectives(decision.index);
+  json::Value objectives = json::Value::object();
+  for (std::size_t j = 0; j < raw.size(); ++j) {
+    objectives.set(entry.objective_names[j], json::Value::number(raw[j]));
+  }
+  body.set("objectives", std::move(objectives));
+  if (!entry.thetas.empty()) {
+    json::Value theta = json::Value::array();
+    for (double v : entry.thetas[decision.index]) {
+      theta.push_back(json::Value::number(v));
+    }
+    body.set("theta", std::move(theta));
+  }
+  digest_ = fnv1a64(json::dump_compact(body), digest_);
+  ++decisions_;
+  return body;
+}
+
+json::Value ServeSession::dispatch(const json::Value& doc, std::string* op,
+                                   json::Value* id, bool* quit) {
+  serde::ObjectReader reader(doc, "request");
+  *op = reader.get_string("op");
+  if (const json::Value* given = reader.optional_key("id")) {
+    require(given->is_string() || given->is_number(),
+            "request: \"id\" must be a string or number");
+    *id = *given;
+  }
+
+  json::Value body = json::Value::object();
+  if (*op == "decide") {
+    DecideRequest request = parse_decide_body(reader);
+    reader.finish();
+    auto [decision, snapshot] = server_.decide(request);
+    body = decision_body(decision);
+    body.set("generation", serde::u64_to_json(snapshot->generation));
+  } else if (*op == "batch") {
+    const json::Value& list = reader.require_key("requests");
+    require(list.is_array(), "request: \"requests\" must be an array");
+    reader.finish();
+    // ONE snapshot answers the whole batch: a concurrent hot-swap
+    // cannot split it across generations.
+    std::shared_ptr<const Snapshot> snapshot = store_->require_snapshot();
+    json::Value results = json::Value::array();
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      json::Value item = json::Value::object();
+      try {
+        serde::ObjectReader r(list.at(i),
+                              "request #" + std::to_string(i));
+        DecideRequest request = parse_decide_body(r);
+        r.finish();
+        item = decision_body(server_.decide_on(*snapshot, request));
+        item.set("ok", json::Value::boolean(true));
+      } catch (const std::exception& e) {
+        item = json::Value::object();
+        item.set("ok", json::Value::boolean(false));
+        item.set("error", json::Value::string(e.what()));
+      }
+      results.push_back(std::move(item));
+    }
+    body.set("results", std::move(results));
+    body.set("generation", serde::u64_to_json(snapshot->generation));
+  } else if (*op == "modes") {
+    reader.finish();
+    json::Value modes = json::Value::array();
+    for (const OperatingMode& mode : store_->modes().modes()) {
+      modes.push_back(mode_to_json(mode));
+    }
+    body.set("modes", std::move(modes));
+  } else if (*op == "scenarios") {
+    reader.finish();
+    std::shared_ptr<const Snapshot> snapshot = store_->require_snapshot();
+    json::Value scenarios = json::Value::array();
+    for (const auto& [name, s] : snapshot->scenarios) {
+      json::Value sc = json::Value::object();
+      sc.set("name", json::Value::string(name));
+      json::Value objectives = json::Value::array();
+      for (const auto& obj :
+           snapshot->entries[s.default_entry].objective_names) {
+        objectives.push_back(json::Value::string(obj));
+      }
+      sc.set("objectives", std::move(objectives));
+      sc.set("default_method",
+             json::Value::string(snapshot->entries[s.default_entry].method));
+      json::Value methods = json::Value::array();
+      for (const auto& [method, idx] : s.methods) {
+        const PolicyEntry& entry = snapshot->entries[idx];
+        json::Value m = json::Value::object();
+        m.set("name", json::Value::string(method));
+        m.set("policies", serde::u64_to_json(entry.front.size()));
+        m.set("cells", serde::u64_to_json(entry.cells));
+        m.set("phv", json::Value::number(entry.phv));
+        m.set("has_thetas", json::Value::boolean(!entry.thetas.empty()));
+        methods.push_back(std::move(m));
+      }
+      sc.set("methods", std::move(methods));
+      scenarios.push_back(std::move(sc));
+    }
+    body.set("scenarios", std::move(scenarios));
+    body.set("generation", serde::u64_to_json(snapshot->generation));
+  } else if (*op == "reload") {
+    reader.finish();
+    require(!report_paths_.empty(),
+            "serve: reload unavailable (no report files backing this "
+            "session)");
+    std::shared_ptr<const Snapshot> snapshot =
+        store_->load_and_install(report_paths_);
+    body.set("entries", serde::u64_to_json(snapshot->entries.size()));
+    body.set("generation", serde::u64_to_json(snapshot->generation));
+  } else if (*op == "ping") {
+    reader.finish();
+    body.set("protocol", json::Value::string(kServeProtocol));
+    body.set("generation", serde::u64_to_json(store_->generation()));
+  } else if (*op == "digest") {
+    reader.finish();
+    body.set("decisions", serde::u64_to_json(decisions_));
+    body.set("digest", json::Value::string(hex64(digest_)));
+  } else if (*op == "quit") {
+    reader.finish();
+    *quit = true;
+  } else {
+    require(false,
+            "request: unknown op \"" + *op +
+                "\" (known: batch, decide, digest, modes, ping, quit, "
+                "reload, scenarios)");
+  }
+  return body;
+}
+
+ServeSession::Outcome ServeSession::handle_line(const std::string& line) {
+  if (blank(line)) return {};
+
+  std::string op;
+  json::Value id;
+  json::Value envelope = json::Value::object();
+  bool quit = false;
+  try {
+    const json::Value doc = json::parse(line);
+    json::Value body = dispatch(doc, &op, &id, &quit);
+    envelope.set("ok", json::Value::boolean(true));
+    envelope.set("op", json::Value::string(op));
+    if (!id.is_null()) envelope.set("id", id);
+    for (auto& [key, value] : body.members()) {
+      envelope.set(key, value);
+    }
+  } catch (const std::exception& e) {
+    envelope = json::Value::object();
+    envelope.set("ok", json::Value::boolean(false));
+    if (!op.empty()) envelope.set("op", json::Value::string(op));
+    if (!id.is_null()) envelope.set("id", id);
+    envelope.set("error", json::Value::string(e.what()));
+    quit = false;
+  }
+  return {json::dump_compact(envelope), quit};
+}
+
+}  // namespace parmis::serve

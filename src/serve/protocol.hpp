@@ -1,0 +1,90 @@
+// Newline-delimited JSON protocol for policy-serve.
+//
+// One request per line in, one response per line out (json::
+// dump_compact framing) — trivially scriptable over stdin/stdout,
+// pipes, or a local stream socket, and transport-agnostic: the session
+// object maps request lines to response strings and the CLI owns the
+// bytes.  Ops:
+//
+//   {"op":"decide","scenario":S,...}   one decision
+//   {"op":"batch","requests":[...]}    many decisions, ONE snapshot
+//   {"op":"modes"}                     the mode registry
+//   {"op":"scenarios"}                 what the snapshot can serve
+//   {"op":"reload"}                    re-read the report files, swap
+//   {"op":"ping"}                      liveness + current generation
+//   {"op":"digest"}                    running decision digest
+//   {"op":"quit"}                      end the session
+//
+// A malformed line or failed request answers {"ok":false,"error":...}
+// on its own line and the session continues — one bad request must
+// not kill a shared server.  Every response echoes the request's "id"
+// when given, and snapshot-backed responses carry the answering
+// snapshot's "generation".
+//
+// The session folds every successful decision's canonical form into a
+// running FNV-1a digest.  Decisions are a pure function of (snapshot,
+// request) and dump_compact is deterministic, so replaying one request
+// file against snapshots built from a sharded-then-merged report and
+// from its unsharded twin must produce equal digests — the end-to-end
+// bit-for-bit serving check CI pins.
+#ifndef PARMIS_SERVE_PROTOCOL_HPP
+#define PARMIS_SERVE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "serde/json_util.hpp"
+#include "serve/server.hpp"
+#include "serve/store.hpp"
+
+namespace parmis::serve {
+
+/// Protocol version announced by ping ("parmis-serve-v1"); bumps
+/// follow the plan/report/cache schema policy (docs/serving.md).
+inline constexpr const char* kServeProtocol = "parmis-serve-v1";
+
+/// One protocol session over a PolicyStore (see file comment).
+class ServeSession {
+ public:
+  /// `report_paths` is what "reload" re-reads; empty disables reload
+  /// (in-process stores with no backing files).
+  ServeSession(PolicyStore& store, std::vector<std::string> report_paths);
+
+  struct Outcome {
+    std::string response;  ///< one compact JSON line (no newline); empty
+                           ///< for blank input lines (write nothing)
+    bool quit = false;
+  };
+
+  /// Maps one request line to one response line.  Never throws on bad
+  /// input — errors become {"ok":false,...} responses.
+  Outcome handle_line(const std::string& line);
+
+  /// FNV-1a over every successful decision's canonical form, in
+  /// response order (see file comment).
+  std::uint64_t decision_digest() const { return digest_; }
+  std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  json::Value dispatch(const json::Value& doc, std::string* op,
+                       json::Value* id, bool* quit);
+  /// Decision -> canonical object {scenario, method, mode, index,
+  /// objectives, theta?}; folds it into the digest.
+  json::Value decision_body(const Decision& decision);
+
+  PolicyStore* store_;
+  PolicyServer server_;
+  std::vector<std::string> report_paths_;
+  std::uint64_t digest_;
+  std::uint64_t decisions_ = 0;
+};
+
+/// Parses the body of a decide request (shared by "decide" and each
+/// element of "batch"); `reader` must already have "op"/"id" consumed.
+DecideRequest parse_decide_body(serde::ObjectReader& reader);
+
+}  // namespace parmis::serve
+
+#endif  // PARMIS_SERVE_PROTOCOL_HPP

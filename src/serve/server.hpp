@@ -1,0 +1,101 @@
+// PolicyServer: batched decide requests against the current snapshot.
+//
+// The decide path is the latency-critical half of the paper's online
+// phase (Table 2 bounds per-decision overhead); everything expensive
+// was precomputed at snapshot build, so one named-mode decide is:
+// entry lookup (two map finds, amortized over a batch's repeats),
+// mode-table index, done.  Explicit-weight requests run the selector's
+// weighted scan (still O(front) with no allocation beyond the weight
+// vector).  Batches acquire the snapshot ONCE and answer every request
+// from it, so a concurrent hot-swap (PolicyStore::install) never
+// changes results mid-batch — decisions are a pure function of
+// (snapshot generation, request), which is what the serve tests pin.
+//
+// The "auto" pseudo-mode picks a registered mode from workload
+// counters the way DPTF flips policies on thermal events and PMF on
+// slider moves: thermal headroom gone -> thermal-critical, battery
+// low -> powersave, load high -> performance, else balanced.
+#ifndef PARMIS_SERVE_SERVER_HPP
+#define PARMIS_SERVE_SERVER_HPP
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "numerics/vec.hpp"
+#include "serve/store.hpp"
+
+namespace parmis::serve {
+
+/// Runtime counters a client may attach to a decide request.  Only
+/// consulted by mode "auto"; otherwise validated and ignored.
+struct Workload {
+  std::optional<double> thermal_headroom_c;  ///< degrees to the limit
+  std::optional<double> battery_pct;         ///< 0..100
+  std::optional<double> load;                ///< utilization, 0..1
+};
+
+/// One decide request (the protocol's `decide` op, already parsed).
+struct DecideRequest {
+  std::string scenario;
+  /// Empty: the scenario's default (highest-PHV) method.
+  std::string method;
+  /// Named mode, "auto", or empty.  Empty with empty `weights` means
+  /// "balanced"; non-empty alongside `weights` is an error.
+  std::string mode;
+  /// Explicit trade-off: objective name -> weight (>= 0, sum > 0).
+  /// Names must belong to the scenario's objective set.
+  std::vector<std::pair<std::string, double>> weights;
+  Workload workload;
+};
+
+/// One answered request.  `entry` points into the snapshot the batch
+/// acquired — valid for as long as that snapshot is held.
+struct Decision {
+  const PolicyEntry* entry = nullptr;
+  std::size_t index = 0;  ///< chosen front member
+  std::string mode;       ///< resolved mode name, or "weights"
+};
+
+/// `auto` dispatch rule (exposed for tests and docs): the first match
+/// of thermal_headroom_c <= 5 -> "thermal-critical", battery_pct < 20
+/// -> "powersave", load >= 0.9 -> "performance"; else "balanced".
+const char* auto_mode(const Workload& workload);
+
+/// Stateless decide engine over a PolicyStore (see file comment).
+class PolicyServer {
+ public:
+  explicit PolicyServer(const PolicyStore& store) : store_(&store) {}
+
+  const PolicyStore& store() const { return *store_; }
+
+  /// Answers one request against an explicit snapshot.  Throws
+  /// parmis::Error (unknown names list the known ones) on bad input.
+  Decision decide_on(const Snapshot& snapshot,
+                     const DecideRequest& request) const;
+
+  /// acquire() + decide_on — single-request convenience.  The returned
+  /// snapshot keeps the Decision's entry pointer alive.
+  std::pair<Decision, std::shared_ptr<const Snapshot>> decide(
+      const DecideRequest& request) const;
+
+  /// All results of one batch plus the snapshot that produced them.
+  struct Batch {
+    std::shared_ptr<const Snapshot> snapshot;
+    std::vector<Decision> decisions;
+  };
+
+  /// Answers every request from ONE acquired snapshot (throws on the
+  /// first bad request; the protocol layer instead catches per item).
+  Batch decide_batch(const std::vector<DecideRequest>& requests) const;
+
+ private:
+  const PolicyStore* store_;
+};
+
+}  // namespace parmis::serve
+
+#endif  // PARMIS_SERVE_SERVER_HPP

@@ -135,6 +135,7 @@ TEST(ResultCache, RoundTripPreservesEveryFieldBitwise) {
   const exec::CellResult fresh =
       exec::CampaignRunner::run_cell(spec, "parmis", 5, 2);
   ASSERT_TRUE(fresh.error.empty()) << fresh.error;
+  ASSERT_EQ(fresh.pareto_thetas.size(), fresh.front.size());
   cache.store(key, fresh);
 
   const auto cached = cache.lookup(key);
@@ -151,6 +152,14 @@ TEST(ResultCache, RoundTripPreservesEveryFieldBitwise) {
     ASSERT_EQ(cached->front[p].size(), fresh.front[p].size());
     for (std::size_t j = 0; j < fresh.front[p].size(); ++j) {
       EXPECT_EQ(cached->front[p][j], fresh.front[p][j]);
+    }
+  }
+  ASSERT_EQ(cached->pareto_thetas.size(), fresh.pareto_thetas.size());
+  for (std::size_t p = 0; p < fresh.pareto_thetas.size(); ++p) {
+    ASSERT_EQ(cached->pareto_thetas[p].size(),
+              fresh.pareto_thetas[p].size());
+    for (std::size_t j = 0; j < fresh.pareto_thetas[p].size(); ++j) {
+      EXPECT_EQ(cached->pareto_thetas[p][j], fresh.pareto_thetas[p][j]);
     }
   }
   ASSERT_EQ(cached->best_raw.size(), fresh.best_raw.size());
@@ -176,6 +185,9 @@ TEST(ResultCache, SpecialDoublesSurviveTheTrip) {
                 {std::numeric_limits<double>::infinity(),
                  std::numeric_limits<double>::denorm_min()},
                 {1e-300, -1.7976931348623157e308}};
+  cell.pareto_thetas = {{-0.0, 5e-324},
+                        {std::numeric_limits<double>::quiet_NaN()},
+                        {}};  // ragged + empty thetas are legal bytes
   cell.best_raw = {0.1 + 0.2};  // famously not 0.3
   const CellKey key{hash128("specials")};
   cache.store(key, cell);
@@ -185,6 +197,14 @@ TEST(ResultCache, SpecialDoublesSurviveTheTrip) {
     for (std::size_t j = 0; j < cell.front[p].size(); ++j) {
       EXPECT_EQ(std::bit_cast<std::uint64_t>(back->front[p][j]),
                 std::bit_cast<std::uint64_t>(cell.front[p][j]));
+    }
+  }
+  ASSERT_EQ(back->pareto_thetas.size(), cell.pareto_thetas.size());
+  for (std::size_t p = 0; p < cell.pareto_thetas.size(); ++p) {
+    ASSERT_EQ(back->pareto_thetas[p].size(), cell.pareto_thetas[p].size());
+    for (std::size_t j = 0; j < cell.pareto_thetas[p].size(); ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(back->pareto_thetas[p][j]),
+                std::bit_cast<std::uint64_t>(cell.pareto_thetas[p][j]));
     }
   }
   EXPECT_EQ(back->best_raw[0], 0.1 + 0.2);

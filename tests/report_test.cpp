@@ -54,6 +54,7 @@ exec::CampaignReport synthetic_report() {
   a.num_apps = 2;
   a.evaluations = 7;
   a.front = {{1.0, 4.0}, {2.0, 3.0}};
+  a.pareto_thetas = {{0.25, -0.5, 1e300}, {5e-324, 0.0, -0.0}};
   a.best_raw = {1.0, 3.0};
   a.phv = 6.5;
   a.wall_s = 0.5;
@@ -72,6 +73,7 @@ exec::CampaignReport synthetic_report() {
   c.method = "il";
   c.seed = 3;
   c.front.clear();
+  c.pareto_thetas.clear();
   c.best_raw.clear();
   c.phv = 0.0;
   c.error = "scenario \"x\": method il: decision space too large\nline2";
@@ -99,6 +101,14 @@ void expect_cells_equal(const exec::CellResult& a,
     for (std::size_t j = 0; j < a.front[p].size(); ++j) {
       EXPECT_EQ(std::bit_cast<std::uint64_t>(a.front[p][j]),
                 std::bit_cast<std::uint64_t>(b.front[p][j]));
+    }
+  }
+  ASSERT_EQ(a.pareto_thetas.size(), b.pareto_thetas.size());
+  for (std::size_t p = 0; p < a.pareto_thetas.size(); ++p) {
+    ASSERT_EQ(a.pareto_thetas[p].size(), b.pareto_thetas[p].size());
+    for (std::size_t j = 0; j < a.pareto_thetas[p].size(); ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.pareto_thetas[p][j]),
+                std::bit_cast<std::uint64_t>(b.pareto_thetas[p][j]));
     }
   }
   ASSERT_EQ(a.best_raw.size(), b.best_raw.size());
@@ -199,6 +209,31 @@ TEST(ReportSerde, RejectsWrongSchemaUnknownKeysAndBadSlices) {
   json::Value doc3 = report_to_json(synthetic_report());
   doc3.set("total_cells", json::Value::number(7));
   EXPECT_THROW(report_from_json(doc3, "test"), Error);
+}
+
+TEST(ReportSerde, V1SchemaStillLoads) {
+  // Pre-theta archives must stay readable: a v1 document is exactly a
+  // v2 document with no pareto_thetas blocks and the old schema tag.
+  exec::CampaignReport report = synthetic_report();
+  for (auto& cell : report.cells) cell.pareto_thetas.clear();
+  json::Value doc = report_to_json(report);
+  doc.set("schema", json::Value::string(kReportSchemaV1));
+  expect_reports_equal(report, report_from_json(doc, "test"));
+}
+
+TEST(ReportSerde, ThetasAreDigestNeutralButAlignmentChecked) {
+  // The digest pins objective bit patterns only, so attaching thetas
+  // must not shift it — every historical golden pin survives v2.
+  exec::CampaignReport with = synthetic_report();
+  exec::CampaignReport without = synthetic_report();
+  for (auto& cell : without.cells) cell.pareto_thetas.clear();
+  EXPECT_EQ(with.objectives_digest(), without.objectives_digest());
+
+  // A theta list that does not align one-to-one with the front is
+  // rejected at decode (a wrong pairing would deploy the wrong policy).
+  exec::CampaignReport bad = synthetic_report();
+  bad.cells[0].pareto_thetas = {{1.0}};  // front has two members
+  EXPECT_THROW(report_from_json(report_to_json(bad), "test"), Error);
 }
 
 // ------------------------------------------------------------- merge

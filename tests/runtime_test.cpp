@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "apps/benchmarks.hpp"
 #include "common/error.hpp"
@@ -218,6 +219,37 @@ TEST(Selector, DegenerateObjectiveHandled) {
   const std::vector<num::Vec> front = {{1.0, 5.0}, {2.0, 5.0}};
   PolicySelector sel(front);
   EXPECT_EQ(sel.select({1.0, 1.0}), 0u);
+}
+
+TEST(Selector, DegenerateColumnContributesZeroEverywhere) {
+  // Documented convention: a zero-range column contributes exactly 0
+  // to every member, so weight aimed only at it scores everyone
+  // equally and the lowest index wins — while the live column still
+  // decides when it gets any weight at all.
+  const std::vector<num::Vec> front = {{4.0, 5.0}, {1.0, 5.0}, {2.0, 5.0}};
+  PolicySelector sel(front);
+  EXPECT_EQ(sel.select({0.0, 1.0}), 0u);  // degenerate-only: ties to 0
+  EXPECT_EQ(sel.select({1.0, 8.0}), 1u);  // live column decides alone
+  EXPECT_EQ(sel.knee_point(), 1u);        // knee ignores the flat column
+}
+
+TEST(Selector, NonFiniteColumnIsDegenerate) {
+  // An infinity makes the column span non-finite (or NaN via
+  // inf - inf); such a column must drop out instead of poisoning the
+  // scores — with NaN in a weighted sum every comparison goes false
+  // and select() silently freezes on index 0.
+  const std::vector<num::Vec> inf_col = {
+      {1.0, std::numeric_limits<double>::infinity()},
+      {2.0, 0.0},
+      {0.5, -std::numeric_limits<double>::infinity()}};
+  PolicySelector sel(inf_col);
+  EXPECT_EQ(sel.select({1.0, 1.0}), 2u);  // finite column decides
+  EXPECT_EQ(sel.knee_point(), 2u);
+
+  const std::vector<num::Vec> nan_col = {
+      {3.0, std::numeric_limits<double>::quiet_NaN()}, {1.0, 7.0}};
+  PolicySelector nan_sel(nan_col);
+  EXPECT_EQ(nan_sel.select({1.0, 1.0}), 1u);
 }
 
 TEST(Selector, SingletonFront) {

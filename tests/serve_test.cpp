@@ -1,0 +1,689 @@
+// Tests for the policy-serving subsystem (src/serve): mode registry,
+// snapshot compilation, decide semantics, NDJSON protocol, hot-swap
+// under concurrent batched readers, and the pinned decision digest.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/json.hpp"
+#include "exec/campaign.hpp"
+#include "exec/thread_pool.hpp"
+#include "report/merge.hpp"
+#include "report/report_json.hpp"
+#include "scenario/scenario.hpp"
+#include "serve/modes.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/store.hpp"
+
+namespace parmis::serve {
+namespace {
+
+std::string temp_path(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  return ::testing::TempDir() + "parmis_serve_" + tag + "_" +
+         std::to_string(counter.fetch_add(1)) + ".json";
+}
+
+exec::CellResult make_cell(const std::string& scenario,
+                           const std::string& method, std::uint64_t seed,
+                           std::vector<std::string> objectives,
+                           std::vector<num::Vec> front,
+                           std::vector<num::Vec> thetas, double phv) {
+  exec::CellResult cell;
+  cell.scenario = scenario;
+  cell.platform = "synthetic";
+  cell.method = method;
+  cell.seed = seed;
+  cell.objective_names = std::move(objectives);
+  cell.num_apps = 1;
+  cell.evaluations = 4;
+  cell.front = std::move(front);
+  cell.pareto_thetas = std::move(thetas);
+  cell.phv = phv;
+  return cell;
+}
+
+/// Deterministic two-scenario report: "alpha" (time/energy) served by
+/// "parmis" (thetas) and "governor" (no thetas), "beta" (energy/PPW)
+/// by "parmis" only.  `variant` shifts alpha/parmis's knee member so
+/// snapshots built from different variants answer differently — the
+/// hot-swap tests key on that.
+exec::CampaignReport make_report(double variant = 5.0) {
+  exec::CampaignReport report;
+  report.num_threads = 1;
+  report.shard = exec::ShardSpec{0, 1};
+  report.total_cells = 4;
+  report.cells = {
+      make_cell("alpha", "parmis", 1, {"time_s", "energy_j"},
+                {{1.0, 9.0}, {variant, variant}, {9.0, 1.0}},
+                {{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}}, 40.0),
+      // Second seed: one duplicate of a seed-1 member (first
+      // occurrence must win) and one dominated point (filtered out).
+      make_cell("alpha", "parmis", 2, {"time_s", "energy_j"},
+                {{1.0, 9.0}, {9.5, 9.5}}, {{0.7, 0.8}, {0.9, 1.0}}, 39.0),
+      make_cell("alpha", "governor", 1, {"time_s", "energy_j"},
+                {{2.0, 2.0}}, {}, 30.0),
+      make_cell("beta", "parmis", 1, {"energy_j", "ppw_gips_per_w"},
+                {{1.0, -4.0}, {3.0, -8.0}}, {{1.5}, {2.5}}, 10.0),
+  };
+  return report;
+}
+
+std::shared_ptr<const Snapshot> install(PolicyStore& store,
+                                        double variant = 5.0) {
+  return store.build_and_install({make_report(variant)}, {"unit"});
+}
+
+DecideRequest request(const std::string& scenario,
+                      const std::string& method = "",
+                      const std::string& mode = "") {
+  DecideRequest r;
+  r.scenario = scenario;
+  r.method = method;
+  r.mode = mode;
+  return r;
+}
+
+// ---------------------------------------------------------------- modes
+
+TEST(Modes, BuiltInsAreRegisteredInOrder) {
+  const ModeRegistry registry;
+  ASSERT_EQ(registry.modes().size(), 4u);
+  EXPECT_EQ(registry.modes()[0].name, "performance");
+  EXPECT_EQ(registry.modes()[1].name, "balanced");
+  EXPECT_EQ(registry.modes()[2].name, "powersave");
+  EXPECT_EQ(registry.modes()[3].name, "thermal-critical");
+  for (const auto& mode : registry.modes()) {
+    EXPECT_EQ(mode.source, "built-in");
+  }
+  EXPECT_EQ(registry.index_of("balanced"), 1u);
+}
+
+TEST(Modes, UnknownModeErrorListsRegisteredNames) {
+  const ModeRegistry registry;
+  try {
+    registry.index_of("gamer");
+    FAIL() << "expected a throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown mode: gamer"), std::string::npos) << what;
+    EXPECT_NE(what.find(
+                  "balanced, performance, powersave, thermal-critical"),
+              std::string::npos)
+        << what;
+  }
+}
+
+json::Value modes_doc(const std::string& inner) {
+  return json::parse(std::string("{\"schema\":\"parmis-modes-v1\","
+                                 "\"modes\":[") +
+                     inner + "]}");
+}
+
+TEST(Modes, UserModesLoadAndExtendBuiltIns) {
+  ModeRegistry registry;
+  registry.load_document(
+      modes_doc("{\"name\":\"gaming\",\"description\":\"fps first\","
+                "\"rule\":\"weights\",\"weights\":{\"time_s\":5,"
+                "\"peak_power_w\":1}},"
+                "{\"name\":\"longhaul\",\"rule\":\"best_for\","
+                "\"objective\":\"edp_js\"}"),
+      "unit.json");
+  ASSERT_EQ(registry.modes().size(), 6u);
+  EXPECT_EQ(registry.modes()[4].name, "gaming");
+  EXPECT_EQ(registry.modes()[4].rule, ModeRule::Weights);
+  EXPECT_EQ(registry.modes()[4].source, "unit.json");
+  EXPECT_EQ(registry.modes()[5].rule, ModeRule::BestFor);
+  EXPECT_EQ(registry.modes()[5].best_for, runtime::ObjectiveKind::EDP);
+}
+
+TEST(Modes, RejectsCollisionsReservedNamesAndBadRules) {
+  ModeRegistry registry;
+  // Redefining a built-in.
+  EXPECT_THROW(registry.load_document(
+                   modes_doc("{\"name\":\"balanced\","
+                             "\"rule\":\"knee_point\"}"),
+                   "dup.json"),
+               Error);
+  // Reserved dispatcher names.
+  EXPECT_THROW(registry.load_document(
+                   modes_doc("{\"name\":\"auto\",\"rule\":\"knee_point\"}"),
+                   "auto.json"),
+               Error);
+  // Unknown rule, unknown objective, bad weights, unknown keys.
+  EXPECT_THROW(registry.load_document(
+                   modes_doc("{\"name\":\"x\",\"rule\":\"vibes\"}"),
+                   "bad.json"),
+               Error);
+  EXPECT_THROW(registry.load_document(
+                   modes_doc("{\"name\":\"x\",\"rule\":\"best_for\","
+                             "\"objective\":\"joules\"}"),
+                   "bad.json"),
+               Error);
+  EXPECT_THROW(registry.load_document(
+                   modes_doc("{\"name\":\"x\",\"rule\":\"weights\","
+                             "\"weights\":{\"time_s\":0}}"),
+                   "bad.json"),
+               Error);
+  EXPECT_THROW(registry.load_document(
+                   modes_doc("{\"name\":\"x\",\"rule\":\"knee_point\","
+                             "\"surprise\":1}"),
+                   "bad.json"),
+               Error);
+  // Wrong schema tag.
+  EXPECT_THROW(
+      registry.load_document(
+          json::parse("{\"schema\":\"parmis-modes-v9\",\"modes\":[]}"),
+          "bad.json"),
+      Error);
+}
+
+// ------------------------------------------------------------- snapshot
+
+TEST(SnapshotBuild, MergesSeedsFiltersDominatedAndKeepsThetasAligned) {
+  PolicyStore store;
+  const auto snap = install(store);
+
+  ASSERT_EQ(snap->entries.size(), 3u);  // sorted by (scenario, method)
+  EXPECT_EQ(snap->entries[0].scenario, "alpha");
+  EXPECT_EQ(snap->entries[0].method, "governor");
+  EXPECT_EQ(snap->entries[1].method, "parmis");
+  EXPECT_EQ(snap->entries[2].scenario, "beta");
+
+  // alpha/parmis: 5 staged points -> duplicate {1,9} keeps the seed-1
+  // copy, dominated {9.5,9.5} drops; thetas follow their points.
+  const PolicyEntry& parmis = snap->entries[1];
+  ASSERT_EQ(parmis.front.size(), 3u);
+  ASSERT_EQ(parmis.thetas.size(), 3u);
+  EXPECT_EQ(parmis.thetas[0], (num::Vec{0.1, 0.2}));
+  EXPECT_EQ(parmis.cells, 2u);
+  EXPECT_EQ(parmis.phv, 40.0);
+
+  // governor contributed no thetas.
+  EXPECT_TRUE(snap->entries[0].thetas.empty());
+
+  // Default method: highest PHV.
+  EXPECT_EQ(snap->scenarios.at("alpha").default_entry, 1u);
+  EXPECT_EQ(snap->find("alpha", "").method, "parmis");
+}
+
+TEST(SnapshotBuild, MixedThetaCoverageDropsThetasEntirely) {
+  // One seed with thetas + one without: a partial pairing could hand
+  // back the wrong policy, so the entry must carry none at all.
+  exec::CampaignReport report = make_report();
+  report.cells[1].pareto_thetas.clear();
+  PolicyStore store;
+  const auto snap = store.build_and_install({report}, {"unit"});
+  EXPECT_TRUE(snap->find("alpha", "parmis").thetas.empty());
+}
+
+TEST(SnapshotBuild, RejectsPartialMismatchedAndUnknownObjectives) {
+  PolicyStore store;
+
+  exec::CampaignReport partial = make_report();
+  partial.partial = true;
+  EXPECT_THROW(store.build_and_install({partial}, {"p.json"}), Error);
+
+  // Same scenario, different objective set across reports.
+  exec::CampaignReport other = make_report();
+  for (auto& cell : other.cells) {
+    if (cell.scenario == "alpha") {
+      cell.objective_names = {"time_s", "edp_js"};
+    }
+  }
+  EXPECT_THROW(
+      store.build_and_install({make_report(), other}, {"a", "b"}), Error);
+
+  // Objective name that maps to no known kind.
+  exec::CampaignReport unknown = make_report();
+  unknown.cells[0].objective_names = {"time_s", "joules"};
+  EXPECT_THROW(store.build_and_install({unknown}, {"u"}), Error);
+
+  // Nothing servable at all.
+  exec::CampaignReport empty = make_report();
+  for (auto& cell : empty.cells) cell.error = "boom";
+  EXPECT_THROW(store.build_and_install({empty}, {"e"}), Error);
+
+  // All failures above kept the store empty (strong guarantee).
+  EXPECT_EQ(store.acquire(), nullptr);
+  EXPECT_THROW(store.require_snapshot(), Error);
+}
+
+TEST(SnapshotBuild, SkipsErrorCellsAndCountsThem) {
+  exec::CampaignReport report = make_report();
+  report.cells[1].error = "cell failed";
+  PolicyStore store;
+  const auto snap = store.build_and_install({report}, {"unit"});
+  EXPECT_EQ(snap->skipped_cells, 1u);
+  // alpha/parmis now has only seed 1's front.
+  EXPECT_EQ(snap->find("alpha", "parmis").cells, 1u);
+}
+
+TEST(SnapshotBuild, ErrorsListServableNames) {
+  PolicyStore store;
+  const auto snap = install(store);
+  try {
+    snap->find("gamma", "");
+    FAIL() << "expected a throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("servable: alpha, beta"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    snap->find("alpha", "dypo");
+    FAIL() << "expected a throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("servable: governor, parmis"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// --------------------------------------------------------------- decide
+
+TEST(Decide, NamedModesMatchTheLiveSelector) {
+  PolicyStore store;
+  const auto snap = install(store);
+  PolicyServer server(store);
+
+  const PolicyEntry& entry = snap->find("alpha", "parmis");
+  EXPECT_EQ(server.decide_on(*snap, request("alpha", "parmis")).index,
+            entry.selector.knee_point());  // default mode = balanced
+  EXPECT_EQ(
+      server.decide_on(*snap, request("alpha", "parmis", "performance"))
+          .index,
+      entry.selector.best_for_objective(0));
+  EXPECT_EQ(
+      server.decide_on(*snap, request("alpha", "parmis", "powersave"))
+          .index,
+      entry.selector.best_for_objective(1));
+  // thermal-critical resolves through its weight vector.
+  const Decision thermal =
+      server.decide_on(*snap, request("alpha", "parmis", "thermal-critical"));
+  EXPECT_EQ(thermal.index, entry.selector.select({1.0, 4.0}));
+  EXPECT_EQ(thermal.mode, "thermal-critical");
+}
+
+TEST(Decide, ExplicitWeightsAndConflicts) {
+  PolicyStore store;
+  const auto snap = install(store);
+  PolicyServer server(store);
+
+  DecideRequest r = request("alpha", "parmis");
+  r.weights = {{"time_s", 1.0}};
+  const Decision d = server.decide_on(*snap, r);
+  EXPECT_EQ(d.mode, "weights");
+  EXPECT_EQ(d.index, snap->find("alpha", "parmis").selector.select(
+                         {1.0, 0.0}));
+
+  r.mode = "balanced";  // mode + weights is ambiguous
+  EXPECT_THROW(server.decide_on(*snap, r), Error);
+
+  DecideRequest bad = request("alpha", "parmis");
+  bad.weights = {{"watts", 1.0}};
+  EXPECT_THROW(server.decide_on(*snap, bad), Error);
+}
+
+TEST(Decide, InapplicableModeIsAnErrorNotAMisresolve) {
+  // powersave needs energy_j; strip it from a copy of beta.
+  exec::CampaignReport report = make_report();
+  report.cells[3].objective_names = {"time_s", "ppw_gips_per_w"};
+  PolicyStore store;
+  const auto snap = store.build_and_install({report}, {"unit"});
+  PolicyServer server(store);
+  EXPECT_EQ(snap->find("beta", "parmis")
+                .mode_choice[store.modes().index_of("powersave")],
+            kModeInapplicable);
+  EXPECT_THROW(
+      server.decide_on(*snap, request("beta", "parmis", "powersave")),
+      Error);
+  // thermal-critical weights every kind, so it still applies.
+  EXPECT_NO_THROW(server.decide_on(
+      *snap, request("beta", "parmis", "thermal-critical")));
+}
+
+TEST(Decide, AutoModeDispatchesOnWorkloadCounters) {
+  Workload w;
+  EXPECT_STREQ(auto_mode(w), "balanced");
+  w.load = 0.95;
+  EXPECT_STREQ(auto_mode(w), "performance");
+  w.battery_pct = 10.0;
+  EXPECT_STREQ(auto_mode(w), "powersave");  // battery beats load
+  w.thermal_headroom_c = 2.0;
+  EXPECT_STREQ(auto_mode(w), "thermal-critical");  // thermal beats all
+
+  PolicyStore store;
+  const auto snap = install(store);
+  PolicyServer server(store);
+  DecideRequest r = request("alpha", "parmis", "auto");
+  r.workload.battery_pct = 5.0;
+  EXPECT_EQ(server.decide_on(*snap, r).mode, "powersave");
+  r.workload.battery_pct = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(server.decide_on(*snap, r), Error);
+}
+
+TEST(Decide, RawObjectivesUndoMinimizationConvention) {
+  PolicyStore store;
+  const auto snap = install(store);
+  // beta's ppw_gips_per_w is maximized (stored negated): raw must
+  // come back positive.
+  const PolicyEntry& entry = snap->find("beta", "parmis");
+  const num::Vec raw = entry.raw_objectives(1);
+  EXPECT_EQ(raw[0], 3.0);
+  EXPECT_EQ(raw[1], 8.0);
+}
+
+// ------------------------------------------------------------- hot swap
+
+TEST(HotSwap, ReadersNeverSeeTornStateAndOldSnapshotsStayValid) {
+  PolicyStore store;
+  install(store, 5.0);  // generation 1: knee member (5,5)
+
+  // Decisions per generation parity: odd generations serve variant
+  // 5.0 (knee raw (5,5)), even ones variant 2.0 (knee raw (2,2)).
+  const std::vector<DecideRequest> batch = {
+      request("alpha", "parmis"),            // balanced -> knee
+      request("alpha", "", "performance"),   // default method = parmis
+      request("alpha", "governor"),
+      request("beta", "parmis", "powersave"),
+  };
+
+  PolicyServer server(store);
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> batches{0};
+  std::atomic<std::size_t> failures{0};
+
+  std::thread writer([&] {
+    for (int i = 0; i < 200; ++i) {
+      install(store, i % 2 == 0 ? 2.0 : 5.0);  // gen 2,3,...,201
+    }
+    done.store(true);
+  });
+
+  exec::ThreadPool pool(4);
+  pool.parallel_for(4, [&](std::size_t) {
+    do {
+      const PolicyServer::Batch result = server.decide_batch(batch);
+      const double expected =
+          result.snapshot->generation % 2 == 1 ? 5.0 : 2.0;
+      // Every decision in the batch must come from ONE generation's
+      // data: the knee of alpha/parmis pins the variant, and the
+      // other answers are generation-invariant but must stay intact.
+      const num::Vec knee =
+          result.decisions[0].entry->raw_objectives(
+              result.decisions[0].index);
+      if (knee[0] != expected || knee[1] != expected) ++failures;
+      if (result.decisions[1].index != 0) ++failures;  // min time {1,9}
+      if (result.decisions[2].entry->front[0] != (num::Vec{2.0, 2.0})) {
+        ++failures;
+      }
+      if (result.decisions[3].index != 0) ++failures;  // min energy
+      ++batches;
+    } while (!done.load());
+  });
+  writer.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GE(batches.load(), 4u);
+  EXPECT_EQ(store.generation(), 201u);
+
+  // A reader that acquired before a swap keeps a fully valid snapshot.
+  const auto held = store.acquire();
+  install(store, 7.0);
+  EXPECT_EQ(held->generation, 201u);
+  EXPECT_NO_THROW(held->find("alpha", "parmis"));
+  EXPECT_EQ(store.acquire()->generation, 202u);
+}
+
+TEST(HotSwap, DecisionsAreBitwiseDeterministicPerSnapshotGeneration) {
+  PolicyStore a;
+  PolicyStore b;
+  install(a);
+  install(b);
+  PolicyServer sa(a);
+  PolicyServer sb(b);
+  const std::vector<DecideRequest> batch = {
+      request("alpha", "parmis"), request("alpha", "parmis", "powersave"),
+      request("beta", "parmis", "thermal-critical")};
+  const auto ra = sa.decide_batch(batch);
+  const auto rb = sb.decide_batch(batch);
+  ASSERT_EQ(ra.decisions.size(), rb.decisions.size());
+  for (std::size_t i = 0; i < ra.decisions.size(); ++i) {
+    EXPECT_EQ(ra.decisions[i].index, rb.decisions[i].index);
+    EXPECT_EQ(ra.decisions[i].mode, rb.decisions[i].mode);
+    const num::Vec va =
+        ra.decisions[i].entry->raw_objectives(ra.decisions[i].index);
+    const num::Vec vb =
+        rb.decisions[i].entry->raw_objectives(rb.decisions[i].index);
+    ASSERT_EQ(va.size(), vb.size());
+    for (std::size_t j = 0; j < va.size(); ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(va[j]),
+                std::bit_cast<std::uint64_t>(vb[j]));
+    }
+  }
+}
+
+// ------------------------------------------------------------- protocol
+
+std::string one_line(ServeSession& session, const std::string& line) {
+  const auto outcome = session.handle_line(line);
+  return outcome.response;
+}
+
+TEST(Protocol, DecideModesScenariosPingAndIdEcho) {
+  PolicyStore store;
+  install(store);
+  ServeSession session(store, {});
+
+  const json::Value ping = json::parse(one_line(session, "{\"op\":\"ping\"}"));
+  EXPECT_TRUE(ping.at("ok").as_bool());
+  EXPECT_EQ(ping.at("protocol").as_string(), kServeProtocol);
+
+  const json::Value decide = json::parse(one_line(
+      session,
+      "{\"op\":\"decide\",\"id\":\"r1\",\"scenario\":\"alpha\","
+      "\"mode\":\"powersave\"}"));
+  EXPECT_TRUE(decide.at("ok").as_bool());
+  EXPECT_EQ(decide.at("id").as_string(), "r1");
+  EXPECT_EQ(decide.at("method").as_string(), "parmis");
+  EXPECT_EQ(decide.at("mode").as_string(), "powersave");
+  EXPECT_EQ(decide.at("index").as_number(), 2.0);  // {9,1}: min energy
+  EXPECT_EQ(decide.at("objectives").at("energy_j").as_number(), 1.0);
+  EXPECT_EQ(decide.at("theta").size(), 2u);
+  EXPECT_EQ(session.decisions(), 1u);
+
+  const json::Value modes =
+      json::parse(one_line(session, "{\"op\":\"modes\"}"));
+  EXPECT_EQ(modes.at("modes").size(), 4u);
+
+  const json::Value scenarios =
+      json::parse(one_line(session, "{\"op\":\"scenarios\"}"));
+  EXPECT_EQ(scenarios.at("scenarios").size(), 2u);
+  EXPECT_EQ(scenarios.at("scenarios").at(std::size_t{0})
+                .at("default_method")
+                .as_string(),
+            "parmis");
+}
+
+TEST(Protocol, BatchSharesOneGenerationAndIsolatesItemErrors) {
+  PolicyStore store;
+  install(store);
+  ServeSession session(store, {});
+  const json::Value batch = json::parse(one_line(
+      session,
+      "{\"op\":\"batch\",\"requests\":["
+      "{\"scenario\":\"alpha\"},"
+      "{\"scenario\":\"gamma\"},"
+      "{\"scenario\":\"beta\",\"mode\":\"powersave\"}]}"));
+  EXPECT_TRUE(batch.at("ok").as_bool());
+  const json::Value& results = batch.at("results");
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results.at(std::size_t{0}).at("ok").as_bool());
+  EXPECT_FALSE(results.at(std::size_t{1}).at("ok").as_bool());
+  EXPECT_NE(results.at(std::size_t{1}).at("error").as_string().find(
+                "unknown scenario"),
+            std::string::npos);
+  EXPECT_TRUE(results.at(std::size_t{2}).at("ok").as_bool());
+  EXPECT_EQ(session.decisions(), 2u);  // failed item contributes none
+}
+
+TEST(Protocol, MalformedLinesAnswerErrorsAndTheSessionContinues) {
+  PolicyStore store;
+  install(store);
+  ServeSession session(store, {});
+
+  EXPECT_TRUE(one_line(session, "   ").empty());  // blank: no response
+
+  const json::Value bad = json::parse(one_line(session, "{nope"));
+  EXPECT_FALSE(bad.at("ok").as_bool());
+
+  const json::Value unknown =
+      json::parse(one_line(session, "{\"op\":\"dance\"}"));
+  EXPECT_FALSE(unknown.at("ok").as_bool());
+  EXPECT_NE(unknown.at("error").as_string().find("unknown op"),
+            std::string::npos);
+
+  const json::Value extra = json::parse(one_line(
+      session, "{\"op\":\"decide\",\"scenario\":\"alpha\",\"x\":1}"));
+  EXPECT_FALSE(extra.at("ok").as_bool());
+
+  // Still serving.
+  const auto quit = session.handle_line("{\"op\":\"quit\"}");
+  EXPECT_TRUE(quit.quit);
+  EXPECT_TRUE(json::parse(quit.response).at("ok").as_bool());
+}
+
+TEST(Protocol, ReloadHotSwapsFromDiskAndTamperedFilesAreRejected) {
+  const std::string path = temp_path("reload");
+  report::save_report(path, make_report(5.0));
+
+  PolicyStore store;
+  store.load_and_install({path});
+  ServeSession session(store, {path});
+  EXPECT_EQ(store.generation(), 1u);
+
+  report::save_report(path, make_report(2.0));
+  const json::Value reload =
+      json::parse(one_line(session, "{\"op\":\"reload\"}"));
+  EXPECT_TRUE(reload.at("ok").as_bool());
+  EXPECT_EQ(store.generation(), 2u);
+  const num::Vec knee = store.acquire()
+                            ->find("alpha", "parmis")
+                            .raw_objectives(1);
+  EXPECT_EQ(knee[0], 2.0);
+
+  // Tamper with a stored objective byte: the report serde's digest
+  // check must refuse it, and the good snapshot must stay installed.
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::size_t pos = text.find("9.5");  // seed-2 front value
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 3, "8.5");
+  std::ofstream(path) << text;
+  const json::Value failed =
+      json::parse(one_line(session, "{\"op\":\"reload\"}"));
+  EXPECT_FALSE(failed.at("ok").as_bool());
+  EXPECT_EQ(store.generation(), 2u);
+  EXPECT_EQ(store.acquire()->generation, 2u);
+
+  // A session with no backing files cannot reload.
+  ServeSession detached(store, {});
+  EXPECT_FALSE(json::parse(one_line(detached, "{\"op\":\"reload\"}"))
+                   .at("ok")
+                   .as_bool());
+}
+
+// ---------------------------------------------------------- digest pins
+
+/// The canned replay used for the digest pin and the sharded-equality
+/// check; exercises modes, default method, weights, and batches.
+const char* const kReplayLines[] = {
+    "{\"op\":\"decide\",\"scenario\":\"alpha\"}",
+    "{\"op\":\"decide\",\"scenario\":\"alpha\",\"mode\":\"performance\"}",
+    "{\"op\":\"decide\",\"scenario\":\"alpha\",\"method\":\"governor\","
+    "\"mode\":\"thermal-critical\"}",
+    "{\"op\":\"batch\",\"requests\":[{\"scenario\":\"beta\",\"weights\":"
+    "{\"energy_j\":1,\"ppw_gips_per_w\":3}},{\"scenario\":\"beta\","
+    "\"mode\":\"auto\",\"workload\":{\"thermal_headroom_c\":1.5}}]}",
+};
+
+std::uint64_t replay_digest(ServeSession& session) {
+  for (const char* line : kReplayLines) {
+    const auto outcome = session.handle_line(line);
+    EXPECT_TRUE(json::parse(outcome.response).at("ok").as_bool())
+        << outcome.response;
+  }
+  return session.decision_digest();
+}
+
+TEST(DecisionDigest, GoldenPinOnTheSyntheticReport) {
+  PolicyStore store;
+  install(store);
+  ServeSession session(store, {});
+  const std::uint64_t digest = replay_digest(session);
+  EXPECT_EQ(session.decisions(), 5u);
+  // Golden pin: decisions over a fixed snapshot are part of the
+  // serving contract.  An intentional change to decision semantics,
+  // response canonicalization, or selector tie-breaking must update
+  // this constant consciously.
+  EXPECT_EQ(hex64(digest), "1e151ba7cc5bbb47");
+}
+
+TEST(DecisionDigest, ShardedThenMergedServesBitIdenticalToUnsharded) {
+  // Real campaign, sharded 3 ways, merged — decisions and digest must
+  // equal the unsharded run's exactly (the CI smoke pins the same
+  // property on the manycore plan).
+  exec::CampaignConfig config;
+  config.scenarios = {scenario::make_scenario("xu3-synthetic-te")};
+  config.scenarios[0].methods = {"performance", "powersave", "ondemand"};
+  config.seeds_per_cell = 2;
+  const exec::CampaignReport full = exec::CampaignRunner(config).run();
+
+  std::vector<exec::CampaignReport> shards;
+  for (std::size_t i = 0; i < 3; ++i) {
+    exec::CampaignConfig sharded = config;
+    sharded.shard = exec::ShardSpec{i, 3};
+    shards.push_back(exec::CampaignRunner(sharded).run());
+  }
+  const exec::CampaignReport merged = report::merge(std::move(shards));
+
+  PolicyStore store_full;
+  PolicyStore store_merged;
+  store_full.build_and_install({full}, {"full"});
+  store_merged.build_and_install({merged}, {"merged"});
+
+  ServeSession session_full(store_full, {});
+  ServeSession session_merged(store_merged, {});
+  const char* const lines[] = {
+      "{\"op\":\"decide\",\"scenario\":\"xu3-synthetic-te\"}",
+      "{\"op\":\"decide\",\"scenario\":\"xu3-synthetic-te\","
+      "\"mode\":\"performance\"}",
+      "{\"op\":\"decide\",\"scenario\":\"xu3-synthetic-te\","
+      "\"method\":\"ondemand\",\"mode\":\"powersave\"}",
+      "{\"op\":\"decide\",\"scenario\":\"xu3-synthetic-te\",\"weights\":"
+      "{\"time_s\":2,\"energy_j\":5}}",
+  };
+  for (const char* line : lines) {
+    EXPECT_EQ(session_full.handle_line(line).response,
+              session_merged.handle_line(line).response);
+  }
+  EXPECT_EQ(session_full.decision_digest(),
+            session_merged.decision_digest());
+  EXPECT_EQ(session_full.decisions(), 4u);
+}
+
+}  // namespace
+}  // namespace parmis::serve
