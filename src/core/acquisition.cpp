@@ -1,10 +1,13 @@
 #include "core/acquisition.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "exec/thread_pool.hpp"
 #include "gp/rff.hpp"
 #include "numerics/distributions.hpp"
+#include "numerics/matrix.hpp"
 
 namespace parmis::core {
 
@@ -81,6 +84,60 @@ double InformationGainAcquisition::value(const num::Vec& theta) const {
     }
   }
   return total / static_cast<double>(minima_.size());
+}
+
+std::vector<double> InformationGainAcquisition::values(
+    const std::vector<num::Vec>& thetas, exec::ThreadPool* pool) const {
+  const std::vector<gp::GpRegressor>& models = *models_;
+  const std::size_t k = models.size();
+  const std::size_t n = thetas.size();
+  std::vector<double> out(n);
+  if (n == 0) return out;
+  const std::size_t dim = models.front().input_dim();
+
+  // One block = one predict_many sweep per model.  Block b only writes
+  // out[b*kScoreBlock, ...), and per-candidate arithmetic matches
+  // value() exactly, so the scores are identical at any block split or
+  // thread count.
+  const std::size_t num_blocks = (n + kScoreBlock - 1) / kScoreBlock;
+  const auto score_block = [&](std::size_t b) {
+    const std::size_t lo = b * kScoreBlock;
+    const std::size_t hi = std::min(lo + kScoreBlock, n);
+    const std::size_t bn = hi - lo;
+    num::Matrix queries(bn, dim);
+    for (std::size_t q = 0; q < bn; ++q) {
+      const num::Vec& theta = thetas[lo + q];
+      require(theta.size() == dim, "acquisition: theta dimension mismatch");
+      double* row = queries.row_view(q).data();
+      for (std::size_t c = 0; c < dim; ++c) row[c] = theta[c];
+    }
+    std::vector<gp::BatchPrediction> preds;
+    preds.reserve(k);
+    for (const auto& m : models) preds.push_back(m.predict_many(queries));
+
+    std::vector<double> mu(k), sigma(k);
+    for (std::size_t q = 0; q < bn; ++q) {
+      // Identical per-candidate arithmetic (and order) to value().
+      for (std::size_t j = 0; j < k; ++j) {
+        mu[j] = preds[j].mean[q];
+        sigma[j] = std::max(std::sqrt(preds[j].variance[q]), 1e-9);
+      }
+      double total = 0.0;
+      for (const num::Vec& minima : minima_) {
+        for (std::size_t j = 0; j < k; ++j) {
+          const double gamma = (mu[j] - minima[j]) / sigma[j];
+          total += num::entropy_reduction_term(gamma);
+        }
+      }
+      out[lo + q] = total / static_cast<double>(minima_.size());
+    }
+  };
+  if (pool != nullptr && num_blocks > 1) {
+    pool->parallel_for(num_blocks, score_block);
+  } else {
+    for (std::size_t b = 0; b < num_blocks; ++b) score_block(b);
+  }
+  return out;
 }
 
 }  // namespace parmis::core

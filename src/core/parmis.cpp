@@ -162,19 +162,13 @@ num::Vec Parmis::maximize_acquisition(
   }
 
   // --- pick argmax, then a short stochastic local refinement ---
-  // Scoring fans out over the (optional) worker pool: iteration i only
-  // writes slot i, and the argmax scan below is index-ordered with a
-  // strict comparison, so the winner is the same at every pool size.
-  std::vector<double> scores(pool.size());
-  if (config_.pool != nullptr) {
-    config_.pool->parallel_for(pool.size(), [&](std::size_t i) {
-      scores[i] = acq.value(pool[i]);
-    });
-  } else {
-    for (std::size_t i = 0; i < pool.size(); ++i) {
-      scores[i] = acq.value(pool[i]);
-    }
-  }
+  // The whole candidate pool is scored through the batched GP backend
+  // (one predict_many sweep per model per block; the worker pool fans
+  // out over blocks).  Batched scores are bit-identical to per-candidate
+  // acq.value() calls, and the argmax scan below is index-ordered with a
+  // strict comparison, so the winner is the same at every block split
+  // and thread count.
+  const std::vector<double> scores = acq.values(pool, config_.pool);
   std::size_t best = 0;
   double best_val = -1.0;
   for (std::size_t i = 0; i < pool.size(); ++i) {

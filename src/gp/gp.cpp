@@ -3,6 +3,9 @@
 #include <cmath>
 #include <numbers>
 
+#include "gp/rff.hpp"
+#include "numerics/batch.hpp"
+
 namespace parmis::gp {
 
 double Prediction::stddev() const { return std::sqrt(variance); }
@@ -65,12 +68,13 @@ void GpRegressor::add_observation(const num::Vec& x, double y) {
 
 num::Matrix GpRegressor::build_gram() const {
   const std::size_t n = X_.rows();
+  const std::size_t d = X_.cols();
   num::Matrix K(n, n);
   for (std::size_t i = 0; i < n; ++i) {
-    const num::Vec xi = X_.row(i);
+    const double* xi = X_.row_view(i).data();
     K(i, i) = kernel_->prior_variance() + noise_variance_;
     for (std::size_t j = i + 1; j < n; ++j) {
-      const double v = kernel_->value(xi, X_.row(j));
+      const double v = kernel_->value(xi, X_.row_view(j).data(), d);
       K(i, j) = v;
       K(j, i) = v;
     }
@@ -116,6 +120,83 @@ Prediction GpRegressor::predict(const num::Vec& x) const {
 
   out.mean = y_mean_ + y_scale_ * mean_n;
   out.variance = y_scale_ * y_scale_ * var_n;
+  return out;
+}
+
+BatchPrediction GpRegressor::predict_many(const num::Matrix& Xstar) const {
+  return predict_many(Xstar, PredictManyOptions{});
+}
+
+BatchPrediction GpRegressor::predict_many(
+    const num::Matrix& Xstar, const PredictManyOptions& opts) const {
+  const std::size_t q_count = Xstar.rows();
+  BatchPrediction out;
+  if (!has_data()) {
+    // Prior, exactly as predict() returns it.
+    out.mean.assign(q_count, 0.0);
+    out.variance.assign(q_count, kernel_->prior_variance());
+    return out;
+  }
+  require(Xstar.cols() == X_.cols(), "GP predict_many: dimension mismatch");
+  out.mean.assign(q_count, 0.0);
+  out.variance.assign(q_count, 0.0);
+  if (q_count == 0) return out;
+
+  const std::size_t n = X_.rows();
+  if (n > opts.rff_threshold) {
+    require(opts.rff_features > 0, "GP predict_many: need RFF features");
+    Rng rff_rng(opts.rff_seed);
+    const RffPredictor rff(*this, opts.rff_features, rff_rng);
+    rff.predict_many(Xstar, out.mean, out.variance);
+    out.used_rff = true;
+    return out;
+  }
+
+  const std::size_t d = X_.cols();
+  // Cross-covariance block, one pass: kstar(i, q) = k(x*_q, x_i).  Each
+  // column q is exactly the kstar vector the scalar path builds, laid
+  // out so the multi-RHS solve streams rows contiguously.  The query
+  // block is transposed once so value_row_transposed evaluates one
+  // training row against the whole block per virtual call with
+  // contiguous per-dimension sweeps — the per-pair op sequence of
+  // value() is preserved (see the kernel contract).
+  const num::Matrix Xstar_t = Xstar.transposed();
+  const double* qdata = Xstar_t.data().data();
+  num::Matrix kstar(n, q_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* xi = X_.row_view(i).data();
+    kernel_->value_row_transposed(qdata, q_count, xi, d,
+                                  kstar.row_view(i).data());
+  }
+
+  // Normalized means: mean_n[q] = dot(kstar_col_q, alpha), accumulated
+  // over i in increasing order — the same reduction order as the scalar
+  // path's num::dot, hence bitwise equal.
+  num::AlignedBuffer mean_n(q_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ai = alpha_[i];
+    const double* krow = kstar.row_view(i).data();
+    for (std::size_t q = 0; q < q_count; ++q) mean_n[q] += krow[q] * ai;
+  }
+
+  // All N forward substitutions in one blocked solve (column q is
+  // bitwise equal to solve_lower(kstar_col_q)), done in place — kstar
+  // is not needed once the means are accumulated — then the v^T v
+  // reduction, again over i in increasing order.
+  chol_->solve_lower_many_inplace(kstar);
+  num::AlignedBuffer vtv(q_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* vrow = kstar.row_view(i).data();
+    for (std::size_t q = 0; q < q_count; ++q) vtv[q] += vrow[q] * vrow[q];
+  }
+
+  const double prior = kernel_->prior_variance();
+  for (std::size_t q = 0; q < q_count; ++q) {
+    double var_n = prior - vtv[q];
+    if (var_n < 1e-12) var_n = 1e-12;  // same clamp as predict()
+    out.mean[q] = y_mean_ + y_scale_ * mean_n[q];
+    out.variance[q] = y_scale_ * y_scale_ * var_n;
+  }
   return out;
 }
 

@@ -22,7 +22,29 @@ class Kernel {
   virtual ~Kernel() = default;
 
   /// Covariance between two input points of equal dimension.
-  virtual double value(const num::Vec& a, const num::Vec& b) const = 0;
+  double value(const num::Vec& a, const num::Vec& b) const {
+    require(a.size() == b.size(), "kernel: dimension mismatch");
+    return value(a.data(), b.data(), a.size());
+  }
+
+  /// Pointer form over `dim`-element raw buffers — the allocation-free
+  /// hot path used by batched prediction and Gram assembly.  Contract:
+  /// bitwise equal to the Vec overload on the same values.
+  virtual double value(const double* a, const double* b,
+                       std::size_t dim) const = 0;
+
+  /// Whole cross-covariance row in one virtual call: out[q] =
+  /// value(query q, x) for `count` query points stored TRANSPOSED —
+  /// `queries_t` is dim x count, element (i, q) at queries_t[i*count+q].
+  /// The layout lets overrides stream one contiguous q-vector per input
+  /// dimension (SIMD-friendly) while each query's distance accumulation
+  /// still runs over i in ascending order; every override must keep the
+  /// per-pair operation sequence of value(), so the result stays
+  /// bitwise equal to calling value() per pair.  The base default
+  /// gathers each query back into a scratch row and calls value().
+  virtual void value_row_transposed(const double* queries_t,
+                                    std::size_t count, const double* x,
+                                    std::size_t dim, double* out) const;
 
   /// k(x, x) — the prior variance at any point (stationary kernels).
   double prior_variance() const { return signal_variance_; }
@@ -59,7 +81,12 @@ class RbfKernel final : public Kernel {
  public:
   explicit RbfKernel(double lengthscale = 1.0, double signal_variance = 1.0);
 
-  double value(const num::Vec& a, const num::Vec& b) const override;
+  using Kernel::value;
+  double value(const double* a, const double* b,
+               std::size_t dim) const override;
+  void value_row_transposed(const double* queries_t, std::size_t count,
+                            const double* x, std::size_t dim,
+                            double* out) const override;
   num::Vec sample_spectral_frequency(Rng& rng,
                                      std::size_t dim) const override;
   std::unique_ptr<Kernel> clone() const override;
@@ -73,7 +100,12 @@ class Matern52Kernel final : public Kernel {
   explicit Matern52Kernel(double lengthscale = 1.0,
                           double signal_variance = 1.0);
 
-  double value(const num::Vec& a, const num::Vec& b) const override;
+  using Kernel::value;
+  double value(const double* a, const double* b,
+               std::size_t dim) const override;
+  void value_row_transposed(const double* queries_t, std::size_t count,
+                            const double* x, std::size_t dim,
+                            double* out) const override;
   num::Vec sample_spectral_frequency(Rng& rng,
                                      std::size_t dim) const override;
   std::unique_ptr<Kernel> clone() const override;
@@ -91,7 +123,12 @@ class ArdRbfKernel final : public Kernel {
   /// `lengthscales` must be positive and sized to the input dimension.
   explicit ArdRbfKernel(num::Vec lengthscales, double signal_variance = 1.0);
 
-  double value(const num::Vec& a, const num::Vec& b) const override;
+  using Kernel::value;
+  double value(const double* a, const double* b,
+               std::size_t dim) const override;
+  void value_row_transposed(const double* queries_t, std::size_t count,
+                            const double* x, std::size_t dim,
+                            double* out) const override;
   num::Vec sample_spectral_frequency(Rng& rng,
                                      std::size_t dim) const override;
   std::unique_ptr<Kernel> clone() const override;

@@ -3,9 +3,32 @@
 #include <cmath>
 #include <numbers>
 
+#include "numerics/batch.hpp"
 #include "numerics/cholesky.hpp"
 
 namespace parmis::gp {
+namespace {
+
+/// Fills `phi` (rows x M) with the cosine feature map of `X` (rows x d)
+/// under frequencies `omega` (M x d), phases and scale.
+void build_feature_matrix(const num::Matrix& X, const num::Matrix& omega,
+                          const num::Vec& phase, double feat_scale,
+                          num::Matrix& phi) {
+  const std::size_t rows = X.rows(), d = X.cols(), m_count = omega.rows();
+  phi = num::Matrix(rows, m_count);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* xi = X.row_view(i).data();
+    double* prow = phi.row_view(i).data();
+    for (std::size_t m = 0; m < m_count; ++m) {
+      double dotp = phase[m];
+      const double* wrow = omega.row_view(m).data();
+      for (std::size_t c = 0; c < d; ++c) dotp += wrow[c] * xi[c];
+      prow[m] = feat_scale * std::cos(dotp);
+    }
+  }
+}
+
+}  // namespace
 
 double SampledFunction::operator()(const num::Vec& x) const {
   require(x.size() == omega_.cols(), "sampled function: dimension mismatch");
@@ -45,17 +68,8 @@ SampledFunction sample_posterior_function(const GpRegressor& gp, Rng& rng,
 
   // Feature matrix Phi (n x M) over the training inputs.
   const num::Matrix& X = gp.train_inputs();
-  const std::size_t n = X.rows();
-  num::Matrix Phi(n, num_features);
-  for (std::size_t i = 0; i < n; ++i) {
-    const num::Vec xi = X.row(i);
-    for (std::size_t m = 0; m < num_features; ++m) {
-      double dotp = out.phase_[m];
-      const double* wrow = out.omega_.data().data() + m * d;
-      for (std::size_t c = 0; c < d; ++c) dotp += wrow[c] * xi[c];
-      Phi(i, m) = out.feat_scale_ * std::cos(dotp);
-    }
-  }
+  num::Matrix Phi;
+  build_feature_matrix(X, out.omega_, out.phase_, out.feat_scale_, Phi);
 
   // Bayesian linear regression posterior over w (normalized target units):
   //   A = Phi^T Phi / sn2 + I,   mean = A^{-1} Phi^T y / sn2,
@@ -79,6 +93,74 @@ SampledFunction sample_posterior_function(const GpRegressor& gp, Rng& rng,
     out.weights_[m] = mean_w[m] + noise_w[m];
   }
   return out;
+}
+
+RffPredictor::RffPredictor(const GpRegressor& gp, std::size_t num_features,
+                           Rng& rng) {
+  require(num_features > 0, "RffPredictor: need at least one feature");
+  require(gp.has_data(), "RffPredictor requires a fitted GP with data");
+  const Kernel& kernel = gp.kernel();
+  const std::size_t d = gp.input_dim();
+
+  feat_scale_ = std::sqrt(2.0 * kernel.signal_variance() /
+                          static_cast<double>(num_features));
+  y_mean_ = gp.target_mean();
+  y_scale_ = gp.target_scale();
+
+  omega_ = num::Matrix(num_features, d);
+  phase_.resize(num_features);
+  for (std::size_t m = 0; m < num_features; ++m) {
+    const num::Vec omega = kernel.sample_spectral_frequency(rng, d);
+    for (std::size_t c = 0; c < d; ++c) omega_(m, c) = omega[c];
+    phase_[m] = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+
+  // Feature-space posterior (normalized target units):
+  //   A = Phi^T Phi / sn2 + I,  w | D ~ N(A^{-1} Phi^T y / sn2, A^{-1})
+  num::Matrix phi;
+  build_feature_matrix(gp.train_inputs(), omega_, phase_, feat_scale_, phi);
+  const double sn2 = gp.noise_variance();
+  num::Matrix a = num::matmul_blocked(phi.transposed(), phi);
+  for (auto& v : a.data()) v /= sn2;
+  a.add_diagonal(1.0);
+  const num::Cholesky chol(std::move(a));
+  chol_lower_ = chol.lower();
+
+  num::Vec phi_t_y = phi.matvec_transposed(gp.normalized_targets());
+  for (auto& v : phi_t_y) v /= sn2;
+  mean_w_ = chol.solve(phi_t_y);
+}
+
+void RffPredictor::predict_many(const num::Matrix& Xstar, num::Vec& mean,
+                                num::Vec& variance) const {
+  require(Xstar.cols() == input_dim(), "RffPredictor: dimension mismatch");
+  const std::size_t q_count = Xstar.rows();
+  const std::size_t m_count = num_features();
+  mean.assign(q_count, 0.0);
+  variance.assign(q_count, 0.0);
+  if (q_count == 0) return;
+
+  num::Matrix phi_star;
+  build_feature_matrix(Xstar, omega_, phase_, feat_scale_, phi_star);
+
+  // Predictive mean phi(x)^T mean_w; predictive variance via one
+  // multi-RHS triangular solve: z_q = L^{-1} phi(x_q), var = z^T z.
+  const num::Matrix z = num::solve_lower_many(chol_lower_,
+                                              phi_star.transposed());
+  num::AlignedBuffer ztz(q_count);
+  for (std::size_t m = 0; m < m_count; ++m) {
+    const double* zrow = z.row_view(m).data();
+    for (std::size_t q = 0; q < q_count; ++q) ztz[q] += zrow[q] * zrow[q];
+  }
+  for (std::size_t q = 0; q < q_count; ++q) {
+    const double* prow = phi_star.row_view(q).data();
+    double mean_n = 0.0;
+    for (std::size_t m = 0; m < m_count; ++m) mean_n += prow[m] * mean_w_[m];
+    double var_n = ztz[q];
+    if (var_n < 1e-12) var_n = 1e-12;  // same floor as the exact path
+    mean[q] = y_mean_ + y_scale_ * mean_n;
+    variance[q] = y_scale_ * y_scale_ * var_n;
+  }
 }
 
 }  // namespace parmis::gp

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "numerics/batch.hpp"
+
 namespace parmis::num {
 
 Cholesky::Cholesky(Matrix K, double initial_jitter, int max_retries) {
@@ -48,6 +50,16 @@ Vec Cholesky::solve_lower(const Vec& b) const {
     y[i] = s / L_(i, i);
   }
   return y;
+}
+
+Matrix Cholesky::solve_lower_many(const Matrix& rhs) const {
+  require(rhs.rows() == size(), "cholesky solve: dimension mismatch");
+  return num::solve_lower_many(L_, rhs);
+}
+
+void Cholesky::solve_lower_many_inplace(Matrix& rhs) const {
+  require(rhs.rows() == size(), "cholesky solve: dimension mismatch");
+  num::solve_lower_many_inplace(L_, rhs);
 }
 
 Vec Cholesky::solve_lower_transposed(const Vec& y) const {

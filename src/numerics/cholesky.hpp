@@ -27,6 +27,16 @@ class Cholesky {
   /// Solves L y = b (forward substitution only).
   Vec solve_lower(const Vec& b) const;
 
+  /// Solves L Y = B for a whole block of right-hand sides (one per
+  /// column of `rhs`) with one blocked forward substitution.  Column c
+  /// of the result is bitwise identical to solve_lower(column c) — the
+  /// batched GP prediction contract depends on this.
+  Matrix solve_lower_many(const Matrix& rhs) const;
+
+  /// In-place form of solve_lower_many: overwrites `rhs` with the
+  /// solution, saving the result allocation + copy on hot sweeps.
+  void solve_lower_many_inplace(Matrix& rhs) const;
+
   /// Solves L^T x = y (backward substitution only).
   Vec solve_lower_transposed(const Vec& y) const;
 

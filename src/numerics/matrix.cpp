@@ -31,6 +31,16 @@ Vec Matrix::row(std::size_t r) const {
              data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
 }
 
+std::span<const double> Matrix::row_view(std::size_t r) const {
+  require(r < rows_, "row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<double> Matrix::row_view(std::size_t r) {
+  require(r < rows_, "row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
 Matrix Matrix::transposed() const {
   Matrix out(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r) {

@@ -3,6 +3,7 @@
 #define PARMIS_NUMERICS_MATRIX_HPP
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/error.hpp"
@@ -45,6 +46,13 @@ class Matrix {
 
   /// Returns row r as a vector copy.
   Vec row(std::size_t r) const;
+
+  /// No-copy view of row r over the matrix's own storage.  The view
+  /// aliases the matrix: writes through the mutable overload (or later
+  /// writes to the matrix) are visible through it.  Invalidated by
+  /// anything that reallocates the storage (resize, move-assign).
+  std::span<const double> row_view(std::size_t r) const;
+  std::span<double> row_view(std::size_t r);
 
   /// Matrix transpose.
   Matrix transposed() const;

@@ -16,12 +16,7 @@ double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
 
 double squared_distance(const Vec& a, const Vec& b) {
   require(a.size() == b.size(), "squared_distance: dimension mismatch");
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+  return squared_distance(a.data(), b.data(), a.size());
 }
 
 Vec add(const Vec& a, const Vec& b) {

@@ -25,6 +25,24 @@ double norm2(const Vec& a);
 /// Squared Euclidean distance between two equally sized vectors.
 double squared_distance(const Vec& a, const Vec& b);
 
+/// Pointer form of squared_distance over `n`-element raw buffers — the
+/// allocation-free hot path for batched kernel evaluation.  Produces the
+/// same operation sequence (and therefore bit-identical results) as the
+/// Vec overload.  Defined inline: this runs once per (training point,
+/// candidate) pair in every kernel cross-covariance sweep, and the call
+/// overhead of an out-of-line definition is measurable there.  The
+/// accumulation is strictly i-ascending — keep it that way; the batched
+/// GP bit-equivalence contract (src/gp/gp.hpp) depends on it.
+inline double squared_distance(const double* a, const double* b,
+                               std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
 /// Element-wise a + b.
 Vec add(const Vec& a, const Vec& b);
 

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "apps/benchmarks.hpp"
 #include "common/error.hpp"
 #include "core/acquisition.hpp"
+#include "exec/thread_pool.hpp"
 #include "core/parmis.hpp"
 #include "core/policy_search.hpp"
 #include "moo/hypervolume.hpp"
@@ -138,6 +140,43 @@ TEST(Acquisition, PrefersUnexploredRegions) {
   const double near_data = acq.value({-1.9, -1.9});
   const double far_away = acq.value({1.5, 1.5});
   EXPECT_GT(far_away, near_data);
+}
+
+TEST(Acquisition, BatchedValuesBitwiseMatchScalarValue) {
+  // values() scores the sweep through GpRegressor::predict_many; the
+  // contract is bit-identical scores to per-candidate value() calls —
+  // at any block split and any thread count.  150 candidates spans
+  // multiple kScoreBlock blocks plus a ragged tail.
+  Rng rng(17);
+  const std::size_t d = 3;
+  auto models = fitted_models(two_anchor_problem(d), d, 22, rng);
+  const Vec lo(d, -2.0), hi(d, 2.0);
+  AcquisitionConfig cfg;
+  cfg.front_sampler.population_size = 16;
+  cfg.front_sampler.generations = 10;
+  const InformationGainAcquisition acq(models, lo, hi, cfg, rng);
+
+  std::vector<Vec> thetas(150, Vec(d));
+  for (auto& t : thetas)
+    for (auto& v : t) v = rng.uniform(-2.0, 2.0);
+
+  const std::vector<double> batched = acq.values(thetas);
+  ASSERT_EQ(batched.size(), thetas.size());
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    const double ref = acq.value(thetas[i]);
+    EXPECT_EQ(std::memcmp(&batched[i], &ref, sizeof(double)), 0)
+        << "score diverged at candidate " << i;
+  }
+
+  exec::ThreadPool pool(4);
+  const std::vector<double> threaded = acq.values(thetas, &pool);
+  ASSERT_EQ(threaded.size(), batched.size());
+  EXPECT_EQ(std::memcmp(threaded.data(), batched.data(),
+                        batched.size() * sizeof(double)),
+            0);
+
+  EXPECT_TRUE(acq.values({}).empty());
+  EXPECT_THROW(acq.values({Vec(d + 1, 0.0)}), Error);
 }
 
 TEST(Acquisition, RequiresFittedModels) {

@@ -119,7 +119,20 @@ TEST(GoldenDigest, ObjectivesMatchPinnedValues) {
     EXPECT_EQ(actual, entry.digest)
         << "numeric drift in scenario " << entry.scenario << ": "
         << hex.str()
-        << "\nIf this change is intentional, update kGolden in "
+        << "\nFIRST SUSPECT: the batched GP backend.  Campaigns score "
+           "acquisition candidates through GpRegressor::predict_many, "
+           "which promises BITWISE equality with scalar predict() — if "
+           "you touched predict_many, the batched kernels "
+           "(num::matmul_blocked / num::solve_lower_many), "
+           "Kernel::value_row_transposed, or "
+           "InformationGainAcquisition::values, run the equivalence "
+           "suites first:\n"
+           "  ./build/gp_test --gtest_filter='PredictMany.*'\n"
+           "  ./build/numerics_test --gtest_filter='Batch.*'\n"
+           "  ./build/core_test --gtest_filter='Acquisition.Batched*'\n"
+           "A batched-path change must never be 'fixed' by re-pinning.\n"
+           "If the drift comes from an intentional modeling/numerics "
+           "change instead, update kGolden in "
            "tests/golden_digest_test.cpp with the actual value above AND "
            "bump parmis::cache::kCacheSchemaVersion.";
   }

@@ -3,10 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <numbers>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "numerics/batch.hpp"
 #include "numerics/cholesky.hpp"
 #include "numerics/distributions.hpp"
 #include "numerics/matrix.hpp"
@@ -368,6 +373,240 @@ TEST(Stats, QuantileInterpolation) {
   EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
   EXPECT_THROW(quantile({}, 0.5), Error);
   EXPECT_THROW(quantile({1.0}, 1.5), Error);
+}
+
+// ----------------------------------------------------------------- batch
+//
+// Property tests for the blocked primitives behind GpRegressor::
+// predict_many.  The contract is BITWISE equality with the scalar
+// reference implementations — not closeness — so every comparison here
+// goes through memcmp on the raw double storage.  NaNs compare equal
+// under memcmp iff the bit patterns match, which is exactly what the
+// contract promises for hostile inputs.
+
+bool bitwise_equal(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(double)) == 0;
+}
+
+bool same_bits(double a, double b) {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof(double));
+  std::memcpy(&ub, &b, sizeof(double));
+  return ua == ub;
+}
+
+// The scalar reference: naive i-j-k triple loop, k strictly ascending,
+// accumulating with the same `acc += a*b` expression shape.
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-3.0, 3.0);
+  return m;
+}
+
+TEST(Batch, MatmulBlockedMatchesNaiveAcrossBlockEdges) {
+  // Sizes straddling every block-edge remainder class: well below one
+  // tile, exactly one tile, and one past it (plus interior odd sizes).
+  const std::size_t sizes[] = {1, 2, 3, 7, 31, 32, 33, 63, 64, 65};
+  Rng rng(2024);
+  for (std::size_t m : sizes) {
+    for (std::size_t k : {std::size_t{1}, std::size_t{17}, std::size_t{64},
+                          std::size_t{65}}) {
+      const std::size_t n = sizes[(m + k) % std::size(sizes)];
+      const Matrix a = random_matrix(m, k, rng);
+      const Matrix b = random_matrix(k, n, rng);
+      EXPECT_TRUE(bitwise_equal(matmul_blocked(a, b), naive_matmul(a, b)))
+          << "matmul diverged at m=" << m << " k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(Batch, MatmulBlockedFullSweepOneDimension) {
+  // Every remainder 1..65 in the inner (k) dimension — the dimension
+  // whose blocking could most plausibly reorder an accumulation.
+  Rng rng(99);
+  for (std::size_t k = 1; k <= 65; ++k) {
+    const Matrix a = random_matrix(5, k, rng);
+    const Matrix b = random_matrix(k, 9, rng);
+    EXPECT_TRUE(bitwise_equal(matmul_blocked(a, b), naive_matmul(a, b)))
+        << "matmul diverged at k=" << k;
+  }
+}
+
+TEST(Batch, MatmulBlockedHostileValues) {
+  // Denormals, huge magnitudes that overflow to inf in the products,
+  // explicit zeros against infinities (0 * inf = NaN must propagate —
+  // a zero-skip "optimization" would silently change results).
+  const double hostile[] = {5e-324,
+                            1e-310,
+                            -1e-310,
+                            1e153,
+                            -1e153,
+                            0.0,
+                            std::numeric_limits<double>::infinity(),
+                            -std::numeric_limits<double>::infinity(),
+                            1.0,
+                            -2.5};
+  const std::size_t n = 9;  // not a multiple of any block edge
+  Matrix a(n, n), b(n, n);
+  Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = hostile[(i * n + j) % std::size(hostile)];
+      b(i, j) = hostile[(i * 3 + j * 5) % std::size(hostile)];
+    }
+  }
+  const Matrix blocked = matmul_blocked(a, b);
+  const Matrix naive = naive_matmul(a, b);
+  // Sanity: the input really exercises the NaN path.
+  bool saw_nan = false;
+  for (double v : naive.data()) saw_nan = saw_nan || std::isnan(v);
+  EXPECT_TRUE(saw_nan);
+  EXPECT_TRUE(bitwise_equal(blocked, naive));
+}
+
+TEST(Batch, MatmulBlockedRejectsMismatchedShapes) {
+  EXPECT_THROW(matmul_blocked(Matrix(2, 3), Matrix(4, 2)), Error);
+}
+
+// SPD matrix for Cholesky-backed solve tests: A A^T + n I.
+Matrix random_spd(std::size_t n, Rng& rng) {
+  const Matrix a = random_matrix(n, n, rng);
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t c = 0; c < n; ++c) s += a(i, c) * a(j, c);
+      k(i, j) = s;
+    }
+    k(i, i) += double(n);
+  }
+  return k;
+}
+
+TEST(Batch, SolveLowerManyMatchesPerColumnSolve) {
+  Rng rng(11);
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{17},
+                        std::size_t{33}, std::size_t{64}, std::size_t{65}}) {
+    const Cholesky chol(random_spd(n, rng));
+    for (std::size_t m : {std::size_t{1}, std::size_t{5}, std::size_t{63},
+                          std::size_t{64}, std::size_t{65}}) {
+      const Matrix rhs = random_matrix(n, m, rng);
+      const Matrix y = chol.solve_lower_many(rhs);
+      ASSERT_EQ(y.rows(), n);
+      ASSERT_EQ(y.cols(), m);
+      for (std::size_t c = 0; c < m; ++c) {
+        Vec col(n);
+        for (std::size_t r = 0; r < n; ++r) col[r] = rhs(r, c);
+        const Vec ref = chol.solve_lower(col);
+        for (std::size_t r = 0; r < n; ++r) {
+          ASSERT_TRUE(same_bits(y(r, c), ref[r]))
+              << "solve diverged at n=" << n << " m=" << m << " row=" << r
+              << " col=" << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(Batch, SolveLowerManyHostileRhs) {
+  // Denormal / huge / infinite right-hand sides must flow through the
+  // forward substitution with exactly the scalar op sequence.
+  Rng rng(5);
+  const std::size_t n = 12;
+  const Cholesky chol(random_spd(n, rng));
+  const double hostile[] = {5e-324, -1e-310, 1e160, -1e160,
+                            std::numeric_limits<double>::infinity(), 0.0};
+  Matrix rhs(n, 7);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < 7; ++c)
+      rhs(r, c) = hostile[(r * 7 + c) % std::size(hostile)];
+  const Matrix y = chol.solve_lower_many(rhs);
+  for (std::size_t c = 0; c < 7; ++c) {
+    Vec col(n);
+    for (std::size_t r = 0; r < n; ++r) col[r] = rhs(r, c);
+    const Vec ref = chol.solve_lower(col);
+    for (std::size_t r = 0; r < n; ++r) {
+      EXPECT_TRUE(same_bits(y(r, c), ref[r]));
+    }
+  }
+}
+
+TEST(Batch, SolveLowerManyInplaceMatchesReturningForm) {
+  Rng rng(21);
+  const std::size_t n = 20;
+  const Cholesky chol(random_spd(n, rng));
+  const Matrix rhs = random_matrix(n, 40, rng);
+  const Matrix returned = chol.solve_lower_many(rhs);
+  Matrix inplace = rhs;
+  chol.solve_lower_many_inplace(inplace);
+  EXPECT_TRUE(bitwise_equal(returned, inplace));
+}
+
+TEST(Batch, SolveLowerManyRejectsBadShapes) {
+  Rng rng(3);
+  const Cholesky chol(random_spd(4, rng));
+  EXPECT_THROW(chol.solve_lower_many(Matrix(5, 2)), Error);
+  EXPECT_THROW(solve_lower_many(Matrix(3, 4), Matrix(3, 2)), Error);
+}
+
+TEST(Batch, AlignedBufferAlignmentAndZeroing) {
+  AlignedBuffer buf(129);  // odd size: alignment must still hold
+  ASSERT_EQ(buf.size(), 129u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    ASSERT_EQ(buf[i], 0.0) << "not zero-initialized at " << i;
+  }
+  buf[0] = 1.5;
+  buf[128] = -2.5;
+  buf.zero();
+  EXPECT_EQ(buf[0], 0.0);
+  EXPECT_EQ(buf[128], 0.0);
+  const AlignedBuffer empty(0);
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+// ------------------------------------------------------------- row views
+
+TEST(Matrix, RowViewAliasesStorageWithoutCopy) {
+  Matrix m(3, 4);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) m(r, c) = double(r * 4 + c);
+
+  // The view points into the matrix's own storage — no copy.
+  std::span<const double> v1 = std::as_const(m).row_view(1);
+  ASSERT_EQ(v1.size(), 4u);
+  EXPECT_EQ(v1.data(), &m(1, 0));
+
+  // Writes to the matrix are visible through a live view (aliasing),
+  // and writes through the mutable view land in the matrix.
+  m(1, 2) = 99.0;
+  EXPECT_EQ(v1[2], 99.0);
+  std::span<double> v2 = m.row_view(2);
+  v2[3] = -7.0;
+  EXPECT_EQ(m(2, 3), -7.0);
+
+  // row() is a copy and must NOT alias.
+  Vec copy = m.row(0);
+  m(0, 0) = 1234.0;
+  EXPECT_EQ(copy[0], 0.0);
+
+  EXPECT_THROW(m.row_view(3), Error);
+  EXPECT_THROW(std::as_const(m).row_view(3), Error);
 }
 
 }  // namespace
