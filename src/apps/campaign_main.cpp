@@ -56,6 +56,8 @@
 #include "exec/campaign.hpp"
 #include "exec/thread_pool.hpp"
 #include "methods/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario/scenario.hpp"
 #include "serde/plan.hpp"
 #include "serde/scenario_json.hpp"
@@ -208,7 +210,9 @@ int main(int argc, char** argv) {
              "                [--compare-threads] [--full]\n"
              "                [--cache-dir=path] [--no-cache] [--resume]\n"
              "                [--cache-stats] [--require-cached]\n"
-             "                [--cache-gc] [--cache-max-mb=N]\n";
+             "                [--cache-gc] [--cache-max-mb=N]\n"
+             "                [--trace-out=path] [--metrics-out=path]\n"
+             "                [--metrics-prom=path]\n";
       return 0;
     }
 
@@ -306,6 +310,16 @@ int main(int argc, char** argv) {
       emit_text(args.get("dump-plan", ""),
                 parmis::json::dump(parmis::serde::plan_to_json(plan)));
       return 0;
+    }
+
+    // ---------------------------------------------------- observability
+    // Tracing stays off (its default) unless a trace artifact was asked
+    // for; metrics accumulate either way.  In a -DPARMIS_OBS=OFF build
+    // these flags still write valid (empty) artifacts.
+    const bool want_trace = args.has("trace-out");
+    if (want_trace) {
+      parmis::obs::Tracer::set_enabled(true);
+      parmis::obs::Tracer::set_thread_name("main");
     }
 
     CampaignConfig config = parmis::serde::to_campaign_config(plan,
@@ -433,6 +447,19 @@ int main(int argc, char** argv) {
 
     if (args.has("csv")) report.save_csv(args.get("csv", "campaign.csv"));
     if (args.has("json")) report.save_json(args.get("json", "campaign.json"));
+    if (want_trace) {
+      emit_text(args.get("trace-out", ""),
+                parmis::json::dump(parmis::obs::Tracer::drain()));
+    }
+    if (args.has("metrics-out")) {
+      emit_text(args.get("metrics-out", ""),
+                parmis::json::dump(
+                    parmis::obs::Registry::instance().to_json()));
+    }
+    if (args.has("metrics-prom")) {
+      emit_text(args.get("metrics-prom", ""),
+                parmis::obs::Registry::instance().to_prometheus());
+    }
 
     bool any_failed = false;
     for (const auto& cell : report.cells) {

@@ -34,8 +34,10 @@
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/fs.hpp"
 #include "common/hash.hpp"
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/store.hpp"
@@ -49,6 +51,7 @@ void print_usage() {
       << "usage: policy-serve <report.json>... [--modes=modes.json]\n"
          "                    [--replay=requests.jsonl] [--socket=path]\n"
          "                    [--connect=path] [--list-modes]\n"
+         "                    [--metrics-out=path] [--metrics-prom=path]\n"
          "\n"
          "Serves policy decisions from merged campaign reports: one\n"
          "JSON request per line in, one JSON response per line out\n"
@@ -224,6 +227,22 @@ int run_socket_client(const std::string& path) {
   return 0;
 }
 
+/// End-of-serve metrics artifacts (--metrics-out JSON document,
+/// --metrics-prom Prometheus text), written once the serving loop ends.
+/// Valid-but-sparse in a -DPARMIS_OBS=OFF build.
+void write_metrics_artifacts(const parmis::CliArgs& args) {
+  if (args.has("metrics-out")) {
+    parmis::atomic_write_file(
+        args.get("metrics-out", ""),
+        parmis::json::dump(parmis::obs::Registry::instance().to_json()));
+  }
+  if (args.has("metrics-prom")) {
+    parmis::atomic_write_file(
+        args.get("metrics-prom", ""),
+        parmis::obs::Registry::instance().to_prometheus());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -286,12 +305,16 @@ int main(int argc, char** argv) {
       std::cerr << "policy-serve: " << session.decisions()
                 << " decisions, digest "
                 << parmis::hex64(session.decision_digest()) << "\n";
+      write_metrics_artifacts(args);
       return 0;
     }
     if (args.has("socket")) {
-      return run_socket_server(session, args.get("socket", ""));
+      const int rc = run_socket_server(session, args.get("socket", ""));
+      write_metrics_artifacts(args);
+      return rc;
     }
     run_stream(session, std::cin, std::cout);
+    write_metrics_artifacts(args);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "policy-serve: " << e.what() << "\n";

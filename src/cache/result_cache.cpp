@@ -9,6 +9,7 @@
 #include "common/canonical.hpp"
 #include "common/error.hpp"
 #include "common/fs.hpp"
+#include "obs/obs.hpp"
 
 namespace parmis::cache {
 
@@ -261,6 +262,7 @@ std::string ResultCache::entry_path(const CellKey& key) const {
 }
 
 std::optional<exec::CellResult> ResultCache::lookup(const CellKey& key) {
+  PARMIS_SCOPED_LATENCY("parmis_cache_lookup_ns");
   const std::string path = entry_path(key);
   const std::optional<std::string> raw = read_file(path);
   if (!raw.has_value()) {
@@ -279,6 +281,7 @@ std::optional<exec::CellResult> ResultCache::lookup(const CellKey& key) {
     // entry a peer just re-wrote validly (read-then-remove race).
     ++stats_.corrupt;
     ++stats_.misses;
+    PARMIS_COUNTER_ADD("parmis_cache_corrupt_total", 1);
     return std::nullopt;
   }
   ++stats_.hits;
@@ -287,6 +290,7 @@ std::optional<exec::CellResult> ResultCache::lookup(const CellKey& key) {
 
 void ResultCache::store(const CellKey& key, const exec::CellResult& cell) {
   if (!cell.error.empty()) return;
+  PARMIS_SCOPED_LATENCY("parmis_cache_store_ns");
   try {
     atomic_write_file(entry_path(key), serialize_entry(key, cell));
   } catch (const std::exception&) {
@@ -297,6 +301,7 @@ void ResultCache::store(const CellKey& key, const exec::CellResult& cell) {
   }
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.stores;
+  PARMIS_COUNTER_ADD("parmis_cache_stores_total", 1);
 }
 
 bool ResultCache::contains(const CellKey& key) const {
@@ -309,6 +314,7 @@ bool ResultCache::contains(const CellKey& key) const {
 }
 
 std::size_t ResultCache::gc(std::uintmax_t max_bytes) {
+  PARMIS_SCOPED_LATENCY("parmis_cache_gc_ns");
   // Crash leftovers: temp files are never valid entries, but a young
   // one may be a concurrent runner's in-flight write (the shared-dir
   // design explicitly supports that), so only stale ones are swept.

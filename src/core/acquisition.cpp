@@ -8,6 +8,7 @@
 #include "gp/rff.hpp"
 #include "numerics/distributions.hpp"
 #include "numerics/matrix.hpp"
+#include "obs/obs.hpp"
 
 namespace parmis::core {
 
@@ -104,6 +105,9 @@ std::vector<double> InformationGainAcquisition::values(
     const std::size_t lo = b * kScoreBlock;
     const std::size_t hi = std::min(lo + kScoreBlock, n);
     const std::size_t bn = hi - lo;
+    PARMIS_TRACE_SPAN_D("acq", "score_block", "block=%zu;candidates=%zu", b,
+                        bn);
+    PARMIS_COUNTER_ADD("parmis_acq_candidates_total", bn);
     num::Matrix queries(bn, dim);
     for (std::size_t q = 0; q < bn; ++q) {
       const num::Vec& theta = thetas[lo + q];

@@ -18,6 +18,7 @@
 #include "common/table.hpp"
 #include "exec/thread_pool.hpp"
 #include "methods/registry.hpp"
+#include "obs/obs.hpp"
 #include "report/merge.hpp"
 #include "report/report_json.hpp"
 #include "runtime/evaluator.hpp"
@@ -133,6 +134,11 @@ CellResult CampaignRunner::run_cell(const scenario::ScenarioSpec& spec,
                                     std::uint64_t seed,
                                     std::size_t anchor_limit,
                                     const methods::MethodConfigSet& configs) {
+  // Observation only: the span and counters below never feed back into
+  // the cell computation (digest neutrality, docs/observability.md).
+  PARMIS_TRACE_SPAN_D("campaign", "cell", "scenario=%s;method=%s;seed=%llu",
+                      spec.name.c_str(), method_name.c_str(),
+                      static_cast<unsigned long long>(seed));
   CellResult cell;
   cell.scenario = spec.name;
   cell.platform = spec.platform;
@@ -298,9 +304,11 @@ CampaignReport CampaignRunner::run() {
         results[i] = std::move(*cached);
         results[i].from_cache = true;
         hits.fetch_add(1, std::memory_order_relaxed);
+        PARMIS_COUNTER_ADD("parmis_campaign_cache_hits_total", 1);
         return;
       }
       misses.fetch_add(1, std::memory_order_relaxed);
+      PARMIS_COUNTER_ADD("parmis_campaign_cache_misses_total", 1);
     }
     results[i] = run_cell(*cells[i].scenario, cells[i].method, cells[i].seed,
                           anchor_limit, config_.method_configs);

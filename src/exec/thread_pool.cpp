@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace parmis::exec {
 
@@ -77,6 +78,7 @@ void ThreadPool::worker_loop() {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = std::find(pending_.begin(), pending_.end(), job);
     if (it != pending_.end()) pending_.erase(it);
+    PARMIS_GAUGE_SET("parmis_exec_pool_queue_depth", pending_.size());
   }
 }
 
@@ -94,6 +96,7 @@ void ThreadPool::parallel_for(std::size_t n,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     pending_.push_back(job);
+    PARMIS_GAUGE_SET("parmis_exec_pool_queue_depth", pending_.size());
   }
   wake_.notify_all();
 
@@ -105,6 +108,7 @@ void ThreadPool::parallel_for(std::size_t n,
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = std::find(pending_.begin(), pending_.end(), job);
     if (it != pending_.end()) pending_.erase(it);
+    PARMIS_GAUGE_SET("parmis_exec_pool_queue_depth", pending_.size());
   }
 
   std::unique_lock<std::mutex> lock(job->m);

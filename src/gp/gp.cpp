@@ -5,6 +5,7 @@
 
 #include "gp/rff.hpp"
 #include "numerics/batch.hpp"
+#include "obs/obs.hpp"
 
 namespace parmis::gp {
 
@@ -83,6 +84,7 @@ num::Matrix GpRegressor::build_gram() const {
 }
 
 void GpRegressor::refit() {
+  PARMIS_TRACE_SPAN_D("gp", "fit", "n=%zu", X_.rows());
   const std::size_t n = X_.rows();
   if (n == 0) {
     chol_.reset();
@@ -129,6 +131,8 @@ BatchPrediction GpRegressor::predict_many(const num::Matrix& Xstar) const {
 
 BatchPrediction GpRegressor::predict_many(
     const num::Matrix& Xstar, const PredictManyOptions& opts) const {
+  PARMIS_TRACE_SPAN_D("gp", "predict_many", "n=%zu;q=%zu", X_.rows(),
+                      Xstar.rows());
   const std::size_t q_count = Xstar.rows();
   BatchPrediction out;
   if (!has_data()) {
@@ -149,6 +153,7 @@ BatchPrediction GpRegressor::predict_many(
     const RffPredictor rff(*this, opts.rff_features, rff_rng);
     rff.predict_many(Xstar, out.mean, out.variance);
     out.used_rff = true;
+    PARMIS_COUNTER_ADD("parmis_gp_rff_path_total", 1);
     return out;
   }
 

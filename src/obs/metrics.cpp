@@ -1,0 +1,204 @@
+#include "obs/metrics.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "serde/json_util.hpp"
+
+namespace parmis::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (name[0] < 'a' || name[0] > 'z') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+json::Value i64_to_json(std::int64_t v) {
+  // Same exactness rule as the serde layer's u64 convention: values
+  // whose magnitude exceeds 2^53 string-encode.
+  if (v >= 0) return serde::u64_to_json(static_cast<std::uint64_t>(v));
+  if (v > -static_cast<std::int64_t>(serde::kMaxExactU64)) {
+    return json::Value::number(static_cast<double>(v));
+  }
+  return json::Value::string(std::to_string(v));
+}
+
+}  // namespace
+
+std::uint64_t Histogram::bucket_bound(std::size_t k) {
+  if (k >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << k) - 1;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) total += bucket_count(k);
+  return total;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Entry& Registry::entry(const std::string& name,
+                                 const std::string& help, Kind kind) {
+  require(valid_metric_name(name),
+          "metrics: invalid metric name \"" + name +
+              "\" (want ^[a-z][a-z0-9_]*$)");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      require(e.kind == kind,
+              "metrics: \"" + name + "\" already registered as a " +
+                  kind_name(static_cast<int>(e.kind)) +
+                  ", cannot re-register as a " +
+                  kind_name(static_cast<int>(kind)));
+      return e;
+    }
+  }
+  Entry& e = entries_.emplace_back();
+  e.name = name;
+  e.help = help;
+  e.kind = kind;
+  return e;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  return entry(name, help, Kind::Counter).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  return entry(name, help, Kind::Gauge).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help) {
+  return entry(name, help, Kind::Histogram).histogram;
+}
+
+const Registry::Entry* Registry::find(const std::string& name,
+                                      Kind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : entries_) {
+    if (e.name == name && e.kind == kind) return &e;
+  }
+  return nullptr;
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  const Entry* e = find(name, Kind::Counter);
+  return e != nullptr ? &e->counter : nullptr;
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  const Entry* e = find(name, Kind::Gauge);
+  return e != nullptr ? &e->gauge : nullptr;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  const Entry* e = find(name, Kind::Histogram);
+  return e != nullptr ? &e->histogram : nullptr;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& e : entries_) {
+    e.counter.v_.store(0, std::memory_order_relaxed);
+    e.gauge.v_.store(0, std::memory_order_relaxed);
+    for (auto& b : e.histogram.buckets_) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    e.histogram.sum_.store(0, std::memory_order_relaxed);
+  }
+}
+
+json::Value Registry::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("schema", json::Value::string(kMetricsSchema));
+  json::Value metrics = json::Value::object();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : entries_) {
+    json::Value m = json::Value::object();
+    m.set("type", json::Value::string(kind_name(static_cast<int>(e.kind))));
+    if (!e.help.empty()) m.set("help", json::Value::string(e.help));
+    if (e.kind == Kind::Counter) {
+      m.set("value", serde::u64_to_json(e.counter.value()));
+    } else if (e.kind == Kind::Gauge) {
+      m.set("value", i64_to_json(e.gauge.value()));
+    } else {
+      m.set("count", serde::u64_to_json(e.histogram.count()));
+      m.set("sum", serde::u64_to_json(e.histogram.sum()));
+      json::Value buckets = json::Value::array();
+      for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {
+        const std::uint64_t n = e.histogram.bucket_count(k);
+        if (n == 0) continue;
+        json::Value b = json::Value::object();
+        b.set("le", serde::u64_to_json(Histogram::bucket_bound(k)));
+        b.set("count", serde::u64_to_json(n));
+        buckets.push_back(std::move(b));
+      }
+      m.set("buckets", std::move(buckets));
+    }
+    metrics.set(e.name, std::move(m));
+  }
+  doc.set("metrics", std::move(metrics));
+  return doc;
+}
+
+std::string Registry::to_prometheus() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : entries_) {
+    if (!e.help.empty()) {
+      out += "# HELP " + e.name + " " + e.help + "\n";
+    }
+    out += "# TYPE " + e.name + " " +
+           kind_name(static_cast<int>(e.kind)) + "\n";
+    if (e.kind == Kind::Counter) {
+      out += e.name + " " + std::to_string(e.counter.value()) + "\n";
+    } else if (e.kind == Kind::Gauge) {
+      out += e.name + " " + std::to_string(e.gauge.value()) + "\n";
+    } else {
+      std::uint64_t cumulative = 0;
+      for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {
+        const std::uint64_t n = e.histogram.bucket_count(k);
+        if (n == 0) continue;
+        cumulative += n;
+        out += e.name + "_bucket{le=\"" +
+               std::to_string(Histogram::bucket_bound(k)) + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += e.name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+             "\n";
+      out += e.name + "_sum " + std::to_string(e.histogram.sum()) + "\n";
+      out += e.name + "_count " + std::to_string(cumulative) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace parmis::obs

@@ -1,0 +1,172 @@
+// Process-wide metrics registry: named counters, gauges, and
+// log-bucketed histograms with lock-free hot-path updates.
+//
+// The contract that makes instrumentation safe to leave on in
+// production paths (>10M decisions/sec serving, the batched GP inner
+// loop) splits every metric into a cold half and a hot half:
+//  * Registration (Registry::counter/gauge/histogram) is cold: it takes
+//    a mutex, validates the name, and returns a reference that stays
+//    valid for the life of the process (deque storage, never moved).
+//    Call sites do it once — the PARMIS_* macros in obs.hpp cache the
+//    reference in a function-local static.
+//  * Updates are hot: a single relaxed atomic fetch_add/store.  No
+//    locks, no allocation, no branches beyond the update itself, and
+//    never any effect on the instrumented computation — the
+//    digest-neutrality guarantee (docs/observability.md) rests on
+//    instrumentation being observation-only.
+//
+// Histograms are log2-bucketed: value v lands in bucket bit_width(v),
+// i.e. bucket k counts values in [2^(k-1), 2^k).  65 buckets cover the
+// full u64 range, so one histogram spans nanoseconds to hours with no
+// configuration.  Relaxed counters mean a concurrent reader may see a
+// momentarily torn view across buckets (sum vs count); exports are
+// snapshots, not transactions.
+//
+// Exports: to_json() emits the versioned `parmis-metrics-v1` document
+// (common/json, deterministic member order = registration order);
+// to_prometheus() emits the Prometheus text exposition format
+// (cumulative `le` buckets) for scrape endpoints.
+//
+// Naming convention (enforced): ^[a-z][a-z0-9_]*$, structured as
+// parmis_<subsystem>_<what>[_<unit>][_total].  Counters end in _total;
+// histograms name their unit (_ns); gauges name the level they track.
+#ifndef PARMIS_OBS_METRICS_HPP
+#define PARMIS_OBS_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace parmis::obs {
+
+/// Schema tag of the JSON export; bumps follow the plan/report/cache
+/// version policy (docs/observability.md).
+inline constexpr const char* kMetricsSchema = "parmis-metrics-v1";
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written level (queue depth, snapshot generation).  Signed so
+/// add/sub pairs can transiently dip below zero without wrapping the
+/// export.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log2-bucketed u64 histogram (see file comment).  Intended for
+/// latencies in nanoseconds, but any u64 quantity works.
+class Histogram {
+ public:
+  /// bit_width(v) buckets: 0 -> 0, [2^(k-1), 2^k) -> k.
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket k (the Prometheus `le` label):
+  /// 2^k - 1; bucket 64's bound is UINT64_MAX.
+  static std::uint64_t bucket_bound(std::size_t k);
+  static std::size_t bucket_of(std::uint64_t v) {
+    std::size_t k = 0;
+    while (v != 0) {
+      ++k;
+      v >>= 1;
+    }
+    return k;
+  }
+
+  std::uint64_t count() const;
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(std::size_t k) const {
+    return buckets_[k].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Process-wide named-metric registry (see file comment).
+class Registry {
+ public:
+  /// The process-wide instance every PARMIS_* macro records into.
+  static Registry& instance();
+
+  /// Registration is idempotent: the same name returns the same metric
+  /// (the `help` of the first registration wins).  Re-registering a
+  /// name as a different kind throws parmis::Error.  Returned
+  /// references are stable for the registry's lifetime.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, const std::string& help = "");
+
+  /// Lookup without registration; nullptr when `name` is absent or a
+  /// different kind (tests and exporters).
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// `parmis-metrics-v1`: {"schema", "metrics": {name: {"type", ...}}}
+  /// in registration order.  Histograms emit only non-empty buckets.
+  json::Value to_json() const;
+
+  /// Prometheus text exposition (# HELP/# TYPE lines, cumulative `le`
+  /// buckets with a closing +Inf, _sum and _count series).
+  std::string to_prometheus() const;
+
+  /// Zeroes every registered metric's value (registrations survive).
+  /// For tests and benches that need a clean slate; never called on
+  /// production paths.
+  void reset_values();
+
+  std::size_t size() const;
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+  /// Holds all three metric bodies (atomics make Entry immovable —
+  /// deque emplacement constructs it in its final location).
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::Counter;
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram;
+  };
+
+  Entry& entry(const std::string& name, const std::string& help, Kind kind);
+  const Entry* find(const std::string& name, Kind kind) const;
+
+  mutable std::mutex mutex_;
+  /// Deque: growth never moves existing entries, so returned metric
+  /// references stay valid while registration continues concurrently.
+  std::deque<Entry> entries_;
+};
+
+}  // namespace parmis::obs
+
+#endif  // PARMIS_OBS_METRICS_HPP

@@ -1,0 +1,264 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "common/stopwatch.hpp"
+
+namespace parmis::obs {
+
+namespace {
+
+/// Global registry of every thread buffer ever created.  Buffers are
+/// shared_ptr-owned here AND by each thread's thread_local handle, so
+/// they outlive their threads (drain after a pool is destroyed) and
+/// the thread_local never dangles if clear() runs concurrently.
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::size_t ring_capacity = Tracer::kDefaultRingCapacity;
+  std::uint32_t next_tid = 1;
+};
+
+BufferRegistry& registry() {
+  static BufferRegistry* r = new BufferRegistry();  // never destroyed:
+  // worker threads may record during static destruction of the main
+  // thread; a leaked registry is immune to destruction-order races.
+  return *r;
+}
+
+/// Process-wide trace epoch, established lock-free at the first
+/// timestamp: all threads' timestamps subtract the same base, so spans
+/// line up across threads.  Saturates at 0 for the (benign) race where
+/// another thread's slightly-later clock read published the epoch.
+std::uint64_t relative_to_epoch(std::uint64_t absolute_ns) {
+  static std::atomic<std::uint64_t> epoch{0};
+  std::uint64_t e = epoch.load(std::memory_order_relaxed);
+  if (e == 0) {
+    std::uint64_t expected = 0;
+    epoch.compare_exchange_strong(expected, absolute_ns,
+                                  std::memory_order_relaxed);
+    e = epoch.load(std::memory_order_relaxed);
+  }
+  return absolute_ns >= e ? absolute_ns - e : 0;
+}
+
+void copy_detail(char* dst, const char* src) {
+  std::size_t i = 0;
+  for (; src[i] != '\0' && i + 1 < TraceEvent::kDetailCapacity; ++i) {
+    dst[i] = src[i];
+  }
+  dst[i] = '\0';
+}
+
+}  // namespace
+
+std::atomic<bool> Tracer::enabled_{false};
+
+ThreadBuffer::ThreadBuffer(std::size_t capacity, std::uint32_t tid,
+                           std::string thread_name)
+    : tid_(tid), thread_name_(std::move(thread_name)) {
+  ring_.resize(capacity == 0 ? 1 : capacity);
+}
+
+void ThreadBuffer::record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[head_ % ring_.size()] = event;
+  ++head_;
+}
+
+void ThreadBuffer::snapshot(std::vector<TraceEvent>* out,
+                            std::uint64_t* dropped) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t capacity = ring_.size();
+  const std::uint64_t kept = std::min(head_, capacity);
+  *dropped += head_ - kept;
+  for (std::uint64_t i = head_ - kept; i < head_; ++i) {
+    out->push_back(ring_[i % capacity]);
+  }
+}
+
+void ThreadBuffer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  head_ = 0;
+}
+
+void ThreadBuffer::set_name(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  thread_name_ = std::move(name);
+}
+
+std::string ThreadBuffer::thread_name() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return thread_name_;
+}
+
+ThreadBuffer& Tracer::local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> local;
+  if (!local) {
+    BufferRegistry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    local = std::make_shared<ThreadBuffer>(
+        r.ring_capacity, r.next_tid,
+        "thread-" + std::to_string(r.next_tid));
+    ++r.next_tid;
+    r.buffers.push_back(local);
+  }
+  return *local;
+}
+
+void Tracer::set_ring_capacity(std::size_t events) {
+  BufferRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.ring_capacity = events == 0 ? 1 : events;
+}
+
+void Tracer::set_thread_name(const std::string& name) {
+  local_buffer().set_name(name);
+}
+
+void Tracer::record_complete(const char* category, const char* name,
+                             std::uint64_t start_ns, std::uint64_t dur_ns,
+                             const char* detail) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.ts_ns = relative_to_epoch(start_ns);
+  event.dur_ns = dur_ns;
+  event.phase = 'X';
+  copy_detail(event.detail, detail);
+  local_buffer().record(event);
+}
+
+void Tracer::record_instant(const char* category, const char* name,
+                            const char* detail) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.ts_ns = relative_to_epoch(steady_now_ns());
+  event.dur_ns = 0;
+  event.phase = 'I';
+  copy_detail(event.detail, detail);
+  local_buffer().record(event);
+}
+
+json::Value Tracer::drain() {
+  struct Tagged {
+    TraceEvent event;
+    std::uint32_t tid;
+  };
+  std::vector<Tagged> events;
+  std::vector<std::pair<std::uint32_t, std::string>> names;
+  std::uint64_t dropped = 0;
+  {
+    BufferRegistry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (const auto& buffer : r.buffers) {
+      std::vector<TraceEvent> chunk;
+      buffer->snapshot(&chunk, &dropped);
+      for (const TraceEvent& e : chunk) {
+        events.push_back({e, buffer->tid()});
+      }
+      names.emplace_back(buffer->tid(), buffer->thread_name());
+    }
+  }
+  // Deterministic output: ordered by (start, tid, name) — Perfetto does
+  // not require sorting, but equal traces must dump to equal bytes.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     if (a.event.ts_ns != b.event.ts_ns) {
+                       return a.event.ts_ns < b.event.ts_ns;
+                     }
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return std::strcmp(a.event.name, b.event.name) < 0;
+                   });
+
+  json::Value trace_events = json::Value::array();
+  for (const auto& [tid, name] : names) {
+    json::Value meta = json::Value::object();
+    meta.set("ph", json::Value::string("M"));
+    meta.set("name", json::Value::string("thread_name"));
+    meta.set("pid", json::Value::number(1));
+    meta.set("tid", json::Value::number(static_cast<double>(tid)));
+    json::Value args = json::Value::object();
+    args.set("name", json::Value::string(name));
+    meta.set("args", std::move(args));
+    trace_events.push_back(std::move(meta));
+  }
+  for (const Tagged& t : events) {
+    json::Value e = json::Value::object();
+    e.set("ph", json::Value::string(std::string(1, t.event.phase)));
+    e.set("name", json::Value::string(t.event.name));
+    e.set("cat", json::Value::string(t.event.category));
+    e.set("pid", json::Value::number(1));
+    e.set("tid", json::Value::number(static_cast<double>(t.tid)));
+    // Chrome trace timestamps are microseconds (fractional allowed).
+    e.set("ts", json::Value::number(static_cast<double>(t.event.ts_ns) /
+                                    1000.0));
+    if (t.event.phase == 'X') {
+      e.set("dur", json::Value::number(
+                       static_cast<double>(t.event.dur_ns) / 1000.0));
+    }
+    if (t.event.detail[0] != '\0') {
+      json::Value args = json::Value::object();
+      args.set("detail", json::Value::string(t.event.detail));
+      e.set("args", std::move(args));
+    }
+    trace_events.push_back(std::move(e));
+  }
+
+  json::Value doc = json::Value::object();
+  doc.set("traceEvents", std::move(trace_events));
+  doc.set("displayTimeUnit", json::Value::string("ns"));
+  json::Value other = json::Value::object();
+  other.set("tracer", json::Value::string("parmis-obs"));
+  other.set("dropped_events",
+            json::Value::number(static_cast<double>(dropped)));
+  doc.set("otherData", std::move(other));
+  return doc;
+}
+
+void Tracer::clear() {
+  BufferRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& buffer : r.buffers) buffer->clear();
+}
+
+std::uint64_t Tracer::dropped_events() {
+  std::vector<TraceEvent> ignored;
+  std::uint64_t dropped = 0;
+  BufferRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& buffer : r.buffers) {
+    std::vector<TraceEvent> chunk;
+    buffer->snapshot(&chunk, &dropped);
+  }
+  return dropped;
+}
+
+std::uint64_t Tracer::buffered_events() {
+  std::uint64_t total = 0;
+  std::uint64_t dropped = 0;
+  BufferRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& buffer : r.buffers) {
+    std::vector<TraceEvent> chunk;
+    buffer->snapshot(&chunk, &dropped);
+    total += chunk.size();
+  }
+  return total;
+}
+
+std::uint64_t ScopedSpan::now() { return steady_now_ns(); }
+
+void ScopedSpan::set_detail(const char* fmt, ...) {
+  if (!armed_) return;
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(detail_, sizeof(detail_), fmt, args);
+  va_end(args);
+}
+
+}  // namespace parmis::obs

@@ -1,0 +1,174 @@
+// Low-overhead span tracer: thread-local ring buffers of trace events,
+// drained on demand into Chrome trace-event JSON (Perfetto-loadable).
+//
+// Design, in hot-path order:
+//  * Runtime kill switch: Tracer::enabled() is one relaxed atomic bool
+//    load.  Tracing defaults OFF; a disabled ScopedSpan costs a load
+//    and a branch and records nothing — so instrumented binaries pay
+//    ~nothing until `--trace-out` (or a test) turns tracing on.
+//  * Thread-local ring buffers: each thread writes events into its own
+//    fixed-capacity ring, so writers never contend with each other.
+//    The per-buffer mutex is uncontended except while a drain copies
+//    that buffer (drains are rare, end-of-run operations), keeping the
+//    write path at an uncontended lock + a struct store — tens of
+//    nanoseconds, far below the granularity of the spans instrumented
+//    (cells, GP fits, predict_many blocks).  When the ring wraps, the
+//    OLDEST events are overwritten and counted as dropped: a bounded
+//    trace of the most recent activity, never unbounded memory.
+//  * Timestamps are steady-clock nanoseconds (common/stopwatch.hpp)
+//    relative to a process-wide epoch taken at the first event, so
+//    traces from one run line up across threads.
+//
+// Event names and categories must be string literals (static storage):
+// events store the pointers, not copies.  Dynamic context (scenario,
+// method, seed) goes into the fixed-size `detail` buffer, truncated if
+// oversized — the hot path never allocates.
+//
+// drain() produces one Chrome trace-event JSON document ("traceEvents"
+// array of "ph":"X"/"I" events plus "M" thread-name metadata), the
+// format chrome://tracing and ui.perfetto.dev load directly.  Events
+// are emitted sorted by (timestamp, tid) so equal traces dump to equal
+// bytes.  Buffers persist after their threads exit (the registry keeps
+// them alive), so a drain after a ThreadPool is destroyed still sees
+// the workers' spans.
+#ifndef PARMIS_OBS_TRACE_HPP
+#define PARMIS_OBS_TRACE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace parmis::obs {
+
+/// One recorded event.  `name`/`category` are borrowed static strings;
+/// `detail` is an owned, truncating copy (see file comment).
+struct TraceEvent {
+  static constexpr std::size_t kDetailCapacity = 64;
+
+  const char* name = nullptr;
+  const char* category = nullptr;
+  std::uint64_t ts_ns = 0;   ///< relative to the tracer epoch
+  std::uint64_t dur_ns = 0;  ///< 'X' events; 0 for instants
+  char phase = 'X';          ///< 'X' complete span, 'I' instant
+  char detail[kDetailCapacity] = {};  ///< zero-terminated, may be ""
+};
+
+/// One thread's ring buffer; created and registered on that thread's
+/// first recorded event, kept alive by the registry afterwards.
+class ThreadBuffer {
+ public:
+  explicit ThreadBuffer(std::size_t capacity, std::uint32_t tid,
+                        std::string thread_name);
+
+  void record(const TraceEvent& event);
+
+  /// Copies the buffered events in write order (oldest surviving event
+  /// first) — the only reader-side operation, mutex-synchronized with
+  /// concurrent writers.
+  void snapshot(std::vector<TraceEvent>* out, std::uint64_t* dropped) const;
+
+  void clear();
+  std::uint32_t tid() const { return tid_; }
+  void set_name(std::string name);
+  std::string thread_name() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t head_ = 0;  ///< total events ever written
+  std::uint32_t tid_;
+  std::string thread_name_;  ///< guarded by mutex_
+};
+
+/// Process-wide tracer facade (all static — there is one trace per
+/// process, like the metrics registry).
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 16384;
+
+  /// Runtime kill switch; OFF by default.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Ring capacity for buffers registered AFTER this call (existing
+  /// buffers keep theirs).  Call before tracing begins.
+  static void set_ring_capacity(std::size_t events);
+
+  /// Names the calling thread in the trace ("main", "worker-3"); takes
+  /// effect for this thread's buffer, creating it if needed.
+  static void set_thread_name(const std::string& name);
+
+  /// Records a completed span / an instant on the calling thread's
+  /// buffer.  `ts_ns` is steady-clock (steady_now_ns()); callers
+  /// should gate on enabled() first — record_* does not re-check.
+  static void record_complete(const char* category, const char* name,
+                              std::uint64_t start_ns, std::uint64_t dur_ns,
+                              const char* detail = "");
+  static void record_instant(const char* category, const char* name,
+                             const char* detail = "");
+
+  /// All buffered events as one Chrome trace-event JSON document (see
+  /// file comment).  Non-destructive; concurrent recording continues.
+  static json::Value drain();
+
+  /// Drops every buffered event (buffers and thread names survive).
+  static void clear();
+
+  /// Events overwritten by ring wrap-around, across all buffers.
+  static std::uint64_t dropped_events();
+  /// Events currently buffered, across all buffers.
+  static std::uint64_t buffered_events();
+
+ private:
+  static ThreadBuffer& local_buffer();
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII span: captures the start time at construction (when tracing is
+/// enabled) and records one 'X' event at destruction.  `category` and
+/// `name` must be string literals.  Detail is captured at construction
+/// — pass a printf-style formatted string via the set_detail helper or
+/// the PARMIS_TRACE_SPAN_D macro.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, const char* name)
+      : category_(category), name_(name), armed_(Tracer::enabled()) {
+    if (armed_) start_ns_ = now();
+  }
+  ~ScopedSpan() {
+    if (armed_) {
+      Tracer::record_complete(category_, name_, start_ns_, now() - start_ns_,
+                              detail_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool armed() const { return armed_; }
+  /// printf-formats into the span's fixed detail buffer (truncating);
+  /// no-op when the span is disarmed.
+  void set_detail(const char* fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+
+ private:
+  static std::uint64_t now();
+
+  const char* category_;
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  bool armed_;
+  char detail_[TraceEvent::kDetailCapacity] = {};
+};
+
+}  // namespace parmis::obs
+
+#endif  // PARMIS_OBS_TRACE_HPP

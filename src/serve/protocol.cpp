@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace parmis::serve {
 
@@ -102,6 +104,7 @@ json::Value ServeSession::decision_body(const Decision& decision) {
   }
   digest_ = fnv1a64(json::dump_compact(body), digest_);
   ++decisions_;
+  PARMIS_COUNTER_ADD("parmis_serve_decisions_total", 1);
   return body;
 }
 
@@ -117,12 +120,14 @@ json::Value ServeSession::dispatch(const json::Value& doc, std::string* op,
 
   json::Value body = json::Value::object();
   if (*op == "decide") {
+    PARMIS_COUNTER_ADD("parmis_serve_op_decide_total", 1);
     DecideRequest request = parse_decide_body(reader);
     reader.finish();
     auto [decision, snapshot] = server_.decide(request);
     body = decision_body(decision);
     body.set("generation", serde::u64_to_json(snapshot->generation));
   } else if (*op == "batch") {
+    PARMIS_COUNTER_ADD("parmis_serve_op_batch_total", 1);
     const json::Value& list = reader.require_key("requests");
     require(list.is_array(), "request: \"requests\" must be an array");
     reader.finish();
@@ -149,6 +154,7 @@ json::Value ServeSession::dispatch(const json::Value& doc, std::string* op,
     body.set("results", std::move(results));
     body.set("generation", serde::u64_to_json(snapshot->generation));
   } else if (*op == "modes") {
+    PARMIS_COUNTER_ADD("parmis_serve_op_modes_total", 1);
     reader.finish();
     json::Value modes = json::Value::array();
     for (const OperatingMode& mode : store_->modes().modes()) {
@@ -156,6 +162,7 @@ json::Value ServeSession::dispatch(const json::Value& doc, std::string* op,
     }
     body.set("modes", std::move(modes));
   } else if (*op == "scenarios") {
+    PARMIS_COUNTER_ADD("parmis_serve_op_scenarios_total", 1);
     reader.finish();
     std::shared_ptr<const Snapshot> snapshot = store_->require_snapshot();
     json::Value scenarios = json::Value::array();
@@ -187,6 +194,7 @@ json::Value ServeSession::dispatch(const json::Value& doc, std::string* op,
     body.set("scenarios", std::move(scenarios));
     body.set("generation", serde::u64_to_json(snapshot->generation));
   } else if (*op == "reload") {
+    PARMIS_COUNTER_ADD("parmis_serve_op_reload_total", 1);
     reader.finish();
     require(!report_paths_.empty(),
             "serve: reload unavailable (no report files backing this "
@@ -196,27 +204,54 @@ json::Value ServeSession::dispatch(const json::Value& doc, std::string* op,
     body.set("entries", serde::u64_to_json(snapshot->entries.size()));
     body.set("generation", serde::u64_to_json(snapshot->generation));
   } else if (*op == "ping") {
+    PARMIS_COUNTER_ADD("parmis_serve_op_ping_total", 1);
     reader.finish();
     body.set("protocol", json::Value::string(kServeProtocol));
     body.set("generation", serde::u64_to_json(store_->generation()));
+    body.set("uptime_s", json::Value::number(uptime_.seconds()));
+    body.set("reports", serde::u64_to_json(report_paths_.size()));
+    body.set("decisions", serde::u64_to_json(decisions_));
+  } else if (*op == "metrics") {
+    PARMIS_COUNTER_ADD("parmis_serve_op_metrics_total", 1);
+    const std::string format = reader.get_string("format", "json");
+    reader.finish();
+    if (format == "prometheus") {
+      body.set("format", json::Value::string("prometheus"));
+      body.set("text",
+               json::Value::string(obs::Registry::instance().to_prometheus()));
+    } else {
+      require(format == "json",
+              "request: metrics \"format\" must be \"json\" or "
+              "\"prometheus\"");
+      // The whole parmis-metrics-v1 document rides inside the response
+      // envelope, so one line of NDJSON carries the same bytes
+      // --metrics-out writes.
+      body.set("metrics", obs::Registry::instance().to_json());
+    }
   } else if (*op == "digest") {
+    PARMIS_COUNTER_ADD("parmis_serve_op_digest_total", 1);
     reader.finish();
     body.set("decisions", serde::u64_to_json(decisions_));
     body.set("digest", json::Value::string(hex64(digest_)));
   } else if (*op == "quit") {
+    PARMIS_COUNTER_ADD("parmis_serve_op_quit_total", 1);
     reader.finish();
     *quit = true;
   } else {
     require(false,
             "request: unknown op \"" + *op +
-                "\" (known: batch, decide, digest, modes, ping, quit, "
-                "reload, scenarios)");
+                "\" (known: batch, decide, digest, metrics, modes, ping, "
+                "quit, reload, scenarios)");
   }
   return body;
 }
 
 ServeSession::Outcome ServeSession::handle_line(const std::string& line) {
   if (blank(line)) return {};
+  // Whole-request latency (parse + dispatch + serialize); µs-scale per
+  // line, so an unconditional clock pair is noise here — unlike the raw
+  // decide path, which samples (see server.cpp).
+  PARMIS_SCOPED_LATENCY("parmis_serve_request_ns");
 
   std::string op;
   json::Value id;

@@ -11,7 +11,12 @@
 //   {"op":"modes"}                     the mode registry
 //   {"op":"scenarios"}                 what the snapshot can serve
 //   {"op":"reload"}                    re-read the report files, swap
-//   {"op":"ping"}                      liveness + current generation
+//   {"op":"ping"}                      liveness: protocol, generation,
+//                                      uptime_s, reports, decisions
+//   {"op":"metrics"}                   process metrics registry
+//                                      (parmis-metrics-v1 document, or
+//                                      Prometheus text with
+//                                      "format":"prometheus")
 //   {"op":"digest"}                    running decision digest
 //   {"op":"quit"}                      end the session
 //
@@ -35,6 +40,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/stopwatch.hpp"
 #include "serde/json_util.hpp"
 #include "serve/server.hpp"
 #include "serve/store.hpp"
@@ -79,6 +85,7 @@ class ServeSession {
   std::vector<std::string> report_paths_;
   std::uint64_t digest_;
   std::uint64_t decisions_ = 0;
+  Stopwatch uptime_;  ///< monotonic session age, reported by "ping"
 };
 
 /// Parses the body of a decide request (shared by "decide" and each

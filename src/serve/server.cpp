@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace parmis::serve {
 
@@ -46,6 +47,10 @@ const char* auto_mode(const Workload& workload) {
 
 Decision PolicyServer::decide_on(const Snapshot& snapshot,
                                  const DecideRequest& request) const {
+  // Sampled (1/256 per thread): an unconditional clock pair would cost
+  // a measurable fraction of the ~tens-of-ns decide path and break the
+  // <2% overhead budget bench/serve_suite enforces.
+  PARMIS_SCOPED_LATENCY_SAMPLED("parmis_serve_decide_ns", 256);
   validate_counter(request.workload.thermal_headroom_c,
                    "thermal_headroom_c");
   validate_counter(request.workload.battery_pct, "battery_pct");

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "report/report_json.hpp"
 
 namespace parmis::serve {
@@ -34,7 +35,9 @@ void PolicyStore::install(std::shared_ptr<Snapshot> snapshot) {
   // fetch_add orders concurrent installers: each gets a distinct
   // generation, and the slot always holds some fully built snapshot.
   snapshot->generation = installs_.fetch_add(1) + 1;
+  PARMIS_GAUGE_SET("parmis_serve_snapshot_generation", snapshot->generation);
   current_.store(std::shared_ptr<const Snapshot>(std::move(snapshot)));
+  PARMIS_COUNTER_ADD("parmis_serve_hot_swaps_total", 1);
 }
 
 std::shared_ptr<const Snapshot> PolicyStore::acquire() const {

@@ -490,6 +490,9 @@ TEST(Protocol, DecideModesScenariosPingAndIdEcho) {
   const json::Value ping = json::parse(one_line(session, "{\"op\":\"ping\"}"));
   EXPECT_TRUE(ping.at("ok").as_bool());
   EXPECT_EQ(ping.at("protocol").as_string(), kServeProtocol);
+  EXPECT_GE(ping.at("uptime_s").as_number(), 0.0);
+  EXPECT_EQ(ping.at("reports").as_number(), 0.0);  // no backing files here
+  EXPECT_EQ(ping.at("decisions").as_number(), 0.0);
 
   const json::Value decide = json::parse(one_line(
       session,
@@ -515,6 +518,62 @@ TEST(Protocol, DecideModesScenariosPingAndIdEcho) {
                 .at("default_method")
                 .as_string(),
             "parmis");
+}
+
+TEST(Protocol, PingCountsDecisionsAndBackingReports) {
+  const std::string path = temp_path("ping_reports");
+  {
+    std::ofstream os(path);
+    report::write_report(os, make_report());
+  }
+  PolicyStore store;
+  store.load_and_install({path});
+  ServeSession session(store, {path});
+  one_line(session, "{\"op\":\"decide\",\"scenario\":\"alpha\"}");
+  const json::Value ping = json::parse(one_line(session, "{\"op\":\"ping\"}"));
+  EXPECT_EQ(ping.at("reports").as_number(), 1.0);
+  EXPECT_EQ(ping.at("decisions").as_number(), 1.0);
+  EXPECT_EQ(ping.at("generation").as_number(), 1.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Protocol, MetricsVerbReturnsRegistryInBothFormats) {
+  PolicyStore store;
+  install(store);
+  ServeSession session(store, {});
+
+  // JSON (default): the whole parmis-metrics-v1 document rides in the
+  // envelope.  Present in OBS-on and OBS-off builds alike — only the
+  // set of registered metrics differs.
+  const json::Value doc =
+      json::parse(one_line(session, "{\"op\":\"metrics\"}"));
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("metrics").at("schema").as_string(), "parmis-metrics-v1");
+  EXPECT_TRUE(doc.at("metrics").at("metrics").is_object());
+
+  const json::Value prom = json::parse(one_line(
+      session, "{\"op\":\"metrics\",\"format\":\"prometheus\"}"));
+  EXPECT_TRUE(prom.at("ok").as_bool());
+  EXPECT_EQ(prom.at("format").as_string(), "prometheus");
+  EXPECT_TRUE(prom.at("text").is_string());
+
+  const json::Value bad = json::parse(one_line(
+      session, "{\"op\":\"metrics\",\"format\":\"xml\"}"));
+  EXPECT_FALSE(bad.at("ok").as_bool());
+
+#ifdef PARMIS_OBS_ENABLED
+  // The decide above must be visible through the verb: sessions count
+  // decisions into parmis_serve_decisions_total.
+  one_line(session, "{\"op\":\"decide\",\"scenario\":\"alpha\"}");
+  const json::Value after =
+      json::parse(one_line(session, "{\"op\":\"metrics\"}"));
+  const json::Value& metrics = after.at("metrics").at("metrics");
+  EXPECT_GE(metrics.at("parmis_serve_decisions_total").at("value").as_number(),
+            1.0);
+  EXPECT_GE(metrics.at("parmis_serve_op_metrics_total").at("value")
+                .as_number(),
+            2.0);
+#endif
 }
 
 TEST(Protocol, BatchSharesOneGenerationAndIsolatesItemErrors) {
