@@ -1,0 +1,93 @@
+// Orchestration scheduling-overhead bench: cells/sec of the
+// work-stealing job scheduler (src/orchestrate) at 1/4/8 workers
+// against the raw exec::CampaignRunner on the same campaign.
+//
+// The backend is in-process (CampaignRunner per chunk, no fork/exec),
+// so the delta against the raw runner is pure orchestration cost:
+// lease-table traffic, per-chunk report construction, and the
+// streaming provisional merges.  The digest is asserted equal to the
+// raw run at every worker count while we are at it — the headline
+// determinism guarantee, measured and checked in the same breath.
+//
+// Flags: --seeds=N (default 8)   seeds per cell (scales the campaign)
+//        --chunks=M (default 16) tiling size (clamped to the campaign)
+//        --full                  paper-scale seeds (32)
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/hash.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "exec/campaign.hpp"
+#include "orchestrate/backend.hpp"
+#include "orchestrate/scheduler.hpp"
+#include "scenario/scenario.hpp"
+
+using namespace parmis;
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  const bool full = full_scale_requested(args);
+  const std::size_t seeds = static_cast<std::size_t>(
+      args.get_int("seeds", full ? 32 : 8));
+
+  exec::CampaignConfig config;
+  config.scenarios = {scenario::make_scenario("xu3-synthetic-te")};
+  config.scenarios[0].methods = {"performance", "powersave", "ondemand"};
+  config.seeds_per_cell = seeds;
+
+  const Stopwatch raw_wall;
+  const exec::CampaignReport raw = exec::CampaignRunner(config).run();
+  const double raw_s = raw_wall.seconds();
+  const std::size_t cells = raw.cells.size();
+  const std::uint64_t digest = raw.objectives_digest();
+  std::size_t chunks = static_cast<std::size_t>(args.get_int("chunks", 16));
+  if (chunks > cells) chunks = cells;
+
+  std::cout << "orchestrate suite: " << cells << " cells, " << chunks
+            << " chunks, digest " << hex64(digest) << "\n";
+  Table table({"backend", "workers", "cells/s", "vs raw", "leases",
+               "steals", "merges"});
+  table.begin_row()
+      .add("raw runner")
+      .add("1")
+      .add(format_double(double(cells) / raw_s, 1))
+      .add("1.00x")
+      .add("-")
+      .add("-")
+      .add("-");
+
+  bool ok = true;
+  for (const std::size_t workers : {1u, 4u, 8u}) {
+    orchestrate::InprocessBackend backend(config);
+    orchestrate::JobConfig jc;
+    jc.workers = workers;
+    jc.chunks = chunks;
+    orchestrate::JobRunner runner(backend, jc);
+    const Stopwatch wall;
+    const exec::CampaignReport merged = runner.run();
+    const double seconds = wall.seconds();
+    const orchestrate::JobProgress progress = runner.progress();
+    if (merged.objectives_digest() != digest) {
+      std::cerr << "DIGEST MISMATCH at " << workers
+                << " workers: " << hex64(merged.objectives_digest())
+                << " != " << hex64(digest) << "\n";
+      ok = false;
+    }
+    table.begin_row()
+        .add("orchestrate")
+        .add(std::to_string(workers))
+        .add(format_double(double(cells) / seconds, 1))
+        .add(format_double(raw_s / seconds, 2) + "x")
+        .add(std::to_string(progress.stats.leases_issued))
+        .add(std::to_string(progress.stats.steals))
+        .add(std::to_string(progress.provisional_merges));
+  }
+  table.print(std::cout);
+  if (!ok) return 1;
+  std::cout << "all worker counts reproduced the raw digest\n";
+  return 0;
+}

@@ -21,15 +21,11 @@
 // to stderr; CI replays the same requests against a sharded-then-
 // merged report and its unsharded twin and requires equal digests —
 // the serving layer's end-to-end bit-for-bit check.
-#include <cerrno>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "common/cli.hpp"
@@ -40,6 +36,7 @@
 #include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "serve/socket.hpp"
 #include "serve/store.hpp"
 
 namespace {
@@ -90,139 +87,38 @@ void print_modes(const parmis::serve::ModeRegistry& registry) {
 /// Runs the session over istream/ostream (stdio and --replay).
 void run_stream(parmis::serve::ServeSession& session, std::istream& in,
                 std::ostream& out) {
-  std::string line;
-  while (std::getline(in, line)) {
-    const auto outcome = session.handle_line(line);
-    if (!outcome.response.empty()) out << outcome.response << "\n";
-    out.flush();
-    if (outcome.quit) break;
-  }
+  parmis::serve::run_stream_lines(
+      in, out,
+      [&session](const std::string& line) {
+        return session.handle_line(line);
+      });
 }
 
 // ------------------------------------------------------------- sockets
-// Minimal AF_UNIX stream framing: the protocol is line-based, so the
-// socket paths reuse ServeSession verbatim; only the byte shuffling
-// differs.  Clients are served sequentially — the store supports
-// concurrent readers (see PolicyStore), but one CLI process serving
-// one client at a time is the intended local-IPC shape.
-
-int checked(int rc, const char* what) {
-  if (rc < 0) {
-    require(false, std::string("policy-serve: ") + what + ": " +
-                       std::strerror(errno));
-  }
-  return rc;
-}
-
-struct SocketAddr {
-  sockaddr_un addr{};
-
-  explicit SocketAddr(const std::string& path) {
-    require(path.size() < sizeof(addr.sun_path),
-            "policy-serve: socket path too long: " + path);
-    addr.sun_family = AF_UNIX;
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  }
-};
-
-bool write_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Buffered line reader over a socket fd.
-class FdLines {
- public:
-  explicit FdLines(int fd) : fd_(fd) {}
-
-  /// False on EOF/error; strips the trailing newline.
-  bool next(std::string* line) {
-    line->clear();
-    for (;;) {
-      const std::size_t nl = buffer_.find('\n');
-      if (nl != std::string::npos) {
-        *line = buffer_.substr(0, nl);
-        buffer_.erase(0, nl + 1);
-        return true;
-      }
-      char chunk[4096];
-      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-      if (n <= 0) {
-        if (buffer_.empty()) return false;
-        line->swap(buffer_);
-        return true;
-      }
-      buffer_.append(chunk, static_cast<std::size_t>(n));
-    }
-  }
-
- private:
-  int fd_;
-  std::string buffer_;
-};
+// The protocol is line-based, so the socket paths reuse ServeSession
+// verbatim over the shared AF_UNIX transport (serve/socket.hpp, also
+// the daemon's transport).  Clients are served sequentially — the
+// store supports concurrent readers (see PolicyStore), but one CLI
+// process serving one client at a time is the intended local-IPC
+// shape.
 
 int run_socket_server(parmis::serve::ServeSession& session,
                       const std::string& path) {
-  const SocketAddr addr(path);
-  const int listener =
-      checked(::socket(AF_UNIX, SOCK_STREAM, 0), "socket");
-  ::unlink(path.c_str());  // stale socket from a previous run
-  checked(::bind(listener,
-                 reinterpret_cast<const sockaddr*>(&addr.addr),
-                 sizeof(addr.addr)),
-          "bind");
-  checked(::listen(listener, 4), "listen");
+  const int listener = parmis::serve::listen_unix(path, "policy-serve");
   std::cerr << "policy-serve: listening on " << path << "\n";
-
-  bool quit = false;
-  while (!quit) {
-    const int client = ::accept(listener, nullptr, nullptr);
-    if (client < 0) break;
-    FdLines lines(client);
-    std::string line;
-    while (lines.next(&line)) {
-      const auto outcome = session.handle_line(line);
-      if (!outcome.response.empty() &&
-          !write_all(client, outcome.response + "\n")) {
-        break;
-      }
-      if (outcome.quit) {
-        // quit shuts the whole server down, not just this client —
-        // the one-shot lifecycle CI's smoke test relies on.
-        quit = true;
-        break;
-      }
-    }
-    ::close(client);
-  }
+  parmis::serve::serve_lines(
+      listener,
+      [&session](const std::string& line) {
+        return session.handle_line(line);
+      });
   ::close(listener);
   ::unlink(path.c_str());
   return 0;
 }
 
 int run_socket_client(const std::string& path) {
-  const SocketAddr addr(path);
-  const int fd = checked(::socket(AF_UNIX, SOCK_STREAM, 0), "socket");
-  checked(::connect(fd, reinterpret_cast<const sockaddr*>(&addr.addr),
-                    sizeof(addr.addr)),
-          "connect");
-  FdLines lines(fd);
-  std::string line;
-  std::string response;
-  while (std::getline(std::cin, line)) {
-    // Blank lines get no response; skip them to keep request/response
-    // strictly 1:1 (the session skips them server-side too).
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    if (!write_all(fd, line + "\n")) break;
-    if (!lines.next(&response)) break;
-    std::cout << response << "\n";
-    std::cout.flush();
-  }
+  const int fd = parmis::serve::connect_unix(path, "policy-serve");
+  parmis::serve::bridge_stdio(fd);
   ::close(fd);
   return 0;
 }

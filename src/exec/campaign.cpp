@@ -110,8 +110,7 @@ std::uint64_t campaign_identity(const CampaignConfig& config) {
   return fnv1a64(bytes);
 }
 
-std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
-                                                const ShardSpec& shard) {
+CellRange shard_range(std::size_t total, const ShardSpec& shard) {
   require(shard.count >= 1, "campaign: shard count must be >= 1");
   require(shard.index < shard.count,
           "campaign: shard index " + std::to_string(shard.index) +

@@ -80,11 +80,25 @@ struct ShardSpec {
   std::size_t count = 1;  ///< total shards; 1 = unsharded
 };
 
+/// Half-open contiguous range [begin, end) over a campaign's ordered
+/// cell list — the currency of work distribution.  A ShardSpec names a
+/// static range (shard_range below); the orchestration layer
+/// (src/orchestrate/) hands the same ranges out dynamically as leases.
+/// Members are ordered begin-then-end so `auto [begin, end] = ...`
+/// structured bindings read naturally.
+struct CellRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  bool operator==(const CellRange&) const = default;
+};
+
 /// Half-open [begin, end) of shard `shard` over `total` ordered cells.
 /// Balanced to within one cell; the union over all indices is exactly
 /// [0, total).
-std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
-                                                const ShardSpec& shard);
+CellRange shard_range(std::size_t total, const ShardSpec& shard);
 
 /// Campaign-wide options.
 struct CampaignConfig {
@@ -135,11 +149,20 @@ struct CampaignReport {
   /// reports.  Shards of one campaign share it (merge validates that).
   std::uint64_t campaign_hash = 0;
   /// True for a report produced by a non-strict merge of an incomplete
-  /// shard set: its digest and PHV are provisional, and it can be
-  /// inspected but never merged again (report::merge refuses).  The
-  /// flag round-trips through the report serde, so a saved partial
-  /// report can never be mistaken for a final one.
+  /// shard set: its digest and PHV are provisional.  The flag
+  /// round-trips through the report serde, so a saved partial report
+  /// can never be mistaken for a final one.
   bool partial = false;
+  /// Source tiling of a partial merge result: the shard count of the
+  /// inputs that produced it and the sorted shard indices present.
+  /// This is what lets report::merge() accept a provisional report as
+  /// further merge input (incremental re-merge): the concatenated
+  /// cells can be sliced back into their constituent shard pieces via
+  /// shard_range.  Zero/empty on normal shard reports and final
+  /// merges; a partial without them (written before parmis-report-v3)
+  /// is terminal — merge() refuses it with a clear error.
+  std::size_t source_shard_count = 0;
+  std::vector<std::size_t> source_shards;
 
   /// Order-sensitive hash over every cell's objective bit patterns;
   /// equal digests mean bitwise-identical campaign results.  Timing
@@ -154,17 +177,16 @@ struct CampaignReport {
   void write_csv(std::ostream& os) const;
   void save_csv(const std::string& path) const;
 
-  /// Full report as a `parmis-report-v2` document (src/report/): every
+  /// Full report as a `parmis-report-v3` document (src/report/): every
   /// cell including its front and pareto_thetas, exact round-trip
   /// doubles, shard block, cache counters, and the objectives digest.
   /// load_json() reads the same format back bit for bit.
   void write_json(std::ostream& os) const;
   void save_json(const std::string& path) const;
 
-  /// Load hook for the report subsystem: strict `parmis-report-v2`
-  /// decode (v1 files still load, with empty pareto_thetas; delegates
-  /// to report::load_report), verifying the stored digest against the
-  /// reloaded cells.
+  /// Load hook for the report subsystem: strict `parmis-report-v3`
+  /// decode (v1/v2 files still load; delegates to report::load_report),
+  /// verifying the stored digest against the reloaded cells.
   static CampaignReport load_json(const std::string& path);
 };
 

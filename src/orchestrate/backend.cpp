@@ -1,0 +1,145 @@
+#include "orchestrate/backend.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+#include "orchestrate/subprocess.hpp"
+#include "report/report_json.hpp"
+
+namespace parmis::orchestrate {
+
+ProcessBackend::ProcessBackend(Config config) : cfg_(std::move(config)) {
+  require(!cfg_.campaign_bin.empty(), "orchestrate: no campaign binary");
+  require(!cfg_.plan_path.empty(), "orchestrate: no plan path");
+  require(!cfg_.work_dir.empty(), "orchestrate: no work dir");
+}
+
+int ProcessBackend::run_child(std::size_t index, std::size_t count,
+                              std::size_t attempt, bool require_cached,
+                              const std::string& report_path,
+                              const std::atomic<bool>& abort) const {
+  SpawnSpec spec;
+  spec.argv = {cfg_.campaign_bin,
+               "--plan=" + cfg_.plan_path,
+               "--shard-index=" + std::to_string(index),
+               "--shard-count=" + std::to_string(count),
+               "--threads=" + std::to_string(cfg_.threads),
+               "--json=" + report_path};
+  if (!cfg_.cache_dir.empty()) {
+    spec.argv.push_back("--cache-dir=" + cfg_.cache_dir);
+  }
+  if (require_cached) spec.argv.push_back("--require-cached=1");
+  // One log per attempt (stdout and stderr interleaved), kept for
+  // post-mortems — a retried chunk's failure output is evidence.
+  const std::string log = cfg_.work_dir + "/chunk_" +
+                          std::to_string(index) + "_attempt_" +
+                          std::to_string(attempt) +
+                          (require_cached ? "_probe" : "") + ".log";
+  spec.stdout_path = log;
+  spec.stderr_path = log;
+
+  ChildProcess child;
+  child.spawn(spec);
+  if (!require_cached && attempt == 0 &&
+      cfg_.inject_kill_chunk == index) {
+    // Simulated worker crash: SIGKILL the child right after spawn, so
+    // the first attempt reliably dies even when the chunk would finish
+    // in milliseconds.  Only attempt 0 is killed — the retry path
+    // (cache probe + rerun) is what recovers the chunk.
+    child.kill_now();
+  }
+  return child.wait(cfg_.chunk_timeout_ms, &abort);
+}
+
+ChunkOutcome ProcessBackend::run_chunk(std::size_t index,
+                                       std::size_t count,
+                                       std::size_t attempt,
+                                       const std::atomic<bool>& abort) {
+  ChunkOutcome outcome;
+  const std::string report_path =
+      cfg_.work_dir + "/chunk_" + std::to_string(index) + ".json";
+  const auto finish = [&](bool recovered) {
+    try {
+      outcome.report = report::load_report(report_path);
+      outcome.ok = true;
+      outcome.recovered_from_cache = recovered;
+    } catch (const std::exception& e) {
+      outcome.ok = false;
+      outcome.error = e.what();
+    }
+  };
+
+  if (attempt > 0 && !cfg_.cache_dir.empty()) {
+    // Failed-worker detection: replay the chunk purely from the shared
+    // cache.  Success means the dead worker (or a concurrent
+    // duplicate) already computed every cell — the probe regenerated
+    // the digest-verified report without re-running anything.
+    if (run_child(index, count, attempt, /*require_cached=*/true,
+                  report_path, abort) == 0) {
+      finish(/*recovered=*/true);
+      if (outcome.ok) {
+        PARMIS_COUNTER_ADD("parmis_orch_chunks_recovered_total", 1);
+        return outcome;
+      }
+    }
+    if (abort.load()) {
+      outcome.ok = false;
+      outcome.error = "aborted";
+      return outcome;
+    }
+  }
+
+  const int status = run_child(index, count, attempt,
+                               /*require_cached=*/false, report_path,
+                               abort);
+  if (status != 0) {
+    outcome.ok = false;
+    outcome.error =
+        status >= 128
+            ? "campaign worker killed by signal " +
+                  std::to_string(status - 128)
+            : "campaign worker exited with status " +
+                  std::to_string(status);
+    return outcome;
+  }
+  finish(/*recovered=*/false);
+  return outcome;
+}
+
+InprocessBackend::InprocessBackend(exec::CampaignConfig base)
+    : base_(std::move(base)) {}
+
+ChunkOutcome InprocessBackend::run_chunk(std::size_t index,
+                                         std::size_t count,
+                                         std::size_t /*attempt*/,
+                                         const std::atomic<bool>& abort) {
+  ChunkOutcome outcome;
+  if (abort.load()) {
+    outcome.error = "aborted";
+    return outcome;
+  }
+  try {
+    exec::CampaignConfig config = base_;
+    config.shard = exec::ShardSpec{index, count};
+    outcome.report = exec::CampaignRunner(config).run();
+    // Mirror the campaign CLI's exit contract: a failed cell fails the
+    // chunk, so the retry budget (not a silent hole in the report)
+    // decides what a persistent cell error means for the job.
+    for (const auto& cell : outcome.report.cells) {
+      if (!cell.error.empty()) {
+        outcome.error = "cell " + cell.scenario + "/" + cell.method +
+                        " failed: " + cell.error;
+        return outcome;
+      }
+    }
+    outcome.ok = true;
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+  }
+  return outcome;
+}
+
+}  // namespace parmis::orchestrate

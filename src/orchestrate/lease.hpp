@@ -1,0 +1,147 @@
+// Dynamic cell-lease table: the scheduling core of src/orchestrate/.
+//
+// PR 5's exec::ShardSpec names a *static* contiguous slice of the
+// campaign's ordered cell list, fixed at launch.  The lease table
+// generalizes that to *dynamic* assignment of the same ranges: the
+// campaign is pre-split into `chunks` micro-shards (chunk k is shard
+// {k, chunks}, i.e. exec::shard_range's slice — an exec::CellRange),
+// and workers are handed contiguous chunk ranges ("leases") on demand:
+//
+//   - a fresh lease carves up to `lease_chunks` consecutive chunks off
+//     the unassigned pool; the owner consumes them front to back, one
+//     grant per next() call;
+//   - an idle worker with nothing fresh to take *steals* the unstarted
+//     tail half of the largest outstanding lease — classic work
+//     stealing, so one slow worker cannot strand a range it has not
+//     started;
+//   - a failed grant is requeued with its attempt count bumped, up to
+//     `max_attempts` total tries per chunk; a chunk that exhausts the
+//     budget marks the whole table failed (first error retained);
+//   - with `lease_timeout_ms` set, a lease whose owner stops making
+//     progress expires: its in-flight chunk is requeued as a retry and
+//     its unstarted chunks return to the pool untouched.
+//
+// Correctness never depends on the assignment: every chunk is an
+// existing `--shard-index/--shard-count` invocation, cells are pure
+// functions of the plan, and cache writes are atomic, so duplicated
+// execution (a zombie worker finishing a chunk that was re-issued) is
+// benign — both runs produce identical bytes, and completion is
+// idempotent here.  The strict merge of all chunk reports therefore
+// equals the unsharded run bit for bit *whatever* this table decided.
+//
+// Thread-safe; next() blocks until work is available, the table drains
+// (all chunks done or exhausted), or cancel() is called.
+#ifndef PARMIS_ORCHESTRATE_LEASE_HPP
+#define PARMIS_ORCHESTRATE_LEASE_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parmis::orchestrate {
+
+/// One granted unit of work: chunk `chunk` of the job's tiling, held
+/// under lease `lease`, on its `attempt`-th try (0-based).  The worker
+/// must answer every grant with exactly one complete() or fail().
+struct Grant {
+  std::uint64_t lease = 0;
+  std::size_t chunk = 0;
+  std::size_t attempt = 0;
+};
+
+/// Progress counters, readable at any time (status verbs, tests).
+struct LeaseTableStats {
+  std::size_t chunks_total = 0;
+  std::size_t chunks_done = 0;
+  std::size_t chunks_running = 0;   ///< granted, not yet answered
+  std::size_t chunks_queued = 0;    ///< everything else still to do
+  std::size_t chunks_exhausted = 0; ///< retry budget spent
+  std::uint64_t leases_issued = 0;
+  std::uint64_t steals = 0;         ///< leases carved from another's tail
+  std::uint64_t retries = 0;        ///< failed/expired grants requeued
+  std::uint64_t expiries = 0;       ///< leases revoked by deadline
+};
+
+class LeaseTable {
+ public:
+  struct Config {
+    std::size_t chunks = 1;        ///< total chunks (>= 1)
+    std::size_t lease_chunks = 1;  ///< max chunks per fresh lease (>= 1)
+    std::size_t max_attempts = 3;  ///< total tries per chunk (>= 1)
+    std::uint64_t lease_timeout_ms = 0;  ///< 0 = leases never expire
+  };
+
+  explicit LeaseTable(Config config);
+
+  /// Blocks until a chunk can be granted to `worker` (one logical
+  /// worker per unique name).  Prefers the worker's own outstanding
+  /// lease, then the retry queue, then a fresh lease, then stealing.
+  /// nullopt = the table is drained or cancelled; the worker exits.
+  std::optional<Grant> next(const std::string& worker);
+
+  /// Marks the grant's chunk done.  Idempotent across duplicate
+  /// completions (a zombie lease finishing work that was re-issued is
+  /// dropped silently — chunk outputs are deterministic, so whichever
+  /// run landed first wrote the same bytes).
+  void complete(const Grant& grant);
+
+  /// Marks the grant failed: the chunk is requeued with attempt + 1,
+  /// or exhausted once `max_attempts` tries are spent.
+  void fail(const Grant& grant, const std::string& error);
+
+  /// Unblocks every next() caller with nullopt; in-flight grants may
+  /// still be answered (answers are ignored where moot).
+  void cancel();
+
+  LeaseTableStats stats() const;
+  bool cancelled() const;
+  /// True once any chunk spent its retry budget; the table still
+  /// drains (other chunks finish) so partial results stay coherent.
+  bool failed() const;
+  /// The first exhausted chunk's last error ("" while !failed()).
+  std::string first_error() const;
+
+ private:
+  enum class ChunkState : std::uint8_t { Queued, Running, Done, Exhausted };
+
+  struct ActiveLease {
+    std::uint64_t id = 0;
+    std::string worker;
+    std::size_t next = 0;  ///< next ungranted chunk of the lease
+    std::size_t end = 0;   ///< one past the last owned chunk
+    std::optional<std::size_t> inflight;  ///< granted, unanswered
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  Grant grant_locked(ActiveLease& lease);
+  ActiveLease* lease_of_locked(const std::string& worker);
+  ActiveLease* lease_by_id_locked(std::uint64_t id);
+  void retire_if_spent_locked(std::uint64_t id);
+  void requeue_locked(std::size_t chunk, const std::string& error);
+  void expire_locked(std::chrono::steady_clock::time_point now);
+  bool drained_locked() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Config cfg_;
+  std::vector<ChunkState> state_;
+  std::vector<std::size_t> attempts_;
+  std::size_t fresh_next_ = 0;      ///< [fresh_next_, chunks) never leased
+  std::deque<std::size_t> retry_;   ///< requeued chunks, FIFO
+  std::vector<ActiveLease> active_;
+  std::uint64_t next_lease_id_ = 1;
+  std::size_t done_ = 0;
+  std::size_t exhausted_ = 0;
+  bool cancelled_ = false;
+  std::string first_error_;
+  LeaseTableStats stats_;
+};
+
+}  // namespace parmis::orchestrate
+
+#endif  // PARMIS_ORCHESTRATE_LEASE_HPP

@@ -1,0 +1,205 @@
+#include "orchestrate/scheduler.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "report/merge.hpp"
+#include "report/report_json.hpp"
+
+namespace parmis::orchestrate {
+
+namespace {
+
+LeaseTable::Config table_config(const JobConfig& cfg) {
+  LeaseTable::Config out;
+  out.chunks = cfg.chunks;
+  // Auto lease size: half of a worker's fair share, so the pool drains
+  // in a couple of lease rounds and late workers still find tails to
+  // steal — the classic chunked self-scheduling compromise.
+  out.lease_chunks =
+      cfg.lease_chunks > 0
+          ? cfg.lease_chunks
+          : std::max<std::size_t>(
+                1, cfg.chunks / (2 * std::max<std::size_t>(1, cfg.workers)));
+  out.max_attempts = cfg.max_attempts;
+  out.lease_timeout_ms = cfg.lease_timeout_ms;
+  return out;
+}
+
+}  // namespace
+
+const char* job_state_name(JobProgress::State state) {
+  switch (state) {
+    case JobProgress::State::Pending:
+      return "pending";
+    case JobProgress::State::Running:
+      return "running";
+    case JobProgress::State::Done:
+      return "done";
+    case JobProgress::State::Failed:
+      return "failed";
+    case JobProgress::State::Cancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+JobRunner::JobRunner(ChunkBackend& backend, JobConfig config)
+    : backend_(backend),
+      cfg_(std::move(config)),
+      table_(table_config(cfg_)) {
+  require(cfg_.workers >= 1, "orchestrate: workers must be >= 1");
+}
+
+void JobRunner::export_gauges_locked() const {
+#ifdef PARMIS_OBS_ENABLED
+  // Per-job gauges need runtime names (the job id is in the prefix),
+  // so this talks to the registry directly rather than through the
+  // literal-name macros.  Gated like the macros: an OBS=OFF build
+  // exports no orchestration metrics either.
+  if (cfg_.obs_prefix.empty()) return;
+  auto& registry = obs::Registry::instance();
+  const LeaseTableStats stats = table_.stats();
+  registry.gauge(cfg_.obs_prefix + "_chunks_total")
+      .set(static_cast<std::int64_t>(stats.chunks_total));
+  registry.gauge(cfg_.obs_prefix + "_chunks_done")
+      .set(static_cast<std::int64_t>(stats.chunks_done));
+  registry.gauge(cfg_.obs_prefix + "_retries")
+      .set(static_cast<std::int64_t>(stats.retries));
+  registry.gauge(cfg_.obs_prefix + "_steals")
+      .set(static_cast<std::int64_t>(stats.steals));
+  registry.gauge(cfg_.obs_prefix + "_provisional_merges")
+      .set(static_cast<std::int64_t>(provisional_merges_));
+#endif
+}
+
+void JobRunner::fold_in(std::size_t chunk, exec::CampaignReport&& report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A zombie lease can complete a chunk that a retry already merged;
+  // merging it twice would (correctly) trip the overlap check, so
+  // duplicates are dropped here — the bytes are identical anyway.
+  if (!merged_chunks_.insert(chunk).second) return;
+  report::MergeOptions lax;
+  lax.strict = false;
+  std::vector<exec::CampaignReport> inputs;
+  if (provisional_.has_value()) inputs.push_back(std::move(*provisional_));
+  inputs.push_back(std::move(report));
+  provisional_ = report::merge(std::move(inputs), lax);
+  ++provisional_merges_;
+  PARMIS_COUNTER_ADD("parmis_orch_provisional_merges_total", 1);
+  if (!cfg_.provisional_path.empty()) {
+    report::save_report(cfg_.provisional_path, *provisional_);
+  }
+}
+
+void JobRunner::worker_loop(std::size_t slot) {
+  const std::string name = "worker-" + std::to_string(slot);
+  while (auto grant = table_.next(name)) {
+    ChunkOutcome outcome =
+        backend_.run_chunk(grant->chunk, cfg_.chunks, grant->attempt,
+                           abort_);
+    if (outcome.ok) {
+      try {
+        fold_in(grant->chunk, std::move(outcome.report));
+      } catch (const std::exception& e) {
+        // A chunk report the merge rejects (wrong campaign hash after
+        // a plan edit race, bad tiling) is a failed attempt, not a
+        // scheduler crash.
+        table_.fail(*grant, std::string("merge rejected chunk: ") +
+                                e.what());
+        continue;
+      }
+      if (outcome.recovered_from_cache) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++chunks_recovered_;
+      }
+      table_.complete(*grant);
+      PARMIS_COUNTER_ADD("parmis_orch_chunks_completed_total", 1);
+    } else {
+      table_.fail(*grant, outcome.error);
+      PARMIS_COUNTER_ADD("parmis_orch_chunk_failures_total", 1);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      export_gauges_locked();
+    }
+  }
+}
+
+exec::CampaignReport JobRunner::run() {
+  const Stopwatch clock;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    require(state_ == JobProgress::State::Pending,
+            "orchestrate: job already ran");
+    state_ = JobProgress::State::Running;
+    export_gauges_locked();
+  }
+  PARMIS_GAUGE_SET("parmis_orch_workers_active",
+                   static_cast<std::int64_t>(cfg_.workers));
+  std::vector<std::thread> pool;
+  pool.reserve(cfg_.workers);
+  for (std::size_t slot = 0; slot < cfg_.workers; ++slot) {
+    pool.emplace_back(&JobRunner::worker_loop, this, slot);
+  }
+  for (auto& t : pool) t.join();
+  PARMIS_GAUGE_SET("parmis_orch_workers_active", 0);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  wall_s_ = clock.seconds();
+  if (table_.cancelled()) {
+    state_ = JobProgress::State::Cancelled;
+    error_ = "job cancelled";
+    export_gauges_locked();
+    require(false, "orchestrate: job cancelled");
+  }
+  if (table_.failed()) {
+    state_ = JobProgress::State::Failed;
+    error_ = table_.first_error();
+    export_gauges_locked();
+    require(false, "orchestrate: job failed: " + error_);
+  }
+  require(provisional_.has_value() && !provisional_->partial,
+          "orchestrate: internal error: job drained without a complete "
+          "merge");
+  state_ = JobProgress::State::Done;
+  export_gauges_locked();
+  return *provisional_;
+}
+
+void JobRunner::cancel() {
+  abort_.store(true);
+  table_.cancel();
+}
+
+JobProgress JobRunner::progress() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JobProgress out;
+  out.state = state_;
+  out.stats = table_.stats();
+  out.workers = cfg_.workers;
+  out.provisional_merges = provisional_merges_;
+  out.chunks_recovered = chunks_recovered_;
+  if (provisional_.has_value()) {
+    out.has_report = true;
+    out.report_digest = provisional_->objectives_digest();
+    out.report_cells = provisional_->cells.size();
+    out.report_partial = provisional_->partial;
+  }
+  out.wall_s = wall_s_;
+  out.error = !error_.empty() ? error_ : table_.first_error();
+  return out;
+}
+
+std::optional<exec::CampaignReport> JobRunner::provisional() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return provisional_;
+}
+
+}  // namespace parmis::orchestrate

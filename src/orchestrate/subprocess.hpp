@@ -1,0 +1,71 @@
+// Minimal fork/exec child-process supervision for the orchestrator.
+//
+// Each work unit is one invocation of the existing campaign CLI, so
+// the supervisor needs exactly: spawn with stdout/stderr redirected to
+// a log file, wait with a timeout and an abort flag (both resolve to
+// SIGKILL — campaign runs are idempotent against the shared cache, so
+// killing a worker mid-cell never corrupts anything), and a SIGKILL
+// escape hatch for fault injection.  Wait is a WNOHANG poll loop
+// rather than signal-driven reaping: the daemon runs one supervisor
+// thread per worker slot, and polling every 10 ms is invisible next to
+// multi-second campaign chunks.
+#ifndef PARMIS_ORCHESTRATE_SUBPROCESS_HPP
+#define PARMIS_ORCHESTRATE_SUBPROCESS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace parmis::orchestrate {
+
+/// One child invocation: argv[0] is the binary (resolved via PATH).
+/// Empty redirect paths mean /dev/null.
+struct SpawnSpec {
+  std::vector<std::string> argv;
+  std::string stdout_path;
+  std::string stderr_path;
+};
+
+class ChildProcess {
+ public:
+  ChildProcess() = default;
+  ~ChildProcess();  // SIGKILLs and reaps a still-running child
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+
+  /// Forks and execs.  Throws parmis::Error if the fork fails; an exec
+  /// failure surfaces as exit status 127 from wait().
+  void spawn(const SpawnSpec& spec);
+
+  pid_t pid() const { return pid_; }
+
+  /// Waits for exit (EINTR-safe WNOHANG poll, 10 ms period).  Returns
+  /// the exit code for a normal exit and 128 + signal for a signal
+  /// death.  A positive `timeout_ms` elapsing, or `abort` (optional)
+  /// becoming true, SIGKILLs the child first — the result then reports
+  /// the SIGKILL.
+  int wait(std::uint64_t timeout_ms = 0,
+           const std::atomic<bool>* abort = nullptr);
+
+  /// Immediate SIGKILL; harmless on an already-exited child.  wait()
+  /// still must be called to reap.
+  void kill_now();
+
+ private:
+  pid_t pid_ = -1;
+  bool reaped_ = false;
+};
+
+/// Directory of the running executable (via /proc/self/exe), for
+/// resolving sibling binaries like `campaign` next to
+/// `campaign-launch`; falls back to the dirname of `argv0`, then to ""
+/// (PATH lookup).
+std::string sibling_binary(const std::string& argv0,
+                           const std::string& name);
+
+}  // namespace parmis::orchestrate
+
+#endif  // PARMIS_ORCHESTRATE_SUBPROCESS_HPP

@@ -9,6 +9,24 @@
 #include "moo/hypervolume.hpp"
 
 namespace parmis::report {
+namespace {
+
+/// One shard-sized piece of merge input: the cells of shard `index` of
+/// the campaign's tiling — either a whole input report or a slice
+/// recovered from a partial merge result.
+struct Piece {
+  std::size_t index = 0;
+  std::vector<exec::CellResult> cells;
+};
+
+/// Shard count of the tiling a report's cells belong to: the report's
+/// own shard block for a normal report, the recorded source tiling for
+/// a partial merge result (whose shard block was re-headed to 0/1).
+std::size_t tiling_count(const exec::CampaignReport& r) {
+  return r.partial ? r.source_shard_count : r.shard.count;
+}
+
+}  // namespace
 
 void assign_global_phv(exec::CampaignReport& report,
                        double reference_margin) {
@@ -51,10 +69,17 @@ void assign_global_phv(exec::CampaignReport& report,
 std::size_t missing_shards(
     const std::vector<exec::CampaignReport>& reports) {
   if (reports.empty()) return 0;
-  const std::size_t count = reports.front().shard.count;
+  const std::size_t count = tiling_count(reports.front());
+  if (count == 0) return 0;
   std::vector<bool> present(count, false);
   for (const auto& r : reports) {
-    if (r.shard.index < count) present[r.shard.index] = true;
+    if (r.partial) {
+      for (std::size_t s : r.source_shards) {
+        if (s < count) present[s] = true;
+      }
+    } else if (r.shard.index < count) {
+      present[r.shard.index] = true;
+    }
   }
   return static_cast<std::size_t>(
       std::count(present.begin(), present.end(), false));
@@ -65,56 +90,93 @@ exec::CampaignReport merge(std::vector<exec::CampaignReport> reports,
   require(!reports.empty(), "merge: no reports");
 
   // ---------------------------------------------------- tiling checks
-  // Shards must describe slices of one campaign: same identity hash,
+  // Inputs must describe slices of one campaign: same identity hash,
   // same pre-slice cell count, same shard count, distinct indices, and
   // per-shard cell counts matching the deterministic slice arithmetic.
+  // Each input contributes one or more shard-sized Pieces: a normal
+  // shard report is one piece; a partial merge result *explodes* back
+  // into the pieces it recorded (source_shards) by slicing its
+  // concatenated cells with the original tiling's shard_range — that
+  // re-entry is what makes incremental re-merge (provisional + new
+  // shards -> new provisional/final) possible.
   const exec::CampaignReport& first = reports.front();
+  const std::size_t count = tiling_count(first);
+  std::vector<Piece> pieces;
   for (std::size_t i = 0; i < reports.size(); ++i) {
-    const exec::CampaignReport& r = reports[i];
+    exec::CampaignReport& r = reports[i];
     const std::string who = "merge: report #" + std::to_string(i) + ": ";
-    // A partial merge output is an inspection artifact: its header was
-    // re-written to look self-consistent, so feeding it back in would
-    // silently launder provisional numbers into a "complete" report.
-    require(!r.partial,
-            who + "this is a partial merge result (provisional digest "
-                  "and PHV) — merge the original shard reports instead");
     require(r.campaign_hash == first.campaign_hash,
             who + "campaign hash mismatch (shards of different campaigns "
                   "cannot be merged)");
     require(r.total_cells == first.total_cells,
             who + "total_cells " + std::to_string(r.total_cells) +
                 " disagrees with " + std::to_string(first.total_cells));
-    require(r.shard.count == first.shard.count,
-            who + "shard count " + std::to_string(r.shard.count) +
-                " disagrees with " + std::to_string(first.shard.count));
-    require(r.shard.index < r.shard.count,
-            who + "shard index " + std::to_string(r.shard.index) +
-                " out of range (count " + std::to_string(r.shard.count) +
-                ")");
-    const auto [begin, end] = exec::shard_range(r.total_cells, r.shard);
-    require(r.cells.size() == end - begin,
-            who + "carries " + std::to_string(r.cells.size()) +
-                " cells but shard " + std::to_string(r.shard.index) + "/" +
-                std::to_string(r.shard.count) + " spans " +
-                std::to_string(end - begin));
+    require(tiling_count(r) == count,
+            who + "shard count " + std::to_string(tiling_count(r)) +
+                " disagrees with " + std::to_string(count));
+    if (!r.partial) {
+      require(r.shard.index < r.shard.count,
+              who + "shard index " + std::to_string(r.shard.index) +
+                  " out of range (count " + std::to_string(r.shard.count) +
+                  ")");
+      const auto [begin, end] = exec::shard_range(r.total_cells, r.shard);
+      require(r.cells.size() == end - begin,
+              who + "carries " + std::to_string(r.cells.size()) +
+                  " cells but shard " + std::to_string(r.shard.index) +
+                  "/" + std::to_string(r.shard.count) + " spans " +
+                  std::to_string(end - begin));
+      pieces.push_back(Piece{r.shard.index, std::move(r.cells)});
+    } else {
+      // A pre-v3 partial re-headed total_cells to its own cell count
+      // and recorded no source tiling; it cannot be exploded and stays
+      // terminal.
+      require(r.source_shard_count > 0 && !r.source_shards.empty(),
+              who + "partial merge result without a source tiling "
+                    "(written before parmis-report-v3) — merge the "
+                    "original shard reports instead");
+      std::size_t offset = 0;
+      for (std::size_t k = 0; k < r.source_shards.size(); ++k) {
+        const std::size_t s = r.source_shards[k];
+        require(k == 0 || s > r.source_shards[k - 1],
+                who + "source_shards must be sorted and distinct");
+        require(s < count,
+                who + "source shard " + std::to_string(s) +
+                    " out of range (count " + std::to_string(count) + ")");
+        const auto [begin, end] = exec::shard_range(
+            r.total_cells, exec::ShardSpec{s, count});
+        const std::size_t span = end - begin;
+        require(offset + span <= r.cells.size(),
+                who + "carries " + std::to_string(r.cells.size()) +
+                    " cells, fewer than its source shards span");
+        pieces.push_back(Piece{
+            s, std::vector<exec::CellResult>(
+                   std::make_move_iterator(r.cells.begin() + offset),
+                   std::make_move_iterator(r.cells.begin() + offset +
+                                           span))});
+        offset += span;
+      }
+      require(offset == r.cells.size(),
+              who + "carries " + std::to_string(r.cells.size()) +
+                  " cells but its source shards span " +
+                  std::to_string(offset));
+    }
   }
   // Shard-index order *is* campaign cell order (slices are contiguous
   // and ascending), so sorting here makes the merge invariant to the
-  // order shard files were named on the command line.
-  std::stable_sort(reports.begin(), reports.end(),
-                   [](const exec::CampaignReport& a,
-                      const exec::CampaignReport& b) {
-                     return a.shard.index < b.shard.index;
+  // order inputs were named on the command line.
+  std::stable_sort(pieces.begin(), pieces.end(),
+                   [](const Piece& a, const Piece& b) {
+                     return a.index < b.index;
                    });
-  for (std::size_t i = 1; i < reports.size(); ++i) {
-    require(reports[i].shard.index != reports[i - 1].shard.index,
-            "merge: shard " + std::to_string(reports[i].shard.index) +
+  for (std::size_t i = 1; i < pieces.size(); ++i) {
+    require(pieces[i].index != pieces[i - 1].index,
+            "merge: shard " + std::to_string(pieces[i].index) +
                 " appears more than once (overlap)");
   }
-  const std::size_t missing = missing_shards(reports);
+  const std::size_t missing = count - pieces.size();
   require(!options.strict || missing == 0,
           "merge: incomplete tiling: " + std::to_string(missing) + " of " +
-              std::to_string(first.shard.count) +
+              std::to_string(count) +
               " shards missing (pass every shard, or merge without "
               "strict to accept a partial, provisional report)");
 
@@ -128,18 +190,25 @@ exec::CampaignReport merge(std::vector<exec::CampaignReport> reports,
     merged.cache_hits += r.cache_hits;
     merged.cache_misses += r.cache_misses;
   }
-  for (auto& r : reports) {
+  for (auto& piece : pieces) {
     merged.cells.insert(merged.cells.end(),
-                        std::make_move_iterator(r.cells.begin()),
-                        std::make_move_iterator(r.cells.end()));
+                        std::make_move_iterator(piece.cells.begin()),
+                        std::make_move_iterator(piece.cells.end()));
   }
-  // A complete merge reconstructs the unsharded campaign; a partial
-  // one is re-headed as a smaller report that loads cleanly but is
-  // *marked* partial — the flag survives serde, prints as provisional,
-  // and makes any further merge attempt fail up front.
-  merged.total_cells =
-      missing == 0 ? first.total_cells : merged.cells.size();
+  // A complete merge reconstructs the unsharded campaign.  A partial
+  // one keeps the original total_cells and records which shards of the
+  // original tiling it carries, so a later merge can explode it back
+  // into pieces and continue — its digest and PHV stay provisional
+  // until the tiling completes.
+  merged.total_cells = first.total_cells;
   merged.partial = missing > 0;
+  if (merged.partial) {
+    merged.source_shard_count = count;
+    merged.source_shards.reserve(pieces.size());
+    for (const auto& piece : pieces) {
+      merged.source_shards.push_back(piece.index);
+    }
+  }
 
   // Per-shard PHV values were provisional (each runner only saw its own
   // fronts); replace them with the paper-faithful shared-reference

@@ -18,8 +18,19 @@
 // matching exec::shard_range).  With `strict` every shard must be
 // present; without it a partial set merges (gaps allowed) so operators
 // can inspect a campaign while stragglers finish — the result is then
-// flagged CampaignReport::partial (round-tripped by the serde), prints
-// as provisional, and is itself refused as merge input, so provisional
+// flagged CampaignReport::partial (round-tripped by the serde) and
+// prints as provisional.
+//
+// Partial results are themselves valid merge inputs (incremental
+// re-merge): a partial records the tiling it came from
+// (source_shard_count + sorted source_shards), so merge() can slice it
+// back into its constituent shard pieces and join them with newly
+// landed shards — provisional + new shards -> new provisional, or the
+// final report once the tiling completes.  The streaming merges of the
+// orchestration daemon (src/orchestrate/) are exactly this loop.
+// Overlaps (a shard present both in a partial and on its own) and
+// campaign mismatches are still structural errors, and a pre-v3
+// partial (no recorded source tiling) stays terminal, so provisional
 // numbers can never be laundered into a complete-looking report.
 #ifndef PARMIS_REPORT_MERGE_HPP
 #define PARMIS_REPORT_MERGE_HPP

@@ -138,6 +138,18 @@ Value header_to_json(const exec::CampaignReport& report) {
   // Absent (not false) for normal reports, so complete-campaign
   // documents carry no trace of the partial-merge feature.
   if (report.partial) out.set("partial", Value::boolean(true));
+  // Source tiling of a partial merge result (v3): what lets the
+  // document re-enter merge() as incremental input.  Absent on normal
+  // reports and final merges.
+  if (report.source_shard_count > 0) {
+    out.set("source_shard_count",
+            serde::u64_to_json(report.source_shard_count));
+    Value shards = Value::array();
+    for (std::size_t s : report.source_shards) {
+      shards.push_back(serde::u64_to_json(s));
+    }
+    out.set("source_shards", std::move(shards));
+  }
   out.set("objectives_digest",
           serde::hex64_to_json(report.objectives_digest()));
   return out;
@@ -178,9 +190,10 @@ exec::CampaignReport report_from_json(const Value& doc,
                                       const std::string& context) {
   ObjectReader r(doc, context);
   const std::string schema = r.get_string("schema");
-  require(schema == kReportSchema || schema == kReportSchemaV1,
+  require(schema == kReportSchema || schema == kReportSchemaV2 ||
+              schema == kReportSchemaV1,
           context + ": unsupported report schema \"" + schema +
-              "\" (this build reads \"" + kReportSchema + "\" and \"" +
+              "\" (this build reads \"" + kReportSchema + "\" back to \"" +
               kReportSchemaV1 + "\")");
   exec::CampaignReport report;
   report.campaign_hash = r.get_hex64("campaign_hash");
@@ -192,6 +205,17 @@ exec::CampaignReport report_from_json(const Value& doc,
   report.cache_hits = static_cast<std::size_t>(r.get_u64("cache_hits"));
   report.cache_misses = static_cast<std::size_t>(r.get_u64("cache_misses"));
   report.partial = r.get_bool("partial", false);
+  report.source_shard_count =
+      static_cast<std::size_t>(r.get_u64("source_shard_count", 0));
+  if (const Value* shards = r.optional_key("source_shards")) {
+    require(shards->is_array(),
+            context + ": key \"source_shards\": expected array of shard "
+                      "indices");
+    for (const auto& s : shards->items()) {
+      report.source_shards.push_back(
+          static_cast<std::size_t>(r.as_u64(s, "source_shards")));
+    }
+  }
   const std::uint64_t stored_digest = r.get_hex64("objectives_digest");
   const Value& cells = r.require_key("cells");
   require(cells.is_array(),
@@ -209,14 +233,43 @@ exec::CampaignReport report_from_json(const Value& doc,
           context + ": shard_index " + std::to_string(report.shard.index) +
               " out of range (shard_count " +
               std::to_string(report.shard.count) + ")");
-  const auto [begin, end] =
-      exec::shard_range(report.total_cells, report.shard);
-  require(report.cells.size() == end - begin,
-          context + ": report carries " +
-              std::to_string(report.cells.size()) +
-              " cells but its shard slice spans " +
-              std::to_string(end - begin) + " of " +
-              std::to_string(report.total_cells));
+  require(report.source_shard_count == 0 || report.partial,
+          context + ": source tiling on a non-partial report");
+  if (report.partial && report.source_shard_count > 0) {
+    // v3 partial: cells are the concatenation of the recorded source
+    // shards' slices of the original tiling.
+    require(!report.source_shards.empty(),
+            context + ": source_shard_count without source_shards");
+    std::size_t span = 0;
+    for (std::size_t k = 0; k < report.source_shards.size(); ++k) {
+      const std::size_t s = report.source_shards[k];
+      require(k == 0 || s > report.source_shards[k - 1],
+              context + ": source_shards must be sorted and distinct");
+      require(s < report.source_shard_count,
+              context + ": source shard " + std::to_string(s) +
+                  " out of range (count " +
+                  std::to_string(report.source_shard_count) + ")");
+      span += exec::shard_range(report.total_cells,
+                                exec::ShardSpec{
+                                    s, report.source_shard_count})
+                  .size();
+    }
+    require(report.cells.size() == span,
+            context + ": report carries " +
+                std::to_string(report.cells.size()) +
+                " cells but its source shards span " +
+                std::to_string(span) + " of " +
+                std::to_string(report.total_cells));
+  } else {
+    const auto [begin, end] =
+        exec::shard_range(report.total_cells, report.shard);
+    require(report.cells.size() == end - begin,
+            context + ": report carries " +
+                std::to_string(report.cells.size()) +
+                " cells but its shard slice spans " +
+                std::to_string(end - begin) + " of " +
+                std::to_string(report.total_cells));
+  }
   // Digest re-verification is the byte-exactness contract: the stored
   // digest was computed over the producing run's cell bit patterns, so
   // any field a hand edit, truncation, or lossy tool changed fails

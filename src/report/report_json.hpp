@@ -1,4 +1,4 @@
-// Versioned campaign-report serde: the `parmis-report-v1` document.
+// Versioned campaign-report serde: the `parmis-report-v3` document.
 //
 // Before this subsystem, CampaignReport was write-only — per-shard JSON
 // files could be produced but never reloaded, so sharded campaigns
@@ -32,13 +32,19 @@ namespace parmis::report {
 /// the same version-bump policy as plan and cache schemas
 /// (docs/report_schema.md).
 ///
-/// v2 adds the optional per-cell `pareto_thetas` block (the deployable
-/// policy parameters behind each front member, consumed by the serving
-/// layer).  v1 files still load — their cells simply carry no thetas —
-/// so pre-v2 shard archives remain mergeable and servable.
-inline constexpr const char* kReportSchema = "parmis-report-v2";
+/// v2 added the optional per-cell `pareto_thetas` block (the
+/// deployable policy parameters behind each front member, consumed by
+/// the serving layer).  v3 adds the optional header source-tiling
+/// block on partial merge results (`source_shard_count` +
+/// `source_shards`) that makes them valid inputs to an incremental
+/// re-merge, and partials keep the campaign's original `total_cells`
+/// instead of re-heading it.  v1/v2 files still load — v1 cells carry
+/// no thetas, and a v2-era partial (no source tiling) loads but stays
+/// terminal for merging.
+inline constexpr const char* kReportSchema = "parmis-report-v3";
 
-/// Oldest schema tag this build still reads.
+/// Older schema tags this build still reads.
+inline constexpr const char* kReportSchemaV2 = "parmis-report-v2";
 inline constexpr const char* kReportSchemaV1 = "parmis-report-v1";
 
 /// Full document form of a report (schema, header, every cell).

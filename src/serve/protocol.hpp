@@ -43,6 +43,7 @@
 #include "common/stopwatch.hpp"
 #include "serde/json_util.hpp"
 #include "serve/server.hpp"
+#include "serve/socket.hpp"
 #include "serve/store.hpp"
 
 namespace parmis::serve {
@@ -58,11 +59,11 @@ class ServeSession {
   /// (in-process stores with no backing files).
   ServeSession(PolicyStore& store, std::vector<std::string> report_paths);
 
-  struct Outcome {
-    std::string response;  ///< one compact JSON line (no newline); empty
-                           ///< for blank input lines (write nothing)
-    bool quit = false;
-  };
+  /// One compact JSON response line (no newline; empty for blank input
+  /// lines — write nothing) plus the quit flag.  The shared transport
+  /// type (serve/socket.hpp), so a session plugs into serve_lines /
+  /// run_stream_lines directly.
+  using Outcome = LineOutcome;
 
   /// Maps one request line to one response line.  Never throws on bad
   /// input — errors become {"ok":false,...} responses.

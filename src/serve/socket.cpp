@@ -1,0 +1,157 @@
+#include "serve/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace parmis::serve {
+
+namespace {
+
+int checked(int rc, const std::string& who, const char* what) {
+  if (rc < 0) {
+    require(false, who + ": " + what + ": " + std::strerror(errno));
+  }
+  return rc;
+}
+
+sockaddr_un make_addr(const std::string& path, const std::string& who) {
+  sockaddr_un addr{};
+  // sun_path must hold the path plus its NUL terminator; anything
+  // longer would be silently truncated by a blind strncpy, binding a
+  // *different* path than requested.
+  require(path.size() < sizeof(addr.sun_path),
+          who + ": socket path too long (" + std::to_string(path.size()) +
+              " bytes, limit " + std::to_string(sizeof(addr.sun_path) - 1) +
+              "): " + path);
+  require(!path.empty(), who + ": empty socket path");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path, const std::string& who) {
+  const sockaddr_un addr = make_addr(path, who);
+  const int listener =
+      checked(::socket(AF_UNIX, SOCK_STREAM, 0), who, "socket");
+  ::unlink(path.c_str());  // stale socket from a previous run
+  checked(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr)),
+          who, "bind");
+  checked(::listen(listener, 8), who, "listen");
+  return listener;
+}
+
+int connect_unix(const std::string& path, const std::string& who) {
+  const sockaddr_un addr = make_addr(path, who);
+  const int fd = checked(::socket(AF_UNIX, SOCK_STREAM, 0), who, "socket");
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const int saved = errno;
+    ::close(fd);
+    require(false, who + ": connect: " + std::string(std::strerror(saved)) +
+                       ": " + path);
+  }
+  return fd;
+}
+
+bool write_line(int fd, const std::string& line) {
+  const std::string data = line + "\n";
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool FdLineReader::next(std::string* line) {
+  line->clear();
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      *line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      if (buffer_.empty()) return false;
+      line->swap(buffer_);
+      return true;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void serve_lines(int listener, const LineHandler& handler) {
+  bool quit = false;
+  while (!quit) {
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    FdLineReader lines(client);
+    std::string line;
+    while (lines.next(&line)) {
+      const LineOutcome outcome = handler(line);
+      if (!outcome.response.empty() &&
+          !write_line(client, outcome.response)) {
+        break;
+      }
+      if (outcome.quit) {
+        // quit shuts the whole server down, not just this client.
+        quit = true;
+        break;
+      }
+    }
+    ::close(client);
+  }
+}
+
+void bridge_stdio(int fd) {
+  FdLineReader lines(fd);
+  std::string line;
+  std::string response;
+  while (std::getline(std::cin, line)) {
+    // Blank lines get no response; skip them to keep request/response
+    // strictly 1:1 (the session skips them server-side too).
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (!write_line(fd, line)) break;
+    if (!lines.next(&response)) break;
+    std::cout << response << "\n";
+    std::cout.flush();
+  }
+}
+
+void run_stream_lines(std::istream& in, std::ostream& out,
+                      const LineHandler& handler) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const LineOutcome outcome = handler(line);
+    if (!outcome.response.empty()) out << outcome.response << "\n";
+    out.flush();
+    if (outcome.quit) break;
+  }
+}
+
+}  // namespace parmis::serve

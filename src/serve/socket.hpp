@@ -1,0 +1,89 @@
+// Shared AF_UNIX + NDJSON transport for socket-serving CLIs.
+//
+// policy-serve (--socket/--connect) and the orchestration daemon
+// (campaign-daemon) speak the same wire shape: one JSON request per
+// line in, one JSON response per line out, over a local stream socket.
+// This header factors the byte shuffling out of the CLIs so a protocol
+// session — anything mapping a request line to a LineOutcome — can be
+// served over stdio, a canned file, or a socket without owning any
+// transport code.
+//
+// Hardening this layer owns (so no caller re-implements it wrong):
+//   - socket paths that do not fit sockaddr_un::sun_path are rejected
+//     with a clear error naming the limit, never silently truncated;
+//   - accept/read/write loops retry EINTR instead of tearing the
+//     server down on a stray signal (the daemon fields SIGCHLD);
+//   - writes use send(MSG_NOSIGNAL), so a client that disconnects
+//     mid-response surfaces as a write error, not a fatal SIGPIPE.
+#ifndef PARMIS_SERVE_SOCKET_HPP
+#define PARMIS_SERVE_SOCKET_HPP
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace parmis::serve {
+
+/// One handled request line: the response line to write back (no
+/// trailing newline; empty = write nothing, e.g. blank input) and
+/// whether the session asked the server to shut down.
+struct LineOutcome {
+  std::string response;
+  bool quit = false;
+};
+
+/// A line-based protocol session: ServeSession::handle_line and
+/// orchestrate::OrchSession::handle_line both bind here.  Handlers
+/// must not throw — protocol errors are {"ok":false,...} responses.
+using LineHandler = std::function<LineOutcome(const std::string&)>;
+
+/// Creates, binds, and listens a stream socket at `path`, unlinking a
+/// stale socket file from a previous run first.  Throws parmis::Error
+/// (prefixed with `who`) on failure — including a path too long for
+/// sockaddr_un::sun_path.  The caller owns the fd and the socket file.
+int listen_unix(const std::string& path, const std::string& who);
+
+/// Connects to a listening socket at `path`; same error contract.
+int connect_unix(const std::string& path, const std::string& who);
+
+/// Writes `line` plus a trailing newline, retrying short writes and
+/// EINTR; false once the peer is gone (EPIPE surfaces here, not as a
+/// signal).
+bool write_line(int fd, const std::string& line);
+
+/// Buffered line reader over a socket fd; strips the trailing newline.
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+
+  /// False on EOF or a read error; a final unterminated line is still
+  /// delivered.  Retries EINTR.
+  bool next(std::string* line);
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Serves clients sequentially on `listener` until an outcome sets
+/// `quit` — the one-shot lifecycle socket smoke tests rely on.  Each
+/// client fd is closed here; the listener fd and socket file stay the
+/// caller's to close/unlink.  Sequential service is deliberate: these
+/// are local-IPC control planes, and the sessions behind them are
+/// single-threaded state machines.
+void serve_lines(int listener, const LineHandler& handler);
+
+/// stdio <-> socket bridge (the --connect mode): one request line from
+/// stdin, one response line to stdout, strictly 1:1 (blank input lines
+/// are skipped because the server writes nothing for them).
+void bridge_stdio(int fd);
+
+/// The same session loop over plain streams (stdio and --replay
+/// transports): handle each line, write non-empty responses, stop on
+/// quit.
+void run_stream_lines(std::istream& in, std::ostream& out,
+                      const LineHandler& handler);
+
+}  // namespace parmis::serve
+
+#endif  // PARMIS_SERVE_SOCKET_HPP

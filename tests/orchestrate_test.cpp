@@ -1,0 +1,564 @@
+// Tests for the campaign orchestration subsystem (src/orchestrate):
+// the cell-lease table (carving, stealing, retry budgets, expiry,
+// cancellation), the job scheduler's headline guarantee (any worker
+// count / lease size / injected crash produces the unsharded digest),
+// worker-failure recovery through the process backend, AF_UNIX path
+// hardening, and the parmis-orch-v1 session.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fs.hpp"
+#include "common/hash.hpp"
+#include "common/json.hpp"
+#include "exec/campaign.hpp"
+#include "orchestrate/backend.hpp"
+#include "orchestrate/lease.hpp"
+#include "orchestrate/protocol.hpp"
+#include "orchestrate/scheduler.hpp"
+#include "orchestrate/subprocess.hpp"
+#include "report/report_json.hpp"
+#include "serde/json_util.hpp"
+#include "serde/plan.hpp"
+#include "serve/socket.hpp"
+
+namespace parmis::orchestrate {
+namespace {
+
+std::string temp_dir(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  const std::string dir = ::testing::TempDir() + "parmis_orch_" + tag +
+                          "_" + std::to_string(counter.fetch_add(1));
+  make_directories(dir);
+  return dir;
+}
+
+/// Small real campaign: one registry scenario, every method, two seeds.
+serde::CampaignPlan small_plan() {
+  serde::CampaignPlan plan;
+  plan.name = "orch-test";
+  plan.scenarios = {serde::ScenarioRef::by_name("manycore-mixed-te")};
+  plan.seeds_per_cell = 2;
+  return plan;
+}
+
+exec::CampaignConfig plan_config(const serde::CampaignPlan& plan) {
+  serde::ScenarioCatalogue catalogue;
+  for (const serde::ScenarioRef& ref : plan.scenarios) {
+    if (ref.inline_spec.has_value()) catalogue.add(*ref.inline_spec);
+  }
+  return serde::to_campaign_config(plan, catalogue);
+}
+
+void expect_bitwise_equal(const exec::CampaignReport& a,
+                          const exec::CampaignReport& b) {
+  EXPECT_EQ(a.objectives_digest(), b.objectives_digest());
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.cells[i].phv),
+              std::bit_cast<std::uint64_t>(b.cells[i].phv))
+        << "cell " << i;
+  }
+}
+
+// ----------------------------------------------------------- LeaseTable
+
+TEST(LeaseTable, SingleWorkerDrainsEveryChunkInLeaseSizedBites) {
+  LeaseTable::Config cfg;
+  cfg.chunks = 6;
+  cfg.lease_chunks = 2;
+  LeaseTable table(cfg);
+
+  std::vector<std::size_t> order;
+  while (auto grant = table.next("w0")) {
+    order.push_back(grant->chunk);
+    EXPECT_EQ(grant->attempt, 0u);
+    table.complete(*grant);
+  }
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+
+  const LeaseTableStats stats = table.stats();
+  EXPECT_EQ(stats.chunks_total, 6u);
+  EXPECT_EQ(stats.chunks_done, 6u);
+  EXPECT_EQ(stats.leases_issued, 3u);  // ceil(6 / 2)
+  EXPECT_EQ(stats.steals, 0u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_FALSE(table.failed());
+  EXPECT_FALSE(table.next("w0").has_value());  // stays drained
+}
+
+TEST(LeaseTable, IdleWorkerStealsTheUnstartedTailOfTheLargestLease) {
+  // One giant fresh lease covers the whole pool, so the second worker
+  // can only make progress by stealing from the first one's tail.
+  LeaseTable::Config cfg;
+  cfg.chunks = 8;
+  cfg.lease_chunks = 8;
+  LeaseTable table(cfg);
+
+  const auto first_a = table.next("a");
+  ASSERT_TRUE(first_a.has_value());
+  EXPECT_EQ(first_a->chunk, 0u);
+
+  // b finds the fresh pool empty and steals half of a's unstarted
+  // chunks: a owns [0,8) with 1..7 unstarted, so b takes [4,8).
+  const auto first_b = table.next("b");
+  ASSERT_TRUE(first_b.has_value());
+  EXPECT_EQ(first_b->chunk, 4u);
+  EXPECT_EQ(table.stats().steals, 1u);
+  EXPECT_NE(first_b->lease, first_a->lease);
+
+  // Drive both workers round-robin to the end: every chunk must be
+  // granted exactly once, whatever further stealing happens.
+  std::set<std::size_t> seen{first_a->chunk, first_b->chunk};
+  table.complete(*first_a);
+  table.complete(*first_b);
+  bool more = true;
+  while (more) {
+    more = false;
+    for (const char* worker : {"a", "b"}) {
+      if (auto grant = table.next(worker)) {
+        EXPECT_TRUE(seen.insert(grant->chunk).second)
+            << "chunk " << grant->chunk << " granted twice";
+        table.complete(*grant);
+        more = true;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_EQ(table.stats().chunks_done, 8u);
+  EXPECT_FALSE(table.failed());
+}
+
+TEST(LeaseTable, RetryBudgetRequeuesThenExhausts) {
+  LeaseTable::Config cfg;
+  cfg.chunks = 2;
+  cfg.lease_chunks = 1;
+  cfg.max_attempts = 2;
+  LeaseTable table(cfg);
+
+  auto grant = table.next("w");
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->chunk, 0u);
+  table.fail(*grant, "flaky once");
+  EXPECT_FALSE(table.failed());  // one attempt left
+
+  // The retry queue outranks fresh carving, so chunk 0 comes back
+  // first, with its attempt count bumped.
+  grant = table.next("w");
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->chunk, 0u);
+  EXPECT_EQ(grant->attempt, 1u);
+  table.fail(*grant, "broken for good");
+  EXPECT_TRUE(table.failed());
+  // The retained error carries the attempt context around the cause.
+  EXPECT_NE(table.first_error().find("broken for good"),
+            std::string::npos);
+
+  // A failed table still drains the rest, so partial results stay
+  // coherent for the provisional merge.
+  grant = table.next("w");
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->chunk, 1u);
+  table.complete(*grant);
+  EXPECT_FALSE(table.next("w").has_value());
+
+  const LeaseTableStats stats = table.stats();
+  EXPECT_EQ(stats.chunks_done, 1u);
+  EXPECT_EQ(stats.chunks_exhausted, 1u);
+  EXPECT_EQ(stats.retries, 1u);  // the exhausting failure is not requeued
+}
+
+TEST(LeaseTable, ExpiredLeaseIsReissuedAndZombieCompletionIsBenign) {
+  LeaseTable::Config cfg;
+  cfg.chunks = 1;
+  cfg.lease_chunks = 1;
+  cfg.lease_timeout_ms = 5;
+  LeaseTable table(cfg);
+
+  const auto dead = table.next("dead-worker");
+  ASSERT_TRUE(dead.has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // The replacement worker's next() sweeps expired leases: the chunk
+  // comes back as a retry with attempt + 1.
+  const auto retry = table.next("live-worker");
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->chunk, 0u);
+  EXPECT_EQ(retry->attempt, 1u);
+  EXPECT_EQ(table.stats().expiries, 1u);
+  EXPECT_EQ(table.stats().retries, 1u);
+
+  // The presumed-dead worker finishing anyway is fine — completion is
+  // idempotent, and chunk outputs are deterministic so both runs wrote
+  // identical bytes.
+  table.complete(*dead);
+  table.complete(*retry);
+  EXPECT_EQ(table.stats().chunks_done, 1u);
+  EXPECT_FALSE(table.failed());
+  EXPECT_FALSE(table.next("live-worker").has_value());
+}
+
+TEST(LeaseTable, CancelUnblocksBlockedWorkers) {
+  LeaseTable::Config cfg;
+  cfg.chunks = 1;
+  cfg.lease_chunks = 1;
+  LeaseTable table(cfg);
+
+  const auto grant = table.next("holder");
+  ASSERT_TRUE(grant.has_value());
+
+  // Nothing to steal (the only chunk is in flight), so this next()
+  // blocks until cancel() sweeps through.
+  std::atomic<bool> unblocked{false};
+  std::thread waiter([&] {
+    EXPECT_FALSE(table.next("idle").has_value());
+    unblocked.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(unblocked.load());
+  table.cancel();
+  waiter.join();
+  EXPECT_TRUE(unblocked.load());
+  EXPECT_TRUE(table.cancelled());
+  EXPECT_FALSE(table.next("holder").has_value());
+}
+
+// ------------------------------------------------------------ JobRunner
+
+TEST(JobRunner, AnyWorkerAndChunkCountMatchesTheUnshardedRunBitForBit) {
+  const serde::CampaignPlan plan = small_plan();
+  const exec::CampaignConfig config = plan_config(plan);
+  const exec::CampaignReport unsharded =
+      exec::CampaignRunner(config).run();
+
+  for (const auto& [workers, chunks] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 1}, {2, 3}, {4, 7}}) {
+    InprocessBackend backend(config);
+    JobConfig jc;
+    jc.workers = workers;
+    jc.chunks = chunks;
+    jc.lease_chunks = 1;
+    JobRunner runner(backend, jc);
+    const exec::CampaignReport merged = runner.run();
+
+    expect_bitwise_equal(merged, unsharded);
+    EXPECT_FALSE(merged.partial);
+    const JobProgress progress = runner.progress();
+    EXPECT_EQ(progress.state, JobProgress::State::Done);
+    EXPECT_EQ(progress.stats.chunks_done, chunks);
+    EXPECT_EQ(progress.provisional_merges,
+              static_cast<std::uint64_t>(chunks));
+  }
+}
+
+/// Backend that fails the first attempt of one chunk, to drive the
+/// retry path deterministically without processes.
+class FlakyBackend : public ChunkBackend {
+ public:
+  FlakyBackend(exec::CampaignConfig base, std::size_t flaky_chunk)
+      : inner_(std::move(base)), flaky_chunk_(flaky_chunk) {}
+
+  ChunkOutcome run_chunk(std::size_t index, std::size_t count,
+                         std::size_t attempt,
+                         const std::atomic<bool>& abort) override {
+    if (index == flaky_chunk_ && attempt == 0) {
+      ChunkOutcome outcome;
+      outcome.error = "injected first-attempt failure";
+      return outcome;
+    }
+    return inner_.run_chunk(index, count, attempt, abort);
+  }
+
+ private:
+  InprocessBackend inner_;
+  std::size_t flaky_chunk_;
+};
+
+TEST(JobRunner, RetriedChunkStillProducesTheUnshardedDigest) {
+  const serde::CampaignPlan plan = small_plan();
+  const exec::CampaignConfig config = plan_config(plan);
+  const exec::CampaignReport unsharded =
+      exec::CampaignRunner(config).run();
+
+  FlakyBackend backend(config, /*flaky_chunk=*/1);
+  JobConfig jc;
+  jc.workers = 3;
+  jc.chunks = 4;
+  JobRunner runner(backend, jc);
+  const exec::CampaignReport merged = runner.run();
+
+  expect_bitwise_equal(merged, unsharded);
+  const JobProgress progress = runner.progress();
+  EXPECT_EQ(progress.state, JobProgress::State::Done);
+  EXPECT_GE(progress.stats.retries, 1u);
+}
+
+TEST(JobRunner, ExhaustedRetryBudgetFailsTheJobButKeepsTheProvisional) {
+  const serde::CampaignPlan plan = small_plan();
+  const exec::CampaignConfig config = plan_config(plan);
+
+  /// Fails one chunk on every attempt.
+  class BrokenChunkBackend : public ChunkBackend {
+   public:
+    explicit BrokenChunkBackend(exec::CampaignConfig base)
+        : inner_(std::move(base)) {}
+    ChunkOutcome run_chunk(std::size_t index, std::size_t count,
+                           std::size_t attempt,
+                           const std::atomic<bool>& abort) override {
+      if (index == 0) {
+        ChunkOutcome outcome;
+        outcome.error = "chunk 0 always fails";
+        return outcome;
+      }
+      return inner_.run_chunk(index, count, attempt, abort);
+    }
+
+   private:
+    InprocessBackend inner_;
+  };
+
+  BrokenChunkBackend backend(config);
+  JobConfig jc;
+  jc.workers = 2;
+  jc.chunks = 3;
+  jc.max_attempts = 2;
+  JobRunner runner(backend, jc);
+  EXPECT_THROW(runner.run(), Error);
+
+  const JobProgress progress = runner.progress();
+  EXPECT_EQ(progress.state, JobProgress::State::Failed);
+  EXPECT_NE(progress.error.find("chunk 0 always fails"),
+            std::string::npos);
+  // The other chunks still drained into a coherent partial merge.
+  ASSERT_TRUE(progress.has_report);
+  EXPECT_TRUE(progress.report_partial);
+  const auto provisional = runner.provisional();
+  ASSERT_TRUE(provisional.has_value());
+  EXPECT_TRUE(provisional->partial);
+  EXPECT_GT(provisional->cells.size(), 0u);
+}
+
+// --------------------------------------------- process-backend recovery
+
+TEST(Orchestrate, KilledWorkerIsRetriedAndTheFinalDigestIsUnchanged) {
+  // The real satellite check: spawn actual `campaign` worker processes
+  // (the binary sits next to this test in the build tree), SIGKILL the
+  // first attempt of chunk 0, and require the recovered job to land on
+  // the unsharded run's exact digest.
+  const serde::CampaignPlan plan = small_plan();
+  const exec::CampaignReport unsharded =
+      exec::CampaignRunner(plan_config(plan)).run();
+
+  JobManager::Defaults defaults;
+  defaults.workers = 3;
+  defaults.chunks = 4;
+  defaults.max_attempts = 3;
+  defaults.work_dir = temp_dir("kill");
+  defaults.cache_dir = temp_dir("kill_cache");
+  defaults.campaign_bin = sibling_binary("", "campaign");
+  defaults.inject_kill_chunk = 0;
+  JobManager manager(defaults);
+
+  const JobManager::JobInfo submitted = manager.submit(plan);
+  EXPECT_EQ(submitted.total_cells, unsharded.cells.size());
+
+  JobManager::JobInfo info = submitted;
+  for (int i = 0; i < 600; ++i) {  // 30 s budget; typically < 1 s
+    info = *manager.info(submitted.id);
+    if (info.progress.state != JobProgress::State::Pending &&
+        info.progress.state != JobProgress::State::Running) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  manager.shutdown();
+  info = *manager.info(submitted.id);
+
+  ASSERT_EQ(info.progress.state, JobProgress::State::Done)
+      << info.progress.error;
+  EXPECT_GE(info.progress.stats.retries, 1u);  // the injected kill
+  EXPECT_EQ(info.progress.report_digest, unsharded.objectives_digest());
+
+  const exec::CampaignReport final_report =
+      report::load_report(info.final_path);
+  expect_bitwise_equal(final_report, unsharded);
+  EXPECT_FALSE(final_report.partial);
+}
+
+// -------------------------------------------------------------- sockets
+
+TEST(Orchestrate, OverlongSocketPathsAreRejectedWithTheLimit) {
+  const std::string path(300, 'x');
+  try {
+    serve::listen_unix(path, "orch-test");
+    FAIL() << "overlong path accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("socket path too long"), std::string::npos);
+    EXPECT_NE(what.find("300 bytes"), std::string::npos);
+    EXPECT_NE(what.find("limit"), std::string::npos);
+  }
+  EXPECT_THROW(serve::connect_unix(path, "orch-test"), Error);
+  EXPECT_THROW(serve::listen_unix("", "orch-test"), Error);
+}
+
+// ----------------------------------------------------- parmis-orch-v1
+
+/// Manager whose jobs run in-process (hermetic, no child processes).
+JobManager::Defaults inprocess_defaults(const std::string& work_dir) {
+  JobManager::Defaults defaults;
+  defaults.workers = 2;
+  defaults.work_dir = work_dir;
+  defaults.backend_factory = [](const serde::CampaignPlan& plan,
+                                const std::string& /*job_dir*/,
+                                const ProcessBackend::Config& /*process*/) {
+    return std::unique_ptr<ChunkBackend>(
+        new InprocessBackend(plan_config(plan)));
+  };
+  return defaults;
+}
+
+json::Value roundtrip(OrchSession& session, const json::Value& request,
+                      bool expect_ok = true) {
+  const serve::LineOutcome outcome =
+      session.handle_line(json::dump_compact(request));
+  const json::Value response = json::parse(outcome.response);
+  serde::ObjectReader reader(response, "response");
+  EXPECT_EQ(reader.get_bool("ok", !expect_ok), expect_ok)
+      << outcome.response;
+  return response;
+}
+
+TEST(Orchestrate, SessionSubmitStatusResultsLifecycle) {
+  JobManager manager(inprocess_defaults(temp_dir("session")));
+  OrchSession session(manager);
+
+  // Blank lines produce no response (keeps piped NDJSON 1:1).
+  EXPECT_TRUE(session.handle_line("   ").response.empty());
+
+  json::Value ping = json::Value::object();
+  ping.set("op", json::Value::string("ping"));
+  json::Value pong = roundtrip(session, ping);
+  serde::ObjectReader pong_r(pong, "pong");
+  EXPECT_EQ(pong_r.get_string("protocol"), "parmis-orch-v1");
+  EXPECT_EQ(pong_r.get_u64("jobs"), 0u);
+
+  json::Value submit = json::Value::object();
+  submit.set("op", json::Value::string("submit"));
+  submit.set("id", json::Value::string("req-1"));
+  submit.set("plan", serde::plan_to_json(small_plan()));
+  submit.set("chunks", serde::u64_to_json(3));
+  submit.set("tag", json::Value::string("lifecycle"));
+  json::Value accepted = roundtrip(session, submit);
+  serde::ObjectReader accepted_r(accepted, "accepted");
+  EXPECT_EQ(accepted_r.get_string("id"), "req-1");  // echoed
+  const std::uint64_t job = accepted_r.get_u64("job");
+  EXPECT_EQ(accepted_r.get_string("tag"), "lifecycle");
+  EXPECT_EQ(accepted_r.get_u64("chunks"), 3u);
+
+  json::Value status = json::Value::object();
+  status.set("op", json::Value::string("status"));
+  status.set("job", serde::u64_to_json(job));
+  std::string state;
+  for (int i = 0; i < 600 && state != "done"; ++i) {
+    json::Value body = roundtrip(session, status);
+    serde::ObjectReader r(body, "status");
+    state = r.get_string("state");
+    ASSERT_NE(state, "failed") << json::dump_compact(body);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(state, "done");
+
+  json::Value results = json::Value::object();
+  results.set("op", json::Value::string("results"));
+  results.set("job", serde::u64_to_json(job));
+  json::Value body = roundtrip(session, results);
+  serde::ObjectReader results_r(body, "results");
+  EXPECT_TRUE(results_r.get_bool("final", false));
+  EXPECT_FALSE(results_r.get_bool("partial", true));
+  const exec::CampaignReport merged =
+      report::load_report(results_r.get_string("path"));
+  const exec::CampaignReport unsharded =
+      exec::CampaignRunner(plan_config(small_plan())).run();
+  expect_bitwise_equal(merged, unsharded);
+  EXPECT_EQ(results_r.get_string("digest"),
+            hex64(unsharded.objectives_digest()));
+
+  // Cancelling a settled job reports cancelled=false with its state.
+  json::Value cancel = json::Value::object();
+  cancel.set("op", json::Value::string("cancel"));
+  cancel.set("job", serde::u64_to_json(job));
+  json::Value cancelled = roundtrip(session, cancel);
+  serde::ObjectReader cancelled_r(cancelled, "cancel");
+  EXPECT_FALSE(cancelled_r.get_bool("cancelled", true));
+  EXPECT_EQ(cancelled_r.get_string("state"), "done");
+
+  json::Value quit = json::Value::object();
+  quit.set("op", json::Value::string("quit"));
+  const serve::LineOutcome outcome =
+      session.handle_line(json::dump_compact(quit));
+  EXPECT_TRUE(outcome.quit);
+}
+
+TEST(Orchestrate, SessionRejectsBadRequestsWithoutDying) {
+  JobManager manager(inprocess_defaults(temp_dir("session_err")));
+  OrchSession session(manager);
+
+  // Malformed JSON, unknown op, missing job: all answered in-band.
+  const serve::LineOutcome garbage = session.handle_line("{not json");
+  EXPECT_FALSE(garbage.quit);
+  EXPECT_NE(garbage.response.find("\"ok\":false"), std::string::npos);
+
+  json::Value unknown = json::Value::object();
+  unknown.set("op", json::Value::string("frobnicate"));
+  json::Value r1 = roundtrip(session, unknown, /*expect_ok=*/false);
+  serde::ObjectReader r1_r(r1, "unknown");
+  EXPECT_NE(r1_r.get_string("error").find("unknown op"),
+            std::string::npos);
+
+  json::Value missing = json::Value::object();
+  missing.set("op", json::Value::string("status"));
+  missing.set("job", serde::u64_to_json(42));
+  json::Value r2 = roundtrip(session, missing, /*expect_ok=*/false);
+  serde::ObjectReader r2_r(r2, "missing");
+  EXPECT_NE(r2_r.get_string("error").find("no such job"),
+            std::string::npos);
+
+  // The session survives all of that and still answers ping.
+  json::Value ping = json::Value::object();
+  ping.set("op", json::Value::string("ping"));
+  roundtrip(session, ping);
+}
+
+TEST(Orchestrate, SubmittedPlansShedTheirShardSlice) {
+  // A plan carrying shard {0,4} orchestrates the FULL campaign: chunking
+  // supersedes static sharding, and the digest contract is against the
+  // unsharded run.
+  serde::CampaignPlan plan = small_plan();
+  plan.shard = exec::ShardSpec{0, 4};
+
+  JobManager manager(inprocess_defaults(temp_dir("shard_shed")));
+  const JobManager::JobInfo info = manager.submit(plan);
+  const exec::CampaignReport unsharded =
+      exec::CampaignRunner(plan_config(small_plan())).run();
+  EXPECT_EQ(info.total_cells, unsharded.cells.size());
+
+  // The snapshotted plan the workers would read is unsharded too.
+  const serde::CampaignPlan saved =
+      serde::load_plan(info.job_dir + "/plan.json");
+  EXPECT_FALSE(saved.shard.has_value());
+  manager.shutdown();
+}
+
+}  // namespace
+}  // namespace parmis::orchestrate

@@ -325,7 +325,9 @@ TEST(ReportMerge, StrictRejectsGapsAndAnyMergeRejectsOverlaps) {
     config.shard = exec::ShardSpec{i, 3};
     shards.push_back(exec::CampaignRunner(config).run());
   }
-  // Gap: strict fails, non-strict merges the partial set.
+  // Gap: strict fails, non-strict merges the partial set.  The partial
+  // keeps the campaign's original total_cells and records its source
+  // tiling so a later merge can continue from it.
   EXPECT_THROW(merge({shards[0], shards[2]}), Error);
   MergeOptions partial;
   partial.strict = false;
@@ -333,25 +335,34 @@ TEST(ReportMerge, StrictRejectsGapsAndAnyMergeRejectsOverlaps) {
       merge({shards[0], shards[2]}, partial);
   EXPECT_EQ(merged.cells.size(),
             shards[0].cells.size() + shards[2].cells.size());
-  EXPECT_EQ(merged.total_cells, merged.cells.size());
+  EXPECT_EQ(merged.total_cells, shards[0].total_cells);
   EXPECT_TRUE(merged.partial);
+  EXPECT_EQ(merged.source_shard_count, 3u);
+  EXPECT_EQ(merged.source_shards,
+            (std::vector<std::size_t>{0, 2}));
 
-  // The partial flag survives the serde round trip, and a partial
-  // report is refused as merge input (even non-strict): provisional
-  // numbers cannot be laundered into a complete-looking report.
+  // The partial flag and source tiling survive the serde round trip.
   const std::string path = temp_path("partial");
   save_report(path, merged);
   const exec::CampaignReport reloaded = load_report(path);
   EXPECT_TRUE(reloaded.partial);
-  EXPECT_THROW(merge({reloaded}, partial), Error);
-  // A complete merge result stays unflagged and re-mergeable.
+  EXPECT_EQ(reloaded.source_shard_count, 3u);
+  EXPECT_EQ(reloaded.source_shards, merged.source_shards);
+  // A partial alone still merges to a partial (identity-ish), but a
+  // strict merge of an incomplete tiling keeps failing.
+  EXPECT_THROW(merge({reloaded}), Error);
+  // A complete merge result stays unflagged and re-mergeable, with no
+  // source tiling recorded.
   const exec::CampaignReport complete =
       merge({shards[0], shards[1], shards[2]});
   EXPECT_FALSE(complete.partial);
+  EXPECT_EQ(complete.source_shard_count, 0u);
   EXPECT_NO_THROW(merge({complete}));
 
-  // Overlap: fatal regardless of strictness.
+  // Overlap: fatal regardless of strictness — including a shard that
+  // is present both on its own and inside a partial.
   EXPECT_THROW(merge({shards[0], shards[0], shards[1]}, partial), Error);
+  EXPECT_THROW(merge({reloaded, shards[0]}, partial), Error);
 
   // Foreign shard (different campaign): fatal regardless of strictness.
   exec::CampaignConfig other = governor_campaign(1);
@@ -360,6 +371,60 @@ TEST(ReportMerge, StrictRejectsGapsAndAnyMergeRejectsOverlaps) {
   exec::CampaignReport foreign = exec::CampaignRunner(other).run();
   EXPECT_NE(foreign.campaign_hash, shards[0].campaign_hash);
   EXPECT_THROW(merge({shards[0], foreign, shards[2]}, partial), Error);
+}
+
+TEST(ReportMerge, IncrementalRemergeReachesTheSameFinalReport) {
+  const exec::CampaignReport full =
+      exec::CampaignRunner(governor_campaign(2)).run();
+  std::vector<exec::CampaignReport> shards;
+  for (std::size_t i = 0; i < 4; ++i) {
+    exec::CampaignConfig config = governor_campaign(2);
+    config.shard = exec::ShardSpec{i, 4};
+    shards.push_back(exec::CampaignRunner(config).run());
+  }
+
+  // Stream the shards in one at a time, re-merging the provisional
+  // with each new arrival — the daemon's streaming-merge loop.  Use a
+  // non-monotone arrival order to exercise the explode + re-sort path.
+  MergeOptions lax;
+  lax.strict = false;
+  exec::CampaignReport provisional = merge({shards[2]}, lax);
+  EXPECT_TRUE(provisional.partial);
+  provisional = merge({std::move(provisional), shards[0]}, lax);
+  EXPECT_TRUE(provisional.partial);
+  EXPECT_EQ(provisional.source_shards,
+            (std::vector<std::size_t>{0, 2}));
+  provisional = merge({std::move(provisional), shards[3]}, lax);
+  EXPECT_TRUE(provisional.partial);
+  provisional = merge({std::move(provisional), shards[1]}, lax);
+
+  // The last arrival completes the tiling: the result is final (not
+  // partial) and bitwise identical to the unsharded run.
+  EXPECT_FALSE(provisional.partial);
+  EXPECT_EQ(provisional.source_shard_count, 0u);
+  EXPECT_EQ(provisional.objectives_digest(), full.objectives_digest());
+  ASSERT_EQ(provisional.cells.size(), full.cells.size());
+  for (std::size_t i = 0; i < full.cells.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(provisional.cells[i].phv),
+              std::bit_cast<std::uint64_t>(full.cells[i].phv));
+  }
+
+  // Two disjoint partials also merge with each other, and a partial
+  // that round-tripped through disk re-merges identically.
+  exec::CampaignReport left = merge({shards[0], shards[1]}, lax);
+  const exec::CampaignReport right = merge({shards[2], shards[3]}, lax);
+  const std::string path = temp_path("left_partial");
+  save_report(path, left);
+  const exec::CampaignReport final_report =
+      merge({load_report(path), right});
+  EXPECT_FALSE(final_report.partial);
+  EXPECT_EQ(final_report.objectives_digest(), full.objectives_digest());
+
+  // A hand-built pre-v3 partial (no source tiling) stays terminal.
+  exec::CampaignReport legacy = merge({shards[0], shards[1]}, lax);
+  legacy.source_shard_count = 0;
+  legacy.source_shards.clear();
+  EXPECT_THROW(merge({legacy, right}, lax), Error);
 }
 
 TEST(ReportMerge, CampaignIdentityTracksCellDefiningConfigOnly) {
