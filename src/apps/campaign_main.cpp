@@ -41,8 +41,10 @@
 // exits; --require-cached exits non-zero unless every cell was a cache
 // hit (CI effectiveness check).
 #include <cstdint>
+#include <cstdio>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -52,10 +54,12 @@
 #include "common/error.hpp"
 #include "common/fs.hpp"
 #include "common/json.hpp"
+#include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "exec/campaign.hpp"
 #include "exec/thread_pool.hpp"
 #include "methods/registry.hpp"
+#include "obs/distributed.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "scenario/scenario.hpp"
@@ -321,6 +325,13 @@ int main(int argc, char** argv) {
       parmis::obs::Tracer::set_enabled(true);
       parmis::obs::Tracer::set_thread_name("main");
     }
+    // Distributed trace context (obs/distributed): the orchestrator
+    // hands workers their identity via PARMIS_TRACE_PARENT.  A
+    // malformed value throws — a worker must not silently run with the
+    // wrong identity.
+    const std::optional<parmis::obs::TraceContext> trace_parent =
+        parmis::obs::TraceContext::from_env();
+    const std::uint64_t run_start_ns = parmis::steady_now_ns();
 
     CampaignConfig config = parmis::serde::to_campaign_config(plan,
                                                               catalogue);
@@ -448,8 +459,28 @@ int main(int argc, char** argv) {
     if (args.has("csv")) report.save_csv(args.get("csv", "campaign.csv"));
     if (args.has("json")) report.save_json(args.get("json", "campaign.json"));
     if (want_trace) {
+      if (trace_parent.has_value()) {
+        // Worker anchor span: the whole chunk execution as one
+        // "campaign"/"chunk" lane event — the flow target the stitcher
+        // binds the orchestrator's lease span to.  Recorded directly
+        // (not via macro) so an OBS=OFF worker still anchors its lane;
+        // gated on the parent context so a standalone --trace-out in an
+        // OFF build stays metadata-only (CI asserts exactly that).
+        char detail[64];
+        std::snprintf(detail, sizeof(detail),
+                      "job=%llu;chunk=%llu;attempt=%llu",
+                      static_cast<unsigned long long>(trace_parent->job),
+                      static_cast<unsigned long long>(trace_parent->chunk),
+                      static_cast<unsigned long long>(
+                          trace_parent->attempt));
+        parmis::obs::Tracer::record_complete(
+            "campaign", "chunk", run_start_ns,
+            parmis::steady_now_ns() - run_start_ns, detail);
+      }
       emit_text(args.get("trace-out", ""),
-                parmis::json::dump(parmis::obs::Tracer::drain()));
+                parmis::json::dump(parmis::obs::drained_trace_with_context(
+                    trace_parent.has_value() ? "worker" : "standalone",
+                    trace_parent.has_value() ? &*trace_parent : nullptr)));
     }
     if (args.has("metrics-out")) {
       emit_text(args.get("metrics-out", ""),

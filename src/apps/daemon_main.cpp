@@ -53,7 +53,7 @@ void print_usage() {
          "                       [--work-dir=dir] [--campaign-bin=path]\n"
          "                       [--lease-timeout-s=S]\n"
          "                       [--chunk-timeout-s=S]\n"
-         "                       [--inject-kill-chunk=I]\n"
+         "                       [--inject-kill-chunk=I] [--trace]\n"
          "                       [--metrics-out=path] [--metrics-prom=path]\n"
          "\n"
          "Campaign orchestration server: one parmis-orch-v1 JSON\n"
@@ -62,7 +62,10 @@ void print_usage() {
          "--socket listens on a local stream socket instead, and\n"
          "--connect bridges stdio to a listening daemon.  Submitted\n"
          "plans run on a work-stealing pool of campaign worker\n"
-         "processes sharing --cache-dir.\n";
+         "processes sharing --cache-dir.  --trace turns on distributed\n"
+         "observability for every job (per-submit \"trace\" overrides):\n"
+         "worker trace/metrics shards are stitched into the job dir and\n"
+         "rolled up into the daemon registry (docs/observability.md).\n";
 }
 
 void write_metrics_artifacts(const parmis::CliArgs& args) {
@@ -87,7 +90,9 @@ int main(int argc, char** argv) {
     std::vector<std::string> tokens;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      if (arg == "--help") {
+      // Pin boolean flags to explicit values (shared-parser quirk: a
+      // bare flag would swallow the next token).
+      if (arg == "--help" || arg == "--trace") {
         tokens.push_back(arg + "=1");
       } else {
         tokens.push_back(arg);
@@ -132,6 +137,7 @@ int main(int argc, char** argv) {
       defaults.inject_kill_chunk =
           static_cast<std::size_t>(args.get_int("inject-kill-chunk", 0));
     }
+    defaults.trace = args.get_bool("trace", false);
 
     orch::JobManager manager(defaults);
     orch::OrchSession session(manager);

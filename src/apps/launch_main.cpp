@@ -25,6 +25,7 @@
 // docs/orchestration.md.
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -56,7 +57,7 @@ void print_usage() {
          "                       [--chunk-timeout-s=S]\n"
          "                       [--lease-timeout-s=S] [--tables]\n"
          "                       [--analytics=path] [--csv=path]\n"
-         "                       [--inject-kill-chunk=I]\n"
+         "                       [--inject-kill-chunk=I] [--trace]\n"
          "\n"
          "Tiles the plan into M chunks (default 4 per worker), runs\n"
          "them as N local `campaign --shard-index/--shard-count`\n"
@@ -64,7 +65,10 @@ void print_usage() {
          "retries, and merges the results.  The merged report is\n"
          "bit-identical to an unsharded single-process run\n"
          "(docs/orchestration.md).  --inject-kill-chunk SIGKILLs the\n"
-         "first attempt of one chunk to exercise the recovery path.\n";
+         "first attempt of one chunk to exercise the recovery path.\n"
+         "--trace collects per-worker trace and metrics shards and\n"
+         "stitches them into <job_dir>/stitched_trace.json and\n"
+         "<job_dir>/metrics_rollup.json (docs/observability.md).\n";
 }
 
 void print_progress(const orch::JobManager::JobInfo& info) {
@@ -78,6 +82,16 @@ void print_progress(const orch::JobManager::JobInfo& info) {
   if (p.stats.steals > 0) std::cerr << ", steals " << p.stats.steals;
   if (p.has_report) {
     std::cerr << ", provisional digest " << parmis::hex64(p.report_digest);
+  }
+  // Live throughput/ETA mirror the daemon status verb's estimator.
+  if (p.cells_per_s > 0.0) {
+    char rate[64];
+    std::snprintf(rate, sizeof(rate), ", %.1f cells/s", p.cells_per_s);
+    std::cerr << rate;
+    if (p.eta_s > 0.0) {
+      std::snprintf(rate, sizeof(rate), ", eta %.1fs", p.eta_s);
+      std::cerr << rate;
+    }
   }
   std::cerr << "\n";
 }
@@ -93,7 +107,7 @@ int main(int argc, char** argv) {
       const std::string arg = argv[i];
       // Pin boolean flags to explicit values (shared-parser quirk: a
       // bare flag would swallow the next token).
-      if (arg == "--tables" || arg == "--help") {
+      if (arg == "--tables" || arg == "--help" || arg == "--trace") {
         tokens.push_back(arg + "=1");
       } else {
         tokens.push_back(arg);
@@ -134,6 +148,7 @@ int main(int argc, char** argv) {
       defaults.inject_kill_chunk =
           static_cast<std::size_t>(args.get_int("inject-kill-chunk", 0));
     }
+    defaults.trace = args.get_bool("trace", false);
 
     orch::JobManager manager(defaults);
     const orch::JobManager::JobInfo submitted = manager.submit(plan);
@@ -181,6 +196,12 @@ int main(int argc, char** argv) {
               << p.chunks_recovered << ")\n";
     std::cerr << "campaign-launch: final report: " << info.final_path
               << "\n";
+    if (info.trace) {
+      std::cerr << "campaign-launch: stitched trace: "
+                << info.stitched_trace_path << "\n"
+                << "campaign-launch: metrics rollup: "
+                << info.metrics_rollup_path << "\n";
+    }
 
     if (args.has("out")) {
       // Byte-for-byte copy of the job's final report, so the --out file

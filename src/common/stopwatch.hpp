@@ -28,6 +28,22 @@ inline std::uint64_t steady_now_ns() {
           .count());
 }
 
+/// Nanoseconds on the wall clock (CLOCK_REALTIME) since the Unix
+/// epoch.  The ONE sanctioned exception to this header's steady-only
+/// rule: the distributed trace stitcher (src/obs/distributed) needs a
+/// clock that is comparable ACROSS processes to align per-worker trace
+/// lanes, and the steady clock's epoch is per-boot-arbitrary.  Never
+/// use this for durations — an NTP step between two reads produces
+/// garbage elapsed time; the stitcher only ever subtracts two
+/// same-instant-ish captures from different processes and documents
+/// the step-mid-campaign caveat (docs/observability.md).
+inline std::uint64_t wall_now_ns() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_REALTIME, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
 /// Nanoseconds of CPU time consumed by the calling thread
 /// (CLOCK_THREAD_CPUTIME_ID).  Unlike the steady clock this excludes
 /// time spent blocked or descheduled, so wall-vs-CPU comparisons expose

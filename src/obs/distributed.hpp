@@ -1,0 +1,118 @@
+// Fleet-wide observability: cross-process trace stitching and metrics
+// rollup for the orchestration layer (src/orchestrate).
+//
+// PR 8's tracer and registry see exactly one process; the orchestrator
+// fans campaigns out to `campaign` worker subprocesses whose spans and
+// counters would otherwise vanish at exit.  This module is the glue
+// that makes the fleet observable through the same two artifacts a
+// single process produces:
+//
+//  * **Trace context propagation**: the orchestrator mints a campaign
+//    trace id and hands each worker a TraceContext through the
+//    PARMIS_TRACE_PARENT environment variable (alongside --trace-out).
+//    Workers tag their drained trace with the context, their pid/role,
+//    and their tracer epoch's wall-clock reading
+//    (Tracer::epoch_wall_ns) — the epoch handshake that lets shards
+//    from different processes land on one timeline.
+//  * **stitch_traces()**: merges per-process trace shards into one
+//    Chrome trace-event document — one process lane per shard (real
+//    pids, "process_name" metadata), worker timestamps shifted by the
+//    wall-epoch delta against the earliest shard, and synthesized flow
+//    events (ph "s"/"t"/"f") linking each orchestrator lease-chunk
+//    span to the worker process that executed it and on to the merge
+//    span that folded its report in.  ui.perfetto.dev renders the
+//    whole campaign as one timeline with arrows.
+//  * **merge_metrics()**: aggregates `parmis-metrics-v1` shards dumped
+//    by workers at exit: counters sum, gauges take the max (the only
+//    schedule-independent fleet aggregate — "last" depends on worker
+//    exit order), log2 histograms add bucketwise.  The bucketwise add
+//    is EXACT: the schema's `le` bound 2^k-1 maps back to bucket index
+//    k via bit_width, so no re-binning ever loses a sample.
+//  * **fold_metrics_into_registry()**: feeds a worker shard's counters
+//    and histograms into a live registry (the daemon-level rollup the
+//    `metrics` verb and Prometheus text serve).  Gauges are skipped:
+//    a dead worker's queue depth is not a live level.
+//
+// Everything here is observation-only and preserves the
+// digest-neutrality contract: stitched or not, traced or not, report
+// digests never move (docs/observability.md).  These sources build in
+// -DPARMIS_OBS=OFF configurations too — an OFF-build worker simply
+// contributes an empty shard.
+#ifndef PARMIS_OBS_DISTRIBUTED_HPP
+#define PARMIS_OBS_DISTRIBUTED_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace parmis::obs {
+
+/// Environment variable carrying an encoded TraceContext from the
+/// orchestrator to a `campaign` worker child.
+inline constexpr const char* kTraceParentEnv = "PARMIS_TRACE_PARENT";
+
+/// Wire tag of the encoded context; a version mismatch decodes to an
+/// error, never a silently-misread field.
+inline constexpr const char* kTraceContextTag = "parmis-trace-v1";
+
+/// Identity of one unit of distributed work, minted by the
+/// orchestrator and carried by every worker's trace shard.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< campaign-wide id (hex64 on the wire)
+  std::uint64_t job = 0;       ///< orchestrator job id
+  std::uint64_t chunk = 0;     ///< chunk index of this worker invocation
+  std::uint64_t attempt = 0;   ///< 0-based attempt
+  /// Orchestrator wall clock (CLOCK_REALTIME ns) captured at spawn —
+  /// the recorded half of the epoch handshake.  The worker's own half
+  /// is its Tracer::epoch_wall_ns in the shard's otherData.
+  std::uint64_t spawn_wall_ns = 0;
+
+  /// "parmis-trace-v1;trace=<hex16>;job=N;chunk=N;attempt=N;
+  /// spawn_wall=N" — env-safe, no spaces.
+  std::string encode() const;
+  /// Throws parmis::Error on a malformed or version-mismatched string.
+  static TraceContext decode(const std::string& text);
+  /// Reads PARMIS_TRACE_PARENT; nullopt when unset or empty.  Throws
+  /// on a present-but-malformed value (a worker must not silently run
+  /// untraced because of an encoding bug).
+  static std::optional<TraceContext> from_env();
+};
+
+/// Tracer::drain() plus the distributed identity block in otherData:
+/// `role` ("orchestrator" / "worker" / "standalone"), the process pid,
+/// `epoch_wall_ns` (string-encoded u64), and — when `parent` is given
+/// — the trace context fields.  This is what every trace-writing CLI
+/// emits; stitch_traces() reads the block back.
+json::Value drained_trace_with_context(const std::string& role,
+                                       const TraceContext* parent);
+
+/// Merges per-process trace shards (documents produced by
+/// drained_trace_with_context, or any Chrome trace-event document)
+/// into one stitched document — see the file comment.  Shard order is
+/// preserved (callers pass the orchestrator shard first and workers in
+/// sorted-path order so equal inputs stitch to equal bytes).  Shards
+/// missing the identity block still get a lane; they just contribute
+/// no flows and no clock alignment.  Throws parmis::Error only on
+/// structurally invalid documents (no traceEvents array).
+json::Value stitch_traces(const std::vector<json::Value>& shards);
+
+/// Aggregates `parmis-metrics-v1` documents: counters sum, gauges max,
+/// histograms bucketwise (exact; see file comment).  First-seen
+/// registration order is preserved.  Throws parmis::Error on a schema
+/// tag mismatch or a metric registered under conflicting types.
+json::Value merge_metrics(const std::vector<json::Value>& shards);
+
+/// Folds one `parmis-metrics-v1` document's counters and histograms
+/// into `registry` (gauges skipped — see file comment).  Call once per
+/// worker shard; the daemon-level totals then flow through the
+/// existing `metrics` verb and Prometheus export unchanged.
+void fold_metrics_into_registry(const json::Value& doc,
+                                Registry& registry);
+
+}  // namespace parmis::obs
+
+#endif  // PARMIS_OBS_DISTRIBUTED_HPP

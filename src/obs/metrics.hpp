@@ -104,6 +104,18 @@ class Histogram {
     return buckets_[k].load(std::memory_order_relaxed);
   }
 
+  /// Distributed-rollup fold (obs/distributed::fold_metrics_into_
+  /// registry): adds a foreign shard's bucket counts and sum wholesale.
+  /// Exact because the shard used the identical log2 schema — the
+  /// `le` bound 2^k-1 maps back to bucket k with no re-binning error.
+  /// Never used by instrumentation; record() is the hot path.
+  void add_bucket_count(std::size_t k, std::uint64_t n) {
+    buckets_[k].fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_sum(std::uint64_t v) {
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
  private:
   friend class Registry;
   std::atomic<std::uint64_t> buckets_[kBuckets]{};

@@ -29,19 +29,52 @@ BufferRegistry& registry() {
   return *r;
 }
 
-/// Process-wide trace epoch, established lock-free at the first
-/// timestamp: all threads' timestamps subtract the same base, so spans
-/// line up across threads.  Saturates at 0 for the (benign) race where
-/// another thread's slightly-later clock read published the epoch.
+/// Process-wide trace epoch pair: the steady-clock instant every
+/// timestamp subtracts, plus the wall-clock (CLOCK_REALTIME) reading
+/// of that same instant.  The wall half never touches timestamps or
+/// durations — it exists solely so the distributed stitcher
+/// (obs/distributed) can align this process's trace lane against other
+/// processes' lanes, whose steady epochs are incomparable.
+struct EpochPair {
+  std::atomic<std::uint64_t> steady{0};
+  std::atomic<std::uint64_t> wall{0};
+};
+
+EpochPair& epoch_pair() {
+  static EpochPair* e = new EpochPair();  // leaked like the registry
+  return *e;
+}
+
+/// Establishes the epoch pair lock-free if unset.  Two racing threads
+/// may publish the steady half from one capture and the wall half from
+/// the other; the skew is the race window between a process's first
+/// two events (microseconds) — noise next to cross-process spawn skew,
+/// and documented as a stitching caveat.
+void ensure_epoch(std::uint64_t absolute_ns) {
+  EpochPair& e = epoch_pair();
+  if (e.steady.load(std::memory_order_relaxed) != 0) return;
+  // Back-date the wall capture to the caller's steady reading so the
+  // pair describes one instant even though we run slightly after it.
+  const std::uint64_t steady_now = steady_now_ns();
+  const std::uint64_t wall_now = wall_now_ns();
+  const std::uint64_t lag =
+      steady_now >= absolute_ns ? steady_now - absolute_ns : 0;
+  const std::uint64_t wall_at = wall_now >= lag ? wall_now - lag : wall_now;
+  std::uint64_t expected = 0;
+  e.wall.compare_exchange_strong(expected, wall_at,
+                                 std::memory_order_relaxed);
+  expected = 0;
+  e.steady.compare_exchange_strong(expected, absolute_ns,
+                                   std::memory_order_relaxed);
+}
+
+/// Relative timestamp against the (lazily established) epoch.
+/// Saturates at 0 for the benign race where another thread's
+/// slightly-later clock read published the epoch.
 std::uint64_t relative_to_epoch(std::uint64_t absolute_ns) {
-  static std::atomic<std::uint64_t> epoch{0};
-  std::uint64_t e = epoch.load(std::memory_order_relaxed);
-  if (e == 0) {
-    std::uint64_t expected = 0;
-    epoch.compare_exchange_strong(expected, absolute_ns,
-                                  std::memory_order_relaxed);
-    e = epoch.load(std::memory_order_relaxed);
-  }
+  ensure_epoch(absolute_ns);
+  const std::uint64_t e =
+      epoch_pair().steady.load(std::memory_order_relaxed);
   return absolute_ns >= e ? absolute_ns - e : 0;
 }
 
@@ -249,6 +282,11 @@ std::uint64_t Tracer::buffered_events() {
     total += chunk.size();
   }
   return total;
+}
+
+std::uint64_t Tracer::epoch_wall_ns() {
+  ensure_epoch(steady_now_ns());
+  return epoch_pair().wall.load(std::memory_order_relaxed);
 }
 
 std::uint64_t ScopedSpan::now() { return steady_now_ns(); }

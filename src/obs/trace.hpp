@@ -123,6 +123,14 @@ class Tracer {
   /// Drops every buffered event (buffers and thread names survive).
   static void clear();
 
+  /// Wall-clock (CLOCK_REALTIME) nanoseconds of the instant the trace
+  /// epoch was established — i.e. the wall time every relative ts_ns
+  /// counts from.  Establishes the epoch if no event has yet.  The
+  /// distributed stitcher (obs/distributed) subtracts two processes'
+  /// values to place their lanes on one timeline; nothing in-process
+  /// ever consumes this (timestamps stay steady-clock).
+  static std::uint64_t epoch_wall_ns();
+
   /// Events overwritten by ring wrap-around, across all buffers.
   static std::uint64_t dropped_events();
   /// Events currently buffered, across all buffers.

@@ -5,11 +5,25 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/distributed.hpp"
 #include "obs/obs.hpp"
 #include "orchestrate/subprocess.hpp"
 #include "report/report_json.hpp"
 
 namespace parmis::orchestrate {
+
+namespace {
+
+/// Per-attempt artifact path inside `dir` ("" passes through).
+std::string attempt_artifact(const std::string& dir, std::size_t index,
+                             std::size_t attempt) {
+  if (dir.empty()) return std::string();
+  return dir + "/chunk_" + std::to_string(index) + "_attempt_" +
+         std::to_string(attempt) + ".json";
+}
+
+}  // namespace
 
 ProcessBackend::ProcessBackend(Config config) : cfg_(std::move(config)) {
   require(!cfg_.campaign_bin.empty(), "orchestrate: no campaign binary");
@@ -32,6 +46,25 @@ int ProcessBackend::run_child(std::size_t index, std::size_t count,
     spec.argv.push_back("--cache-dir=" + cfg_.cache_dir);
   }
   if (require_cached) spec.argv.push_back("--require-cached=1");
+  if (!require_cached) {
+    // Cache probes stay unobserved: they are recovery machinery, and a
+    // probe's shard would clobber the real attempt's artifact.
+    if (!cfg_.trace_dir.empty()) {
+      spec.argv.push_back(
+          "--trace-out=" + attempt_artifact(cfg_.trace_dir, index, attempt));
+      obs::TraceContext ctx;
+      ctx.trace_id = cfg_.trace_id;
+      ctx.job = cfg_.job_id;
+      ctx.chunk = index;
+      ctx.attempt = attempt;
+      ctx.spawn_wall_ns = wall_now_ns();
+      spec.env.emplace_back(obs::kTraceParentEnv, ctx.encode());
+    }
+    if (!cfg_.metrics_dir.empty()) {
+      spec.argv.push_back("--metrics-out=" +
+                          attempt_artifact(cfg_.metrics_dir, index, attempt));
+    }
+  }
   // One log per attempt (stdout and stderr interleaved), kept for
   // post-mortems — a retried chunk's failure output is evidence.
   const std::string log = cfg_.work_dir + "/chunk_" +
@@ -61,6 +94,9 @@ ChunkOutcome ProcessBackend::run_chunk(std::size_t index,
   ChunkOutcome outcome;
   const std::string report_path =
       cfg_.work_dir + "/chunk_" + std::to_string(index) + ".json";
+  const std::string attempt_tag =
+      "chunk_" + std::to_string(index) + "_attempt_" +
+      std::to_string(attempt);
   const auto finish = [&](bool recovered) {
     try {
       outcome.report = report::load_report(report_path);
@@ -81,6 +117,8 @@ ChunkOutcome ProcessBackend::run_chunk(std::size_t index,
                   report_path, abort) == 0) {
       finish(/*recovered=*/true);
       if (outcome.ok) {
+        outcome.log_path =
+            cfg_.work_dir + "/" + attempt_tag + "_probe.log";
         PARMIS_COUNTER_ADD("parmis_orch_chunks_recovered_total", 1);
         return outcome;
       }
@@ -95,6 +133,9 @@ ChunkOutcome ProcessBackend::run_chunk(std::size_t index,
   const int status = run_child(index, count, attempt,
                                /*require_cached=*/false, report_path,
                                abort);
+  outcome.log_path = cfg_.work_dir + "/" + attempt_tag + ".log";
+  outcome.trace_path = attempt_artifact(cfg_.trace_dir, index, attempt);
+  outcome.metrics_path = attempt_artifact(cfg_.metrics_dir, index, attempt);
   if (status != 0) {
     outcome.ok = false;
     outcome.error =

@@ -41,6 +41,15 @@ struct ChunkOutcome {
   bool recovered_from_cache = false;
   std::string error;
   exec::CampaignReport report;
+  /// Where this attempt's worker wrote its interleaved stdout/stderr
+  /// (ProcessBackend only; "" in-process).  Surfaced through the
+  /// `results` verb so a failed attempt's post-mortem is one open away.
+  std::string log_path;
+  /// Observability artifacts the worker produced, when the backend was
+  /// configured to collect them ("" otherwise) — the shards
+  /// obs::stitch_traces / obs::merge_metrics consume at job end.
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 class ChunkBackend {
@@ -72,6 +81,17 @@ class ProcessBackend : public ChunkBackend {
     /// Fault injection (tests/CI): SIGKILL the first-attempt child of
     /// this chunk shortly after spawn — a simulated worker crash.
     std::optional<std::size_t> inject_kill_chunk;
+    /// Distributed observability (obs/distributed).  Non-empty
+    /// `trace_dir`: every real (non-probe) attempt runs with
+    /// --trace-out into it and inherits a PARMIS_TRACE_PARENT context
+    /// minted from `trace_id`/`job_id` at spawn time.  Non-empty
+    /// `metrics_dir`: attempts dump --metrics-out shards into it.
+    /// Both empty (the default) spawns byte-identical argv/env to an
+    /// unobserved run — the digest-neutrality lever.
+    std::string trace_dir;
+    std::string metrics_dir;
+    std::uint64_t trace_id = 0;
+    std::uint64_t job_id = 0;
   };
 
   explicit ProcessBackend(Config config);

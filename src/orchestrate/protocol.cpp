@@ -6,8 +6,10 @@
 #include "common/error.hpp"
 #include "common/fs.hpp"
 #include "common/hash.hpp"
+#include "obs/distributed.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "report/report_json.hpp"
 #include "serde/json_util.hpp"
 
@@ -27,6 +29,17 @@ std::optional<std::size_t> optional_size(serde::ObjectReader& reader,
   const json::Value* v = reader.optional_key(key);
   if (v == nullptr) return std::nullopt;
   return static_cast<std::size_t>(reader.as_u64(*v, key));
+}
+
+/// Paths in `dir` ending in `suffix`, re-sorted lexicographically —
+/// list_files orders by mtime, which is not deterministic enough for
+/// shard stitching (equal shard sets must stitch to equal bytes).
+std::vector<std::string> sorted_shard_paths(const std::string& dir,
+                                            const std::string& suffix) {
+  std::vector<std::string> paths;
+  for (const FileInfo& f : list_files(dir, suffix)) paths.push_back(f.path);
+  std::sort(paths.begin(), paths.end());
+  return paths;
 }
 
 }  // namespace
@@ -88,6 +101,24 @@ JobManager::JobInfo JobManager::submit(const serde::CampaignPlan& plan,
   job->final_path = job->job_dir + "/final.json";
   make_directories(job->job_dir);
 
+  job->trace = options.trace.value_or(defaults_.trace);
+  if (job->trace) {
+    job->trace_dir = job->job_dir + "/trace";
+    job->metrics_dir = job->job_dir + "/metrics";
+    make_directories(job->trace_dir);
+    make_directories(job->metrics_dir);
+    job->stitched_trace_path = job->job_dir + "/stitched_trace.json";
+    job->metrics_rollup_path = job->job_dir + "/metrics_rollup.json";
+    // Campaign-wide trace identity: wall time scrambled with the job id
+    // — unique enough for shard correlation, which is all it is for.
+    job->trace_id = wall_now_ns() ^ (job->id * 0x9E3779B97F4A7C15ULL);
+    // The orchestrator's own spans ride the process-wide tracer; arm it
+    // so a traced job under an otherwise-untraced daemon still records
+    // its lease/merge lane.  Harmless to digests by the neutrality
+    // contract, and never turned back off (other jobs may be traced).
+    obs::Tracer::set_enabled(true);
+  }
+
   // Snapshot the plan into the job dir: workers read this copy, so a
   // caller mutating or deleting the original mid-job cannot skew the
   // tiling (the merge's campaign-hash check would catch it anyway).
@@ -103,6 +134,10 @@ JobManager::JobInfo JobManager::submit(const serde::CampaignPlan& plan,
   process.threads = defaults_.threads_per_worker;
   process.chunk_timeout_ms = defaults_.chunk_timeout_ms;
   process.inject_kill_chunk = defaults_.inject_kill_chunk;
+  process.trace_dir = job->trace_dir;
+  process.metrics_dir = job->metrics_dir;
+  process.trace_id = job->trace_id;
+  process.job_id = job->id;
   job->backend =
       defaults_.backend_factory
           ? defaults_.backend_factory(effective, job->job_dir, process)
@@ -117,22 +152,78 @@ JobManager::JobInfo JobManager::submit(const serde::CampaignPlan& plan,
   jc.lease_timeout_ms = defaults_.lease_timeout_ms;
   jc.provisional_path = job->provisional_path;
   jc.obs_prefix = "parmis_orch_job" + std::to_string(job->id);
+  jc.job_id = job->id;
   job->runner = std::make_unique<JobRunner>(*job->backend, jc);
 
   Job* raw = job.get();  // map nodes are stable; jobs are never erased
-  job->thread = std::thread([raw] {
+  job->thread = std::thread([this, raw] {
     try {
       exec::CampaignReport report = raw->runner->run();
       report::save_report(raw->final_path, report);
     } catch (const std::exception&) {
       // Failure/cancellation details live in the runner's progress().
     }
+    // Shard collection runs however the job settled: a failed job's
+    // trace is exactly the one worth looking at.
+    if (raw->trace) finalize_observability(*raw);
   });
   PARMIS_COUNTER_ADD("parmis_orch_jobs_submitted_total", 1);
 
   JobInfo info = info_locked(*raw);
   jobs_.emplace(raw->id, std::move(job));
   return info;
+}
+
+void JobManager::finalize_observability(Job& job) {
+  // Trace stitching.  The orchestrator shard drains this process's
+  // tracer (lease/merge spans, tagged with the job's context) and is
+  // always stitched first; worker shards follow in sorted-path order so
+  // equal shard sets stitch to equal bytes.
+  try {
+    obs::TraceContext ctx;
+    ctx.trace_id = job.trace_id;
+    ctx.job = job.id;
+    json::Value orch = obs::drained_trace_with_context("orchestrator", &ctx);
+    const std::string orch_path = job.trace_dir + "/orchestrator.json";
+    atomic_write_file(orch_path, json::dump(orch));
+    std::vector<json::Value> shards;
+    shards.push_back(std::move(orch));
+    for (const std::string& path :
+         sorted_shard_paths(job.trace_dir, ".json")) {
+      if (path == orch_path) continue;
+      const std::optional<std::string> text = read_file(path);
+      if (!text.has_value()) continue;
+      try {
+        shards.push_back(json::parse(*text));
+      } catch (const std::exception&) {
+        // A killed worker can leave a torn shard; stitch what's whole.
+      }
+    }
+    atomic_write_file(job.stitched_trace_path,
+                      json::dump(obs::stitch_traces(shards)));
+  } catch (const std::exception&) {
+    // Best-effort: a job is never failed by its observability.
+  }
+
+  // Metrics rollup: merge worker shards into the job-level document,
+  // then fold the rollup's counters/histograms into the daemon-level
+  // registry so the `metrics` verb and Prometheus text see fleet totals.
+  try {
+    std::vector<json::Value> shards;
+    for (const std::string& path :
+         sorted_shard_paths(job.metrics_dir, ".json")) {
+      const std::optional<std::string> text = read_file(path);
+      if (!text.has_value()) continue;
+      try {
+        shards.push_back(json::parse(*text));
+      } catch (const std::exception&) {
+      }
+    }
+    const json::Value rollup = obs::merge_metrics(shards);
+    atomic_write_file(job.metrics_rollup_path, json::dump(rollup));
+    obs::fold_metrics_into_registry(rollup, obs::Registry::instance());
+  } catch (const std::exception&) {
+  }
 }
 
 JobManager::JobInfo JobManager::info_locked(const Job& job) const {
@@ -145,6 +236,9 @@ JobManager::JobInfo JobManager::info_locked(const Job& job) const {
   info.job_dir = job.job_dir;
   info.provisional_path = job.provisional_path;
   info.final_path = job.final_path;
+  info.trace = job.trace;
+  info.stitched_trace_path = job.stitched_trace_path;
+  info.metrics_rollup_path = job.metrics_rollup_path;
   return info;
 }
 
@@ -222,6 +316,14 @@ json::Value OrchSession::job_body(const JobManager::JobInfo& info) const {
     body.set("digest", json::Value::string(hex64(p.report_digest)));
     body.set("partial", json::Value::boolean(p.report_partial));
   }
+  // Live throughput from the provisional merge stream (status verb's
+  // progress estimator; see scheduler.hpp JobProgress).
+  if (p.cells_per_s > 0.0) {
+    body.set("cells_per_s", json::Value::number(p.cells_per_s));
+  }
+  if (p.eta_s > 0.0) {
+    body.set("eta_s", json::Value::number(p.eta_s));
+  }
   if (p.state != JobProgress::State::Pending &&
       p.state != JobProgress::State::Running) {
     body.set("wall_s", json::Value::number(p.wall_s));
@@ -266,6 +368,10 @@ json::Value OrchSession::dispatch(const json::Value& doc, std::string* op,
     options.lease_chunks = optional_size(reader, "lease_chunks");
     options.max_attempts = optional_size(reader, "max_attempts");
     options.tag = reader.get_string("tag", "");
+    if (const json::Value* trace = reader.optional_key("trace")) {
+      require(trace->is_bool(), "request: \"trace\" must be a bool");
+      options.trace = trace->as_bool();
+    }
     reader.finish();
     body = job_body(manager_->submit(plan, options));
   } else if (*op == "status") {
@@ -290,6 +396,41 @@ json::Value OrchSession::dispatch(const json::Value& doc, std::string* op,
     body.set("cells", serde::u64_to_json(p.report_cells));
     body.set("digest", json::Value::string(hex64(p.report_digest)));
     body.set("partial", json::Value::boolean(p.report_partial));
+    // Per-attempt audit trail: which worker ran what, how it went, and
+    // where its log / trace shard / metrics shard landed (empty-path
+    // fields are omitted — in-process backends have no artifacts).
+    json::Value attempts = json::Value::array();
+    for (const AttemptRecord& a : p.attempts) {
+      json::Value rec = json::Value::object();
+      rec.set("chunk", serde::u64_to_json(a.chunk));
+      rec.set("attempt", serde::u64_to_json(a.attempt));
+      rec.set("ok", json::Value::boolean(a.ok));
+      if (a.recovered_from_cache) {
+        rec.set("recovered_from_cache", json::Value::boolean(true));
+      }
+      if (!a.error.empty()) {
+        rec.set("error", json::Value::string(a.error));
+      }
+      if (!a.log_path.empty()) {
+        rec.set("log", json::Value::string(a.log_path));
+      }
+      if (!a.trace_path.empty()) {
+        rec.set("trace", json::Value::string(a.trace_path));
+      }
+      if (!a.metrics_path.empty()) {
+        rec.set("metrics", json::Value::string(a.metrics_path));
+      }
+      attempts.push_back(std::move(rec));
+    }
+    body.set("attempts", std::move(attempts));
+    if (!info.stitched_trace_path.empty()) {
+      body.set("stitched_trace",
+               json::Value::string(info.stitched_trace_path));
+    }
+    if (!info.metrics_rollup_path.empty()) {
+      body.set("metrics_rollup",
+               json::Value::string(info.metrics_rollup_path));
+    }
   } else if (*op == "cancel") {
     PARMIS_COUNTER_ADD("parmis_orch_op_cancel_total", 1);
     const std::uint64_t job_id = reader.get_u64("job");
@@ -326,8 +467,26 @@ json::Value OrchSession::dispatch(const json::Value& doc, std::string* op,
   } else if (*op == "metrics") {
     PARMIS_COUNTER_ADD("parmis_orch_op_metrics_total", 1);
     const std::string format = reader.get_string("format", "json");
+    const json::Value* job_key = reader.optional_key("job");
     reader.finish();
-    if (format == "prometheus") {
+    if (job_key != nullptr) {
+      // Job-level rollup: the merged worker shards written at job end
+      // (submit with "trace":true), served back as parmis-metrics-v1.
+      const std::uint64_t job_id = reader.as_u64(*job_key, "job");
+      const JobManager::JobInfo info = job_or_throw(job_id);
+      require(format == "json",
+              "request: per-job metrics are served as \"json\" only");
+      require(!info.metrics_rollup_path.empty(),
+              "request: job " + std::to_string(job_id) +
+                  " was not submitted with \"trace\":true");
+      const std::optional<std::string> text =
+          read_file(info.metrics_rollup_path);
+      require(text.has_value(),
+              "request: job " + std::to_string(job_id) +
+                  " rollup not written yet (job still running?)");
+      body.set("job", serde::u64_to_json(job_id));
+      body.set("metrics", json::parse(*text));
+    } else if (format == "prometheus") {
       body.set("format", json::Value::string("prometheus"));
       body.set("text", json::Value::string(
                            obs::Registry::instance().to_prometheus()));

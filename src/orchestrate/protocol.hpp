@@ -8,15 +8,18 @@
 //   {"op":"submit","plan_path":P,...}   queue a campaign (or inline
 //                                       "plan":{...}; optional workers,
 //                                       chunks, lease_chunks,
-//                                       max_attempts, tag)
-//   {"op":"status","job":N}             progress counters + digest
+//                                       max_attempts, tag, trace)
+//   {"op":"status","job":N}             progress counters + digest +
+//                                       live cells_per_s / eta_s
 //   {"op":"results","job":N}            final (or provisional) report
-//                                       path + digest
+//                                       path + digest + per-attempt
+//                                       worker log / artifact paths
 //   {"op":"cancel","job":N}             stop a running job
 //   {"op":"jobs"}                       all jobs, oldest first
 //   {"op":"ping"}                       liveness: protocol, uptime_s,
 //                                       jobs, defaults
-//   {"op":"metrics"}                    process metrics registry
+//   {"op":"metrics"}                    process metrics registry; with
+//                                       "job":N, that job's rollup
 //   {"op":"quit"}                       shut the daemon down
 //
 // Same envelope rules as parmis-serve-v1: every response carries
@@ -77,6 +80,13 @@ class JobManager {
     /// Fault injection forwarded to every job's ProcessBackend (CI's
     /// worker-kill smoke).
     std::optional<std::size_t> inject_kill_chunk;
+    /// Distributed observability default (per-submit "trace" overrides):
+    /// workers run with --trace-out/--metrics-out into the job dir and a
+    /// PARMIS_TRACE_PARENT context; at job end the shards are stitched
+    /// into <job_dir>/stitched_trace.json, merged into
+    /// <job_dir>/metrics_rollup.json, and the rollup's counters and
+    /// histograms fold into the daemon's live registry.
+    bool trace = false;
     /// Test hook: replaces the ProcessBackend (hermetic in-process
     /// jobs).  Receives the resolved plan, the job directory, and the
     /// process config that would have been used.
@@ -92,6 +102,7 @@ class JobManager {
     std::optional<std::size_t> lease_chunks;
     std::optional<std::size_t> max_attempts;
     std::string tag;
+    std::optional<bool> trace;  ///< overrides Defaults::trace
   };
 
   /// Point-in-time view of one job.
@@ -104,6 +115,10 @@ class JobManager {
     std::string job_dir;
     std::string provisional_path;  ///< written as chunks land
     std::string final_path;        ///< written once Done
+    bool trace = false;            ///< distributed observability on
+    /// Written once the job settles (trace jobs only; "" otherwise).
+    std::string stitched_trace_path;
+    std::string metrics_rollup_path;
   };
 
   explicit JobManager(Defaults defaults);
@@ -135,12 +150,22 @@ class JobManager {
     std::string job_dir;
     std::string provisional_path;
     std::string final_path;
+    bool trace = false;
+    std::uint64_t trace_id = 0;
+    std::string trace_dir;    ///< worker + orchestrator trace shards
+    std::string metrics_dir;  ///< worker metrics shards
+    std::string stitched_trace_path;
+    std::string metrics_rollup_path;
     std::unique_ptr<ChunkBackend> backend;
     std::unique_ptr<JobRunner> runner;
     std::thread thread;
   };
 
   JobInfo info_locked(const Job& job) const;
+  /// Job-end shard collection: stitches trace shards and merges metrics
+  /// shards (obs/distributed), folding the rollup into the live
+  /// registry.  Best-effort — observability failures never fail a job.
+  void finalize_observability(Job& job);
 
   Defaults defaults_;
   mutable std::mutex mu_;

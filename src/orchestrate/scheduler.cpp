@@ -80,6 +80,11 @@ void JobRunner::export_gauges_locked() const {
 }
 
 void JobRunner::fold_in(std::size_t chunk, exec::CampaignReport&& report) {
+  // The merge span is the flow-chain terminus: the stitcher binds the
+  // worker's execution back to the instant its report folded in.
+  PARMIS_TRACE_SPAN_D("orch", "merge", "job=%llu;chunk=%llu",
+                      static_cast<unsigned long long>(cfg_.job_id),
+                      static_cast<unsigned long long>(chunk));
   std::lock_guard<std::mutex> lock(mu_);
   // A zombie lease can complete a chunk that a retry already merged;
   // merging it twice would (correctly) trip the overlap check, so
@@ -101,9 +106,31 @@ void JobRunner::fold_in(std::size_t chunk, exec::CampaignReport&& report) {
 void JobRunner::worker_loop(std::size_t slot) {
   const std::string name = "worker-" + std::to_string(slot);
   while (auto grant = table_.next(name)) {
-    ChunkOutcome outcome =
-        backend_.run_chunk(grant->chunk, cfg_.chunks, grant->attempt,
-                           abort_);
+    ChunkOutcome outcome;
+    {
+      // Lease-grant-to-completion span; its "job=N;chunk=K;attempt=A"
+      // detail is the key the stitcher matches worker shards against.
+      PARMIS_TRACE_SPAN_D(
+          "orch", "chunk", "job=%llu;chunk=%llu;attempt=%llu",
+          static_cast<unsigned long long>(cfg_.job_id),
+          static_cast<unsigned long long>(grant->chunk),
+          static_cast<unsigned long long>(grant->attempt));
+      outcome = backend_.run_chunk(grant->chunk, cfg_.chunks,
+                                   grant->attempt, abort_);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      AttemptRecord rec;
+      rec.chunk = grant->chunk;
+      rec.attempt = grant->attempt;
+      rec.ok = outcome.ok;
+      rec.recovered_from_cache = outcome.recovered_from_cache;
+      rec.error = outcome.error;
+      rec.log_path = outcome.log_path;
+      rec.trace_path = outcome.trace_path;
+      rec.metrics_path = outcome.metrics_path;
+      attempts_.push_back(std::move(rec));
+    }
     if (outcome.ok) {
       try {
         fold_in(grant->chunk, std::move(outcome.report));
@@ -139,6 +166,7 @@ exec::CampaignReport JobRunner::run() {
     require(state_ == JobProgress::State::Pending,
             "orchestrate: job already ran");
     state_ = JobProgress::State::Running;
+    start_steady_ns_ = steady_now_ns();
     export_gauges_locked();
   }
   PARMIS_GAUGE_SET("parmis_orch_workers_active",
@@ -191,8 +219,26 @@ JobProgress JobRunner::progress() const {
     out.report_digest = provisional_->objectives_digest();
     out.report_cells = provisional_->cells.size();
     out.report_partial = provisional_->partial;
+    out.cells_done = provisional_->cells.size();
+    out.total_cells = provisional_->total_cells;
   }
   out.wall_s = wall_s_;
+  // Throughput and ETA, from the provisional merge stream.  While the
+  // job runs, the clock is "now - start"; afterwards it is the final
+  // wall time, so cells_per_s settles to the job's true average.
+  const double elapsed_s =
+      state_ == JobProgress::State::Running && start_steady_ns_ != 0
+          ? static_cast<double>(steady_now_ns() - start_steady_ns_) / 1e9
+          : wall_s_;
+  if (elapsed_s > 0.0 && out.cells_done > 0) {
+    out.cells_per_s = static_cast<double>(out.cells_done) / elapsed_s;
+  }
+  if (state_ == JobProgress::State::Running && out.cells_per_s > 0.0 &&
+      out.total_cells > out.cells_done) {
+    out.eta_s = static_cast<double>(out.total_cells - out.cells_done) /
+                out.cells_per_s;
+  }
+  out.attempts = attempts_;
   out.error = !error_.empty() ? error_ : table_.first_error();
   return out;
 }

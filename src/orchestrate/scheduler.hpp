@@ -26,6 +26,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "exec/campaign.hpp"
 #include "orchestrate/backend.hpp"
@@ -47,6 +48,24 @@ struct JobConfig {
   /// (e.g. "parmis_orch_job7" -> parmis_orch_job7_chunks_done).  Must
   /// match the obs name grammar: ^[a-z][a-z0-9_]*$.
   std::string obs_prefix;
+  /// Job identity stamped into orchestrator trace spans
+  /// ("job=N;chunk=K;attempt=A" details) — what lets the distributed
+  /// stitcher pick this job's spans out of a shared daemon trace.
+  std::uint64_t job_id = 0;
+};
+
+/// One backend chunk attempt as the scheduler saw it — the audit trail
+/// the daemon's `results` verb surfaces, worker log and observability
+/// artifact paths included (the backend used to discard them).
+struct AttemptRecord {
+  std::size_t chunk = 0;
+  std::size_t attempt = 0;  ///< 0-based
+  bool ok = false;
+  bool recovered_from_cache = false;
+  std::string error;         ///< "" when ok
+  std::string log_path;      ///< "" for in-process backends
+  std::string trace_path;    ///< "" unless trace collection was on
+  std::string metrics_path;  ///< "" unless metrics collection was on
 };
 
 struct JobProgress {
@@ -64,6 +83,17 @@ struct JobProgress {
   bool report_partial = false;
   double wall_s = 0.0;
   std::string error;
+  /// Live throughput from the provisional merge stream: cells merged
+  /// so far, the campaign's full cell count (a parmis-report-v3
+  /// partial keeps the ORIGINAL total_cells — that is what makes the
+  /// ETA computable mid-run), merged cells per wall second, and the
+  /// naive remaining/rate estimate (0 when unknown or finished).
+  std::size_t cells_done = 0;
+  std::size_t total_cells = 0;
+  double cells_per_s = 0.0;
+  double eta_s = 0.0;
+  /// Every chunk attempt, in completion order.
+  std::vector<AttemptRecord> attempts;
 };
 
 const char* job_state_name(JobProgress::State state);
@@ -106,6 +136,8 @@ class JobRunner {
   std::uint64_t chunks_recovered_ = 0;
   double wall_s_ = 0.0;
   std::string error_;
+  std::vector<AttemptRecord> attempts_;
+  std::uint64_t start_steady_ns_ = 0;  ///< run() entry; 0 before
 };
 
 }  // namespace parmis::orchestrate

@@ -53,6 +53,9 @@ void ChildProcess::spawn(const SpawnSpec& spec) {
   if (pid == 0) {
     redirect_or_die(spec.stdout_path, STDOUT_FILENO);
     redirect_or_die(spec.stderr_path, STDERR_FILENO);
+    for (const auto& [key, value] : spec.env) {
+      if (::setenv(key.c_str(), value.c_str(), 1) != 0) _exit(126);
+    }
     ::execvp(argv[0], argv.data());
     _exit(127);  // exec failed; distinguishable from any campaign exit
   }

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <sys/types.h>
@@ -22,11 +23,15 @@
 namespace parmis::orchestrate {
 
 /// One child invocation: argv[0] is the binary (resolved via PATH).
-/// Empty redirect paths mean /dev/null.
+/// Empty redirect paths mean /dev/null.  `env` entries are setenv'd in
+/// the child between fork and exec (parent environment otherwise
+/// inherited unchanged) — how the orchestrator hands each worker its
+/// PARMIS_TRACE_PARENT context without touching the worker CLI surface.
 struct SpawnSpec {
   std::vector<std::string> argv;
   std::string stdout_path;
   std::string stderr_path;
+  std::vector<std::pair<std::string, std::string>> env;
 };
 
 class ChildProcess {

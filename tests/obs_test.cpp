@@ -19,8 +19,12 @@
 #include <thread>
 #include <vector>
 
+#include <cstdlib>
+
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/distributed.hpp"
 #include "exec/campaign.hpp"
 #include "exec/thread_pool.hpp"
 #include "gp/gp.hpp"
@@ -174,6 +178,33 @@ TEST(Metrics, PrometheusExportStructure) {
             std::string::npos);
   EXPECT_NE(text.find("obs_test_prom_ns_sum 7\n"), std::string::npos);
   EXPECT_NE(text.find("obs_test_prom_ns_count 2\n"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusEmptyHistogramStillEmitsInfSumAndCount) {
+  // Regression pin: a registered-but-never-recorded histogram must
+  // still emit its +Inf bucket, _sum, and _count series.  Scrapers
+  // treat a missing series as "metric vanished", which pages; an empty
+  // histogram is a present metric whose value is zero.
+  Registry& reg = Registry::instance();
+  reg.histogram("obs_test_empty_histo_ns", "never recorded");
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(
+      text.find("obs_test_empty_histo_ns_bucket{le=\"+Inf\"} 0\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("obs_test_empty_histo_ns_sum 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_empty_histo_ns_count 0\n"),
+            std::string::npos);
+  // And no phantom finite bucket: the only _bucket line for this metric
+  // is the +Inf one.
+  const std::string bucket_prefix = "obs_test_empty_histo_ns_bucket{";
+  std::size_t buckets = 0;
+  for (std::size_t pos = text.find(bucket_prefix);
+       pos != std::string::npos;
+       pos = text.find(bucket_prefix, pos + 1)) {
+    ++buckets;
+  }
+  EXPECT_EQ(buckets, 1u);
 }
 
 TEST(Metrics, ResetZeroesValuesButKeepsRegistrations) {
@@ -332,6 +363,363 @@ TEST(Tracer, WorkerSpansSurviveThePoolAndCarryThreadIds) {
   }
   EXPECT_EQ(tasks, 16u);
   EXPECT_GE(tids.size(), 1u);  // scheduling decides the exact spread
+}
+
+TEST(Tracer, DrainTieBreaksEqualTimestampsByThreadId) {
+  // Regression pin for the deterministic-dump contract: two threads
+  // recording at the SAME steady-clock instant produce events with
+  // byte-identical ts values, and drain() must order them by tid (then
+  // name) — not by buffer registration accident.
+  TracerGuard guard;
+  Tracer::set_enabled(true);
+  const std::uint64_t ts = steady_now_ns();
+  std::thread first([&] {
+    Tracer::record_complete("tie", "a1", ts, 10);
+    Tracer::record_complete("tie", "a2", ts, 10);
+  });
+  first.join();
+  std::thread second([&] { Tracer::record_complete("tie", "b1", ts, 10); });
+  second.join();
+  Tracer::set_enabled(false);
+
+  const json::Value doc = Tracer::drain();
+  const json::Value& events = doc.at("traceEvents");
+  double last_tid = -1.0;
+  std::string last_name;
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const json::Value& e = events.at(i);
+    if (e.at("ph").as_string() != "X" ||
+        e.at("cat").as_string() != "tie") {
+      continue;
+    }
+    ++seen;
+    const double tid = e.at("tid").as_number();
+    EXPECT_GE(tid, last_tid);  // equal-ts events sorted by tid
+    if (tid == last_tid) {
+      // Same thread, same instant: the name is the final tie-break.
+      EXPECT_LT(last_name, e.at("name").as_string());
+    }
+    last_tid = tid;
+    last_name = e.at("name").as_string();
+  }
+  EXPECT_EQ(seen, 3u);
+  // The whole point: the dump is reproducible despite the tie.
+  EXPECT_EQ(json::dump(Tracer::drain()), json::dump(doc));
+}
+
+// ----------------------------------------- distributed: trace context
+
+TEST(Distributed, TraceContextRoundTripsThroughEncode) {
+  TraceContext ctx;
+  ctx.trace_id = 0xDEADBEEF12345678ull;
+  ctx.job = 7;
+  ctx.chunk = 12;
+  ctx.attempt = 2;
+  ctx.spawn_wall_ns = 1754700000123456789ull;  // > 2^53: string-safe
+  const std::string wire = ctx.encode();
+  EXPECT_EQ(wire,
+            "parmis-trace-v1;trace=deadbeef12345678;job=7;chunk=12;"
+            "attempt=2;spawn_wall=1754700000123456789");
+  const TraceContext back = TraceContext::decode(wire);
+  EXPECT_EQ(back.trace_id, ctx.trace_id);
+  EXPECT_EQ(back.job, ctx.job);
+  EXPECT_EQ(back.chunk, ctx.chunk);
+  EXPECT_EQ(back.attempt, ctx.attempt);
+  EXPECT_EQ(back.spawn_wall_ns, ctx.spawn_wall_ns);
+}
+
+TEST(Distributed, TraceContextDecodeRejectsMalformedInput) {
+  const std::string good = TraceContext{1, 2, 3, 4, 5}.encode();
+  EXPECT_NO_THROW(TraceContext::decode(good));
+  // Wrong tag / version.
+  EXPECT_THROW(TraceContext::decode("parmis-trace-v2;trace="
+                                    "0000000000000001;job=2;chunk=3;"
+                                    "attempt=4;spawn_wall=5"),
+               Error);
+  // Missing field.
+  EXPECT_THROW(
+      TraceContext::decode(
+          "parmis-trace-v1;trace=0000000000000001;job=2;chunk=3;attempt=4"),
+      Error);
+  // Duplicate field.
+  EXPECT_THROW(TraceContext::decode(good + ";job=9"), Error);
+  // Unknown field.
+  EXPECT_THROW(TraceContext::decode(good + ";extra=1"), Error);
+  // Bad hex (short) and bad decimal.
+  EXPECT_THROW(TraceContext::decode(
+                   "parmis-trace-v1;trace=1;job=2;chunk=3;attempt=4;"
+                   "spawn_wall=5"),
+               Error);
+  EXPECT_THROW(TraceContext::decode(
+                   "parmis-trace-v1;trace=0000000000000001;job=x;chunk=3;"
+                   "attempt=4;spawn_wall=5"),
+               Error);
+}
+
+TEST(Distributed, TraceContextFromEnvReadsAndValidates) {
+  ASSERT_EQ(::unsetenv(kTraceParentEnv), 0);
+  EXPECT_FALSE(TraceContext::from_env().has_value());
+  ASSERT_EQ(::setenv(kTraceParentEnv, "", 1), 0);
+  EXPECT_FALSE(TraceContext::from_env().has_value());
+
+  const TraceContext ctx{0xABull, 1, 2, 3, 4};
+  ASSERT_EQ(::setenv(kTraceParentEnv, ctx.encode().c_str(), 1), 0);
+  const auto read = TraceContext::from_env();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->trace_id, 0xABull);
+  EXPECT_EQ(read->chunk, 2u);
+
+  // Present-but-garbage must throw, not silently run untraced.
+  ASSERT_EQ(::setenv(kTraceParentEnv, "garbage", 1), 0);
+  EXPECT_THROW(TraceContext::from_env(), Error);
+  ASSERT_EQ(::unsetenv(kTraceParentEnv), 0);
+}
+
+TEST(Distributed, DrainedTraceCarriesIdentityBlock) {
+  TracerGuard guard;
+  Tracer::set_enabled(true);
+  Tracer::record_instant("ctx", "mark");
+  Tracer::set_enabled(false);
+
+  const TraceContext ctx{0x00000000000000FFull, 3, 1, 0, 42};
+  const json::Value doc = drained_trace_with_context("worker", &ctx);
+  const json::Value& other = doc.at("otherData");
+  EXPECT_EQ(other.at("role").as_string(), "worker");
+  EXPECT_GT(other.at("pid").as_number(), 0.0);
+  EXPECT_EQ(other.at("trace_id").as_string(), "00000000000000ff");
+  EXPECT_EQ(other.at("job").as_number(), 3.0);
+  // The tracer's own otherData keys survive the merge of the blocks.
+  EXPECT_EQ(other.at("tracer").as_string(), "parmis-obs");
+
+  const json::Value standalone =
+      drained_trace_with_context("standalone", nullptr);
+  EXPECT_EQ(standalone.at("otherData").at("role").as_string(),
+            "standalone");
+  EXPECT_EQ(standalone.at("otherData").find("trace_id"), nullptr);
+}
+
+// ---------------------------------------- distributed: trace stitching
+
+json::Value orchestrator_shard() {
+  return json::parse(R"({
+    "traceEvents": [
+      {"ph":"X","name":"chunk","cat":"orch","pid":1,"tid":1,"ts":10.0,
+       "dur":50.0,"args":{"detail":"job=1;chunk=0;attempt=0"}},
+      {"ph":"X","name":"merge","cat":"orch","pid":1,"tid":1,"ts":70.0,
+       "dur":5.0,"args":{"detail":"job=1;chunk=0"}},
+      {"ph":"X","name":"chunk","cat":"orch","pid":1,"tid":1,"ts":100.0,
+       "dur":5.0,"args":{"detail":"job=2;chunk=0;attempt=0"}}
+    ],
+    "otherData": {"tracer":"parmis-obs","dropped_events":0,
+      "role":"orchestrator","pid":500,"epoch_wall_ns":"1000000000",
+      "trace_id":"00000000000000ff","job":1,"chunk":0,"attempt":0,
+      "spawn_wall_ns":"1000000000"}
+  })");
+}
+
+json::Value worker_shard() {
+  return json::parse(R"({
+    "traceEvents": [
+      {"ph":"M","name":"thread_name","pid":1,"tid":1,
+       "args":{"name":"main"}},
+      {"ph":"X","name":"chunk","cat":"campaign","pid":1,"tid":1,
+       "ts":5.0,"dur":30.0,"args":{"detail":"job=1;chunk=0;attempt=0"}}
+    ],
+    "otherData": {"tracer":"parmis-obs","dropped_events":0,
+      "role":"worker","pid":600,"epoch_wall_ns":"1002000000",
+      "trace_id":"00000000000000ff","job":1,"chunk":0,"attempt":0,
+      "spawn_wall_ns":"1000500000"}
+  })");
+}
+
+TEST(Distributed, StitchAssignsLanesAlignsClocksAndLinksFlows) {
+  const json::Value stitched =
+      stitch_traces({orchestrator_shard(), worker_shard()});
+
+  const json::Value& other = stitched.at("otherData");
+  EXPECT_EQ(other.at("tracer").as_string(), "parmis-obs-stitch");
+  EXPECT_EQ(other.at("shards").as_number(), 2.0);
+  EXPECT_EQ(other.at("trace_id").as_string(), "00000000000000ff");
+
+  const json::Value& events = stitched.at("traceEvents");
+  std::vector<std::string> lanes;
+  bool saw_worker_span = false, saw_foreign_job = false;
+  std::size_t flows_s = 0, flows_t = 0, flows_f = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const json::Value& e = events.at(i);
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "M" && e.at("name").as_string() == "process_name") {
+      lanes.push_back(e.at("args").at("name").as_string());
+    }
+    if (ph == "X" && e.at("cat").as_string() == "campaign") {
+      saw_worker_span = true;
+      // Worker lane keeps its real pid and is shifted by the 2 ms
+      // wall-epoch delta: 5 us + 2000 us.
+      EXPECT_EQ(e.at("pid").as_number(), 600.0);
+      EXPECT_EQ(e.at("ts").as_number(), 2005.0);
+    }
+    if (ph == "X" && e.at("cat").as_string() == "orch") {
+      EXPECT_EQ(e.at("pid").as_number(), 500.0);
+      const std::string detail =
+          e.at("args").at("detail").as_string();
+      if (detail.find("job=2") != std::string::npos) {
+        saw_foreign_job = true;
+      }
+    }
+    if (ph == "s") ++flows_s;
+    if (ph == "t") ++flows_t;
+    if (ph == "f") {
+      ++flows_f;
+      EXPECT_EQ(e.at("bp").as_string(), "e");  // bind to enclosing slice
+      EXPECT_EQ(e.at("pid").as_number(), 500.0);  // ends at the merge
+    }
+  }
+  ASSERT_EQ(lanes.size(), 2u);
+  EXPECT_EQ(lanes[0], "orchestrator pid 500");
+  EXPECT_EQ(lanes[1], "worker pid 600 chunk 0 attempt 0");
+  EXPECT_TRUE(saw_worker_span);
+  // The daemon traces every job into one ring; a shard for job 1 must
+  // not carry job 2's lease spans.
+  EXPECT_FALSE(saw_foreign_job);
+  EXPECT_EQ(flows_s, 1u);
+  EXPECT_EQ(flows_t, 1u);
+  EXPECT_EQ(flows_f, 1u);
+
+  // Determinism: equal inputs stitch to equal bytes.
+  EXPECT_EQ(json::dump(stitch_traces({orchestrator_shard(),
+                                      worker_shard()})),
+            json::dump(stitched));
+}
+
+TEST(Distributed, StitchToleratesContextFreeShardsAndRejectsGarbage) {
+  // A bare Chrome trace document (no identity block) still gets a lane.
+  const json::Value bare = json::parse(
+      R"({"traceEvents":[{"ph":"I","name":"m","cat":"c","pid":1,)"
+      R"("tid":1,"ts":1.0}]})");
+  const json::Value stitched = stitch_traces({bare});
+  EXPECT_EQ(stitched.at("otherData").at("shards").as_number(), 1.0);
+  bool saw_lane = false;
+  const json::Value& events = stitched.at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const json::Value& e = events.at(i);
+    if (e.at("ph").as_string() == "M" &&
+        e.at("name").as_string() == "process_name") {
+      saw_lane = true;
+    }
+  }
+  EXPECT_TRUE(saw_lane);
+
+  EXPECT_THROW(stitch_traces({json::parse("[1,2,3]")}), Error);
+  EXPECT_THROW(stitch_traces({json::parse(R"({"notTrace":true})")}),
+               Error);
+}
+
+// ------------------------------------------ distributed: metrics merge
+
+json::Value metrics_shard_a() {
+  return json::parse(R"({
+    "schema": "parmis-metrics-v1",
+    "metrics": {
+      "obs_test_merge_a_total": {"type":"counter","help":"ca","value":3},
+      "obs_test_merge_depth": {"type":"gauge","value":5},
+      "obs_test_merge_lat_ns": {"type":"histogram","count":2,"sum":8,
+        "buckets":[{"le":7,"count":2}]}
+    }
+  })");
+}
+
+json::Value metrics_shard_b() {
+  return json::parse(R"({
+    "schema": "parmis-metrics-v1",
+    "metrics": {
+      "obs_test_merge_a_total": {"type":"counter","value":4},
+      "obs_test_merge_depth": {"type":"gauge","value":-2},
+      "obs_test_merge_lat_ns": {"type":"histogram","count":3,"sum":12,
+        "buckets":[{"le":7,"count":1},{"le":15,"count":2}]}
+    }
+  })");
+}
+
+TEST(Distributed, MergeMetricsSumsMaxesAndAddsBucketwise) {
+  const json::Value merged =
+      merge_metrics({metrics_shard_a(), metrics_shard_b()});
+  EXPECT_EQ(merged.at("schema").as_string(), kMetricsSchema);
+  const json::Value& metrics = merged.at("metrics");
+
+  const json::Value& c = metrics.at("obs_test_merge_a_total");
+  EXPECT_EQ(c.at("value").as_number(), 7.0);       // counters sum
+  EXPECT_EQ(c.at("help").as_string(), "ca");       // first help wins
+
+  // Gauges take the max — the one aggregate independent of worker
+  // exit order.
+  EXPECT_EQ(metrics.at("obs_test_merge_depth").at("value").as_number(),
+            5.0);
+
+  const json::Value& h = metrics.at("obs_test_merge_lat_ns");
+  EXPECT_EQ(h.at("sum").as_number(), 20.0);
+  EXPECT_EQ(h.at("count").as_number(), 5.0);  // recomputed from buckets
+  ASSERT_EQ(h.at("buckets").size(), 2u);
+  EXPECT_EQ(h.at("buckets").at(std::size_t{0}).at("le").as_number(), 7.0);
+  EXPECT_EQ(
+      h.at("buckets").at(std::size_t{0}).at("count").as_number(), 3.0);
+  EXPECT_EQ(h.at("buckets").at(std::size_t{1}).at("le").as_number(), 15.0);
+  EXPECT_EQ(
+      h.at("buckets").at(std::size_t{1}).at("count").as_number(), 2.0);
+
+  // Merging a merge is a no-op at the values level (associativity).
+  const json::Value twice = merge_metrics({merged});
+  EXPECT_EQ(json::dump(twice), json::dump(merged));
+}
+
+TEST(Distributed, MergeMetricsRejectsBadShards) {
+  // Schema tag mismatch.
+  EXPECT_THROW(
+      merge_metrics({json::parse(
+          R"({"schema":"parmis-metrics-v0","metrics":{}})")}),
+      Error);
+  // Same name, conflicting types across shards.
+  EXPECT_THROW(
+      merge_metrics(
+          {metrics_shard_a(),
+           json::parse(R"({"schema":"parmis-metrics-v1","metrics":{
+             "obs_test_merge_a_total":{"type":"gauge","value":1}}})")}),
+      Error);
+  // A bucket bound outside the 2^k-1 family would silently re-bin; the
+  // merge must refuse instead.
+  EXPECT_THROW(
+      merge_metrics({json::parse(
+          R"({"schema":"parmis-metrics-v1","metrics":{
+            "obs_test_merge_bad_ns":{"type":"histogram","count":1,
+              "sum":6,"buckets":[{"le":6,"count":1}]}}})")}),
+      Error);
+}
+
+TEST(Distributed, FoldIntoRegistryAddsCountersAndHistogramsSkipsGauges) {
+  Registry& reg = Registry::instance();
+  const json::Value shard = json::parse(R"({
+    "schema": "parmis-metrics-v1",
+    "metrics": {
+      "obs_test_fold_total": {"type":"counter","help":"hf","value":9},
+      "obs_test_fold_depth": {"type":"gauge","value":3},
+      "obs_test_fold_ns": {"type":"histogram","count":3,"sum":9,
+        "buckets":[{"le":3,"count":3}]}
+    }
+  })");
+  fold_metrics_into_registry(shard, reg);
+  fold_metrics_into_registry(shard, reg);  // two workers, same shape
+
+  const Counter* c = reg.find_counter("obs_test_fold_total");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 18u);
+  const Histogram* h = reg.find_histogram("obs_test_fold_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 6u);
+  EXPECT_EQ(h->sum(), 18u);
+  EXPECT_EQ(h->bucket_count(2), 6u);  // le=3 is bucket index 2
+  // Gauges are deliberately NOT folded: a dead worker's level is
+  // history, not a live reading.
+  EXPECT_EQ(reg.find_gauge("obs_test_fold_depth"), nullptr);
 }
 
 // ------------------------------------------------- instrumentation macros

@@ -6,6 +6,7 @@
 // hardening, and the parmis-orch-v1 session.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <chrono>
@@ -21,6 +22,7 @@
 #include "common/hash.hpp"
 #include "common/json.hpp"
 #include "exec/campaign.hpp"
+#include "obs/distributed.hpp"
 #include "orchestrate/backend.hpp"
 #include "orchestrate/lease.hpp"
 #include "orchestrate/protocol.hpp"
@@ -348,6 +350,36 @@ TEST(JobRunner, ExhaustedRetryBudgetFailsTheJobButKeepsTheProvisional) {
   EXPECT_GT(provisional->cells.size(), 0u);
 }
 
+TEST(JobRunner, ProgressCarriesAttemptRecordsAndThroughput) {
+  const serde::CampaignPlan plan = small_plan();
+  const exec::CampaignConfig config = plan_config(plan);
+  InprocessBackend backend(config);
+  JobConfig jc;
+  jc.workers = 2;
+  jc.chunks = 3;
+  JobRunner runner(backend, jc);
+  runner.run();
+
+  const JobProgress p = runner.progress();
+  EXPECT_EQ(p.state, JobProgress::State::Done);
+  // One record per attempt, each chunk exactly once on the happy path.
+  ASSERT_EQ(p.attempts.size(), 3u);
+  std::set<std::size_t> chunks;
+  for (const AttemptRecord& a : p.attempts) {
+    EXPECT_TRUE(a.ok);
+    EXPECT_EQ(a.attempt, 0u);
+    chunks.insert(a.chunk);
+    EXPECT_TRUE(a.log_path.empty());  // in-process: no worker artifacts
+  }
+  EXPECT_EQ(chunks.size(), 3u);
+  // Throughput estimator: after Done it settles to the job average;
+  // the ETA is only ever emitted mid-run.
+  EXPECT_EQ(p.cells_done, p.total_cells);
+  EXPECT_GT(p.cells_done, 0u);
+  EXPECT_GT(p.cells_per_s, 0.0);
+  EXPECT_EQ(p.eta_s, 0.0);
+}
+
 // --------------------------------------------- process-backend recovery
 
 TEST(Orchestrate, KilledWorkerIsRetriedAndTheFinalDigestIsUnchanged) {
@@ -558,6 +590,173 @@ TEST(Orchestrate, SubmittedPlansShedTheirShardSlice) {
       serde::load_plan(info.job_dir + "/plan.json");
   EXPECT_FALSE(saved.shard.has_value());
   manager.shutdown();
+}
+
+// -------------------------------------------- distributed observability
+
+TEST(Orchestrate, TracedJobStitchesShardsAndRollsUpMetrics) {
+  // End-to-end tentpole check with real `campaign` worker processes:
+  // submit with tracing on, then require (a) per-attempt artifact
+  // paths, (b) a stitched multi-lane Chrome trace, (c) a metrics
+  // rollup byte-equal to re-merging the worker shards, and (d) the
+  // same digest an untraced unsharded run produces — tracing must
+  // observe the campaign without moving its bytes.
+  const serde::CampaignPlan plan = small_plan();
+  const exec::CampaignReport unsharded =
+      exec::CampaignRunner(plan_config(plan)).run();
+
+  JobManager::Defaults defaults;
+  defaults.workers = 2;
+  defaults.chunks = 3;
+  defaults.work_dir = temp_dir("traced");
+  defaults.cache_dir = temp_dir("traced_cache");
+  defaults.campaign_bin = sibling_binary("", "campaign");
+  defaults.trace = true;
+  JobManager manager(defaults);
+
+  const JobManager::JobInfo submitted = manager.submit(plan);
+  EXPECT_TRUE(submitted.trace);
+  JobManager::JobInfo info = submitted;
+  for (int i = 0; i < 600; ++i) {  // 30 s budget; typically < 1 s
+    info = *manager.info(submitted.id);
+    if (info.progress.state != JobProgress::State::Pending &&
+        info.progress.state != JobProgress::State::Running) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  manager.shutdown();
+  info = *manager.info(submitted.id);
+  ASSERT_EQ(info.progress.state, JobProgress::State::Done)
+      << info.progress.error;
+  expect_bitwise_equal(report::load_report(info.final_path), unsharded);
+
+  // (a) Every successful attempt points at its worker log and its
+  // trace / metrics shards, and the shards really exist.
+  ASSERT_GE(info.progress.attempts.size(), 3u);
+  std::size_t with_artifacts = 0;
+  for (const AttemptRecord& a : info.progress.attempts) {
+    if (!a.ok || a.recovered_from_cache) continue;
+    EXPECT_FALSE(a.log_path.empty());
+    EXPECT_FALSE(a.trace_path.empty());
+    EXPECT_FALSE(a.metrics_path.empty());
+    EXPECT_TRUE(read_file(a.trace_path).has_value()) << a.trace_path;
+    EXPECT_TRUE(read_file(a.metrics_path).has_value()) << a.metrics_path;
+    ++with_artifacts;
+  }
+  EXPECT_GE(with_artifacts, 3u);
+
+  // (b) The stitched trace is one valid Chrome trace document with a
+  // lane per shard: the orchestrator plus one per chunk attempt.
+  const auto stitched_text = read_file(info.stitched_trace_path);
+  ASSERT_TRUE(stitched_text.has_value()) << info.stitched_trace_path;
+  const json::Value stitched = json::parse(*stitched_text);
+  const json::Value& events = stitched.at("traceEvents");
+  std::size_t lanes = 0, flow_starts = 0, flow_finishes = 0;
+  std::set<double> lane_pids;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const json::Value& e = events.at(i);
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "M" && e.at("name").as_string() == "process_name") {
+      ++lanes;
+      lane_pids.insert(e.at("pid").as_number());
+    }
+    if (ph == "s") ++flow_starts;
+    if (ph == "f") ++flow_finishes;
+  }
+  EXPECT_EQ(lanes, 4u);  // orchestrator + 3 chunk-attempt workers
+  EXPECT_EQ(lane_pids.size(), 4u);
+#ifdef PARMIS_OBS_ENABLED
+  // Flow chains need the orchestrator's lease/merge spans, which the
+  // instrumentation macros record; an OBS=OFF build stitches lanes
+  // but has no spans to link.
+  EXPECT_EQ(flow_starts, 3u);
+  EXPECT_EQ(flow_finishes, 3u);
+#endif
+
+  // (c) The rollup is exactly merge_metrics() over the worker shards
+  // in sorted-path order — bucketwise sums, no re-binning drift.
+  const auto rollup_text = read_file(info.metrics_rollup_path);
+  ASSERT_TRUE(rollup_text.has_value()) << info.metrics_rollup_path;
+  std::vector<std::string> shard_paths;
+  for (const FileInfo& fi :
+       list_files(info.job_dir + "/metrics", ".json")) {
+    shard_paths.push_back(fi.path);
+  }
+  std::sort(shard_paths.begin(), shard_paths.end());
+  ASSERT_GE(shard_paths.size(), 3u);
+  std::vector<json::Value> shards;
+  for (const std::string& path : shard_paths) {
+    shards.push_back(json::parse(*read_file(path)));
+  }
+  EXPECT_EQ(*rollup_text, json::dump(obs::merge_metrics(shards)));
+
+  // (d) The session surfaces all of it: results carries the attempt
+  // audit trail and artifact paths; metrics with "job" serves the
+  // rollup document back.
+  OrchSession session(manager);
+  json::Value results = json::Value::object();
+  results.set("op", json::Value::string("results"));
+  results.set("job", serde::u64_to_json(submitted.id));
+  const json::Value body = roundtrip(session, results);
+  EXPECT_EQ(body.at("stitched_trace").as_string(),
+            info.stitched_trace_path);
+  EXPECT_EQ(body.at("metrics_rollup").as_string(),
+            info.metrics_rollup_path);
+  const json::Value& attempts = body.at("attempts");
+  ASSERT_EQ(attempts.size(), info.progress.attempts.size());
+  bool saw_log = false;
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    if (attempts.at(i).find("log") != nullptr) saw_log = true;
+  }
+  EXPECT_TRUE(saw_log);
+
+  json::Value metrics_req = json::Value::object();
+  metrics_req.set("op", json::Value::string("metrics"));
+  metrics_req.set("job", serde::u64_to_json(submitted.id));
+  const json::Value metrics_body = roundtrip(session, metrics_req);
+  EXPECT_EQ(json::dump(metrics_body.at("metrics")),
+            json::dump(json::parse(*rollup_text)));
+}
+
+TEST(Orchestrate, UntracedJobSpawnsNoObservabilityArtifacts) {
+  // The digest-neutrality lever at the spawn layer: with trace off the
+  // job dir gets no trace/ or metrics/ shards and no stitched outputs,
+  // and attempt records carry logs only.
+  const serde::CampaignPlan plan = small_plan();
+  JobManager::Defaults defaults;
+  defaults.workers = 2;
+  defaults.chunks = 2;
+  defaults.work_dir = temp_dir("untraced");
+  defaults.cache_dir = temp_dir("untraced_cache");
+  defaults.campaign_bin = sibling_binary("", "campaign");
+  JobManager manager(defaults);
+
+  const JobManager::JobInfo submitted = manager.submit(plan);
+  EXPECT_FALSE(submitted.trace);
+  EXPECT_TRUE(submitted.stitched_trace_path.empty());
+  JobManager::JobInfo info = submitted;
+  for (int i = 0; i < 600; ++i) {
+    info = *manager.info(submitted.id);
+    if (info.progress.state != JobProgress::State::Pending &&
+        info.progress.state != JobProgress::State::Running) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  manager.shutdown();
+  info = *manager.info(submitted.id);
+  ASSERT_EQ(info.progress.state, JobProgress::State::Done)
+      << info.progress.error;
+
+  EXPECT_TRUE(list_files(info.job_dir + "/trace", ".json").empty());
+  EXPECT_TRUE(list_files(info.job_dir + "/metrics", ".json").empty());
+  EXPECT_FALSE(read_file(info.job_dir + "/stitched_trace.json")
+                   .has_value());
+  for (const AttemptRecord& a : info.progress.attempts) {
+    EXPECT_TRUE(a.trace_path.empty());
+    EXPECT_TRUE(a.metrics_path.empty());
+  }
 }
 
 }  // namespace
